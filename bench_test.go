@@ -1,0 +1,687 @@
+// Package repro's benchmark harness regenerates every table and figure
+// from the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each benchmark runs the corresponding pipeline stage against a
+// calibrated synthetic ecosystem and reports the headline quantities as
+// custom metrics, so `go test -bench` output can be compared row by row
+// with the paper (EXPERIMENTS.md records the comparison).
+//
+// Populations are scaled down from the paper's 20,915 bots for
+// wall-clock sanity; the *proportions* are what the calibration fixes.
+// Pass -bench-bots to change the scale.
+package repro
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/botsdk"
+	"repro/internal/canary"
+	"repro/internal/codeanalysis"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/enforcer"
+	"repro/internal/gateway"
+	"repro/internal/honeypot"
+	"repro/internal/htmlparse"
+	"repro/internal/listing"
+	"repro/internal/longitudinal"
+	"repro/internal/permissions"
+	"repro/internal/platform"
+	"repro/internal/policygen"
+	"repro/internal/report"
+	"repro/internal/scraper"
+	"repro/internal/synth"
+	"repro/internal/traceability"
+	"repro/internal/vetting"
+)
+
+var benchBots = flag.Int("bench-bots", 1000, "population size for table/figure benchmarks")
+
+// ---- shared fixtures ----
+
+// crawlFixture stands up listing + scraper over a seeded population and
+// crawls it once, returning the records the table benchmarks consume.
+func crawlFixture(b *testing.B, n int) (*core.Auditor, []*scraper.Record) {
+	b.Helper()
+	a, err := core.NewAuditor(core.Options{Seed: 2022, NumBots: n, HoneypotSample: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(a.Close)
+	records, err := a.Collect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, records
+}
+
+// ---- FIG1: the full pipeline ----
+
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := core.NewAuditor(core.Options{
+			Seed:           int64(i + 1),
+			NumBots:        150,
+			HoneypotSample: 10,
+			HoneypotSettle: 300 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Report(io.Discard)
+		a.Close()
+	}
+}
+
+// ---- FIG3: permission distribution ----
+
+func BenchmarkFigure3PermissionDistribution(b *testing.B) {
+	_, records := crawlFixture(b, *benchBots)
+	b.ResetTimer()
+	var dist []scraper.PermissionShare
+	for i := 0; i < b.N; i++ {
+		dist = scraper.PermissionDistribution(records)
+	}
+	b.StopTimer()
+	report.Figure3(io.Discard, dist)
+	for _, d := range dist {
+		switch d.Perm {
+		case permissions.SendMessages:
+			b.ReportMetric(d.Pct, "send_messages_%")
+		case permissions.Administrator:
+			b.ReportMetric(d.Pct, "administrator_%")
+		}
+	}
+}
+
+// ---- TAB1: bots per developer ----
+
+func BenchmarkTable1DeveloperDistribution(b *testing.B) {
+	eco := synth.Generate(synth.Config{Seed: 2022, NumBots: *benchBots})
+	botsPerDev := make(map[string]int, len(eco.Developers))
+	for dev, ids := range eco.Developers {
+		botsPerDev[dev] = len(ids)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.Table1(io.Discard, botsPerDev)
+	}
+	b.StopTimer()
+	ones, total := 0, 0
+	for _, k := range botsPerDev {
+		total++
+		if k == 1 {
+			ones++
+		}
+	}
+	b.ReportMetric(100*float64(ones)/float64(total), "single_bot_devs_%")
+}
+
+// ---- TAB2: traceability ----
+
+func BenchmarkTable2Traceability(b *testing.B) {
+	a, records := crawlFixture(b, *benchBots)
+	b.ResetTimer()
+	var data report.Table2Data
+	for i := 0; i < b.N; i++ {
+		data = a.Traceability(records)
+	}
+	b.StopTimer()
+	report.Table2(io.Discard, data)
+	b.ReportMetric(100*float64(data.WebsiteLink)/float64(data.ActiveBots), "website_%")
+	b.ReportMetric(100*float64(data.PolicyValid)/float64(data.ActiveBots), "valid_policy_%")
+	b.ReportMetric(data.Traceability.BrokenPct(), "broken_%")
+	if data.Traceability.Complete != 0 {
+		b.Fatalf("complete policies = %d, paper found none", data.Traceability.Complete)
+	}
+}
+
+// ---- TAB3 + TEXT2: code analysis ----
+
+func BenchmarkTable3CodeAnalysis(b *testing.B) {
+	a, records := crawlFixture(b, *benchBots)
+	b.ResetTimer()
+	var res *codeanalysis.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, _, err = a.CodeAnalysis(records)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.Table3(io.Discard, res)
+	report.CodeTaxonomy(io.Discard, res)
+	b.ReportMetric(100*res.CheckRate("JavaScript"), "js_check_%")
+	b.ReportMetric(100*res.CheckRate("Python"), "py_check_%")
+	b.ReportMetric(100*float64(res.ValidRepos())/float64(res.WithLink), "valid_repo_%")
+}
+
+func BenchmarkGitHubLinkTaxonomy(b *testing.B) {
+	a, records := crawlFixture(b, *benchBots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := a.CodeAnalysis(records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.StopTimer()
+			b.ReportMetric(100*float64(res.WithLink)/float64(res.ActiveBots), "link_rate_%")
+			b.ReportMetric(float64(res.WithSource()), "repos_with_source")
+			b.StartTimer()
+		}
+	}
+}
+
+// ---- TEXT1: scrape yield ----
+
+func BenchmarkScrapeYield(b *testing.B) {
+	eco := synth.Generate(synth.Config{Seed: 2022, NumBots: 300})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ResetTimer()
+	var records []*scraper.Record
+	for i := 0; i < b.N; i++ {
+		c, err := scraper.NewClient(srv.BaseURL(), 500*time.Millisecond, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records, err = scraper.Crawl(c, scraper.Config{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	report.ScrapeYield(io.Discard, records)
+	valid := 0
+	for _, r := range records {
+		if r.PermsValid {
+			valid++
+		}
+	}
+	b.ReportMetric(100*float64(valid)/float64(len(records)), "valid_perm_%")
+	b.ReportMetric(float64(len(records))/b.Elapsed().Seconds()*float64(b.N), "bots_per_sec")
+}
+
+// ---- HONEY: the honeypot campaign ----
+
+func BenchmarkHoneypotCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := platform.New(platform.Options{})
+		gw, err := gateway.NewServer(p, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := canary.NewService("127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eco := synth.Generate(synth.Config{Seed: 2022, NumBots: 400})
+		env := honeypot.Env{
+			Platform: p, Gateway: gw.Addr(), Canary: svc,
+			Minter: svc.NewMinter("canary.invalid", nil),
+			Feed:   corpus.New(7),
+		}
+		cfg := honeypot.DefaultConfig()
+		cfg.Settle = 300 * time.Millisecond
+		res, err := honeypot.Campaign(env, eco, honeypot.CampaignConfig{
+			SampleSize: 25, Concurrency: 12, Experiment: cfg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Triggered) != 1 || res.Triggered[0].Subject.Name != "Melonian" {
+			b.Fatalf("campaign verdicts wrong: %+v", res.Triggered)
+		}
+		b.ReportMetric(float64(res.Tested), "bots_tested")
+		b.ReportMetric(float64(len(res.Triggered)), "bots_triggered")
+		gw.Close()
+		svc.Close()
+		p.Close()
+	}
+}
+
+// ---- TRACE-V: traceability validation ----
+
+func BenchmarkTraceabilityValidation(b *testing.B) {
+	g := policygen.New(2022)
+	var an traceability.Analyzer
+	specs := make([]policygen.Spec, 0, 100)
+	texts := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		var covered []policygen.Category
+		for _, c := range policygen.AllCategories {
+			if (i>>uint(c))&1 == 1 {
+				covered = append(covered, c)
+			}
+		}
+		spec := policygen.Spec{BotName: "b", Covered: covered, Generic: i%7 == 6, GenericTemplate: i}
+		specs = append(specs, spec)
+		texts = append(texts, g.Generate(spec))
+	}
+	b.ResetTimer()
+	mis := 0
+	for i := 0; i < b.N; i++ {
+		mis = 0
+		for j, text := range texts {
+			v := an.AnalyzePolicy(text, permissions.ViewChannel)
+			if v.Class != specs[j].TruthClass() {
+				mis++
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mis), "misclassified_of_100")
+	if mis != 0 {
+		b.Fatalf("misclassified %d/100", mis)
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationTraceabilityMatchers compares the word-boundary
+// matcher against the naive substring baseline, in both speed and
+// false-positive count on keyword-free text.
+func BenchmarkAblationTraceabilityMatchers(b *testing.B) {
+	// Text with many embedded false-substring traps.
+	trap := "Our museum of bookkeeping recordings is housed in a warehouse. " +
+		"Reusable accessories amuse the user-base. Chartreuse houses refuse obtuse excuses."
+	for _, mode := range []struct {
+		name string
+		an   traceability.Analyzer
+	}{
+		{"word-boundary", traceability.Analyzer{}},
+		{"substring", traceability.Analyzer{Substring: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			falsePos := 0
+			for i := 0; i < b.N; i++ {
+				v := mode.an.AnalyzePolicy(trap, permissions.None)
+				if v.Class != policygen.Broken {
+					falsePos++
+				}
+			}
+			b.ReportMetric(float64(boolToInt(falsePos > 0)), "false_positive")
+		})
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkAblationLocators compares element-locator strategies on a
+// realistic listing page, mirroring Selenium locator cost.
+func BenchmarkAblationLocators(b *testing.B) {
+	// Two pages so the page-1 render includes the next-page link.
+	eco := synth.Generate(synth.Config{Seed: 3, NumBots: 2 * listing.PageSize})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := c.Get("/bots?page=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("by-id", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if doc.ByID("next-page") == nil {
+				b.Fatal("locator miss")
+			}
+		}
+	})
+	b.Run("css-selector", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(doc.Select("ul.bot-list > li.bot-card")) == 0 {
+				b.Fatal("locator miss")
+			}
+		}
+	})
+	b.Run("full-walk-text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(doc.ByText("Next")) == 0 {
+				b.Fatal("locator miss")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationScrapeConcurrency sweeps crawl parallelism under the
+// listing's rate limiter — the operating point §3's self-rate-limiting
+// navigates.
+func BenchmarkAblationScrapeConcurrency(b *testing.B) {
+	eco := synth.Generate(synth.Config{Seed: 5, NumBots: 100})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots),
+		listing.AntiScrape{RequestsPerSecond: 2000, Burst: 100}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := scraper.Crawl(c, scraper.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	switch workers {
+	case 1:
+		return "workers-1"
+	case 4:
+		return "workers-4"
+	default:
+		return "workers-16"
+	}
+}
+
+// BenchmarkAblationHoneypotIsolation contrasts per-bot isolated guilds
+// (exact attribution) with a shared guild (every co-located bot becomes
+// a suspect).
+func BenchmarkAblationHoneypotIsolation(b *testing.B) {
+	subjects := func() []honeypot.Subject {
+		return []honeypot.Subject{
+			{Name: "InnocentA", Perms: snoopPermsBench, Runner: honeypot.IdleBot{}},
+			{Name: "Sneaky", Perms: snoopPermsBench, Runner: &honeypot.SnoopBot{}},
+			{Name: "InnocentB", Perms: snoopPermsBench, Prefix: "!", Runner: honeypot.ResponderBot{}},
+		}
+	}
+	newBenchEnv := func(b *testing.B) (honeypot.Env, func()) {
+		p := platform.New(platform.Options{})
+		gw, err := gateway.NewServer(p, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := canary.NewService("127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env := honeypot.Env{
+			Platform: p, Gateway: gw.Addr(), Canary: svc,
+			Minter: svc.NewMinter("canary.invalid", nil), Feed: corpus.New(11),
+		}
+		return env, func() { gw.Close(); svc.Close(); p.Close() }
+	}
+	cfg := honeypot.DefaultConfig()
+	cfg.Settle = 600 * time.Millisecond
+
+	b.Run("isolated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env, done := newBenchEnv(b)
+			suspects := 0
+			for _, sub := range subjects() {
+				v, err := honeypot.Run(env, cfg, sub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Triggered {
+					suspects++
+				}
+			}
+			done()
+			if suspects != 1 {
+				b.Fatalf("isolated run blamed %d bots", suspects)
+			}
+			b.ReportMetric(float64(suspects), "suspects")
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env, done := newBenchEnv(b)
+			v, err := honeypot.RunShared(env, cfg, subjects())
+			if err != nil {
+				b.Fatal(err)
+			}
+			done()
+			if !v.Triggered {
+				b.Fatal("shared run saw no trigger")
+			}
+			b.ReportMetric(float64(len(v.SuspectNames)), "suspects")
+		}
+	})
+}
+
+const snoopPermsBench = permissions.ViewChannel | permissions.ReadMessageHistory |
+	permissions.SendMessages | permissions.AttachFiles
+
+// BenchmarkAblationRuntimeEnforcer measures what the Slack/Teams-style
+// runtime policy enforcer (§6 comparison) costs per gateway action, and
+// confirms the attack-success delta: without it the re-delegated kick
+// lands, with it the kick is denied.
+func BenchmarkAblationRuntimeEnforcer(b *testing.B) {
+	setup := func(b *testing.B, enforced bool) (*platform.Platform, *botsdk.Session, *platform.Guild, *platform.User, func()) {
+		p := platform.New(platform.Options{})
+		gw, err := gateway.NewServer(p, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var enf *enforcer.Enforcer
+		if enforced {
+			enf = enforcer.New(p, enforcer.Options{Window: time.Hour})
+			gw.SetInterceptor(enf.Intercept)
+		}
+		owner := p.CreateUser("owner")
+		g, _ := p.CreateGuild(owner.ID, "bench", false)
+		var general *platform.Channel
+		for _, ch := range g.Channels {
+			general = ch
+		}
+		bot, _ := p.RegisterBot(owner.ID, "b")
+		role, _ := p.InstallBot(owner.ID, g.ID, bot.ID,
+			permissions.ViewChannel|permissions.SendMessages|permissions.KickMembers)
+		if err := p.MoveRole(owner.ID, g.ID, role.ID, 10); err != nil {
+			b.Fatal(err)
+		}
+		// The owner (privileged) speaks so enforced actions are
+		// authorized; flush so the tracker has seen it.
+		if _, err := p.SendMessage(owner.ID, general.ID, "!kick them"); err != nil {
+			b.Fatal(err)
+		}
+		p.Flush()
+		time.Sleep(10 * time.Millisecond)
+		sess, err := botsdk.Dial(gw.Addr(), bot.Token, botsdk.Options{RequestTimeout: 5 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cleanup := func() {
+			sess.Close()
+			gw.Close()
+			if enf != nil {
+				enf.Close()
+			}
+			p.Close()
+		}
+		return p, sess, g, owner, cleanup
+	}
+	for _, mode := range []struct {
+		name     string
+		enforced bool
+	}{{"discord-model", false}, {"enforced-model", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, sess, g, _, cleanup := setup(b, mode.enforced)
+			defer cleanup()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				victim := p.CreateUser("victim")
+				if err := p.JoinGuild(victim.ID, g.ID); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sess.Kick(g.ID.String(), victim.ID.String()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- extension benchmarks ----
+
+// BenchmarkLongitudinalEpochs measures one evolve+measure epoch over a
+// population — the unit cost of the §5 future-work longitudinal study.
+func BenchmarkLongitudinalEpochs(b *testing.B) {
+	eco := synth.Generate(synth.Config{Seed: 2022, NumBots: 3000})
+	ev := longitudinal.NewEvolver(eco, 7)
+	churn := longitudinal.DefaultChurn()
+	b.ResetTimer()
+	var last longitudinal.EpochStats
+	for i := 0; i < b.N; i++ {
+		ev.Step(churn)
+		last = longitudinal.Measure(eco, ev.Epoch())
+	}
+	b.StopTimer()
+	b.ReportMetric(last.PolicyPct, "final_policy_%")
+	b.ReportMetric(last.AdminPct, "final_admin_%")
+}
+
+// BenchmarkVettingPopulation measures the §7 mitigation over a crawled
+// population and reports its verdict split.
+func BenchmarkVettingPopulation(b *testing.B) {
+	_, records := crawlFixture(b, *benchBots)
+	b.ResetTimer()
+	var sum vetting.Summary
+	for i := 0; i < b.N; i++ {
+		_, sum = vetting.VetAll(records)
+	}
+	b.StopTimer()
+	b.ReportMetric(100*float64(sum.Rejected)/float64(sum.Total), "reject_%")
+	b.ReportMetric(100*float64(sum.Approved)/float64(sum.Total), "approve_%")
+}
+
+// BenchmarkDataTypeAudit measures the ontology audit per policy.
+func BenchmarkDataTypeAudit(b *testing.B) {
+	policy := "We collect message content and uploaded files. We use and store them."
+	perms := permissions.Administrator
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if traceability.DataTypeGapCount(policy, perms) == 0 {
+			b.Fatal("admin with partial mention should gap")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkHTMLParseListingPage(b *testing.B) {
+	eco := synth.Generate(synth.Config{Seed: 3, NumBots: listing.PageSize})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{}, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, _ := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+	raw, err := c.GetRaw("/bots?page=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := htmlparse.Parse(raw)
+		if len(doc.Select("li.bot-card")) == 0 {
+			b.Fatal("parse lost the cards")
+		}
+	}
+}
+
+func BenchmarkPlatformSendMessage(b *testing.B) {
+	p := platform.New(platform.Options{})
+	defer p.Close()
+	owner := p.CreateUser("o")
+	g, _ := p.CreateGuild(owner.ID, "bench", false)
+	var ch *platform.Channel
+	for _, c := range g.Channels {
+		ch = c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SendMessage(owner.ID, ch.ID, "benchmark message"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatewayRoundTrip(b *testing.B) {
+	p := platform.New(platform.Options{})
+	defer p.Close()
+	gw, err := gateway.NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	owner := p.CreateUser("o")
+	g, _ := p.CreateGuild(owner.ID, "bench", false)
+	bot, _ := p.RegisterBot(owner.ID, "bench-bot")
+	if _, err := p.InstallBot(owner.ID, g.ID, bot.ID, permissions.ViewChannel|permissions.SendMessages); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := botsdk.Dial(gw.Addr(), bot.Token, botsdk.Options{RequestTimeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	var chID string
+	_, _, chans, err := sess.GuildInfo(g.ID.String())
+	if err != nil || len(chans) == 0 {
+		b.Fatal("guild info failed")
+	}
+	chID = chans[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Send(chID, "ping"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCanaryDocxRoundTrip(b *testing.B) {
+	m := canary.NewMinter("http://127.0.0.1:1", "c.test", canary.SequentialIDs("b"))
+	tok := m.Mint(canary.KindWord, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, err := canary.WordDocument(tok, "bench body")
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs, err := canary.ExternalRefsFromWord(doc)
+		if err != nil || len(refs) != 1 {
+			b.Fatal("roundtrip failed")
+		}
+	}
+}
+
+func BenchmarkSynthGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eco := synth.Generate(synth.Config{Seed: int64(i), NumBots: 2000})
+		if len(eco.Bots) != 2000 {
+			b.Fatal("generation failed")
+		}
+	}
+}

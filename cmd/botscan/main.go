@@ -1,0 +1,115 @@
+// Command botscan runs the complete chatbot security & privacy audit
+// pipeline (Figure 1 of the paper) against a freshly generated
+// synthetic ecosystem: scrape the listing, analyze traceability, scan
+// linked source repositories, and run the honeypot campaign. It prints
+// every table and figure the paper reports.
+//
+// Usage:
+//
+//	botscan -bots 2000 -sample 100 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/listing"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("botscan: ")
+
+	var (
+		seed      = flag.Int64("seed", 2022, "ecosystem generation seed")
+		bots      = flag.Int("bots", 2000, "listing population size (paper: 20915)")
+		sample    = flag.Int("sample", 100, "honeypot sample size (paper: 500)")
+		workers   = flag.Int("workers", 8, "scraper parallelism")
+		settle    = flag.Duration("settle", 500*time.Millisecond, "honeypot trigger-watch window per bot")
+		defences  = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
+		fullScale = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
+		exportDir = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Seed:                *seed,
+		NumBots:             *bots,
+		ScrapeWorkers:       *workers,
+		HoneypotSample:      *sample,
+		HoneypotConcurrency: 16,
+		HoneypotSettle:      *settle,
+	}
+	if *fullScale {
+		opts.NumBots = 0 // defaults to 20,915
+	}
+	if *defences {
+		opts.AntiScrape = listing.AntiScrape{
+			RequestsPerSecond: 500,
+			Burst:             50,
+			CaptchaEvery:      200,
+			FlakyEvery:        10,
+		}
+	}
+
+	start := time.Now()
+	a, err := core.NewAuditor(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	log.Printf("ecosystem of %d bots generated; listing at %s", len(a.Ecosystem().Bots), a.ListingURL())
+
+	res, err := a.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Report(os.Stdout)
+	fmt.Printf("\ntotal pipeline time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *exportDir != "" {
+		if err := exportAll(*exportDir, a, res); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("datasets written to %s", *exportDir)
+	}
+}
+
+// exportAll snapshots every stage's output as JSON Lines.
+func exportAll(dir string, a *core.Auditor, res *core.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("records.jsonl", func(f *os.File) error {
+		return dataset.WriteRecords(f, res.Records)
+	}); err != nil {
+		return err
+	}
+	if err := write("code.jsonl", func(f *os.File) error {
+		return dataset.WriteCodeAnalyses(f, res.Analyses)
+	}); err != nil {
+		return err
+	}
+	if err := write("verdicts.jsonl", func(f *os.File) error {
+		return dataset.WriteVerdicts(f, res.Honeypot.Verdicts)
+	}); err != nil {
+		return err
+	}
+	return write("triggers.jsonl", func(f *os.File) error {
+		return dataset.WriteTriggers(f, a.CanaryTriggers())
+	})
+}

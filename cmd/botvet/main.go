@@ -1,0 +1,62 @@
+// Command botvet applies the listing-time vetting rules (the paper's
+// §7 mitigation) to a previously exported records dataset — re-vetting
+// without re-crawling, the "continuous" half of "continuous rigorous
+// vetting process".
+//
+// Usage:
+//
+//	botscan -bots 2000 -export-dir ./out
+//	botvet -records ./out/records.jsonl -show-rejected 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/report"
+	"repro/internal/vetting"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("botvet: ")
+
+	var (
+		recordsPath = flag.String("records", "", "path to a records.jsonl export (required)")
+		showN       = flag.Int("show-rejected", 3, "print detailed findings for the first N rejected bots")
+	)
+	flag.Parse()
+	if *recordsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*recordsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	records, err := dataset.ReadRecords(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d records from %s", len(records), *recordsPath)
+
+	reports, summary := vetting.VetAll(records)
+	report.Vetting(os.Stdout, summary)
+
+	shown := 0
+	for _, rep := range reports {
+		if rep.Verdict != vetting.Reject || shown >= *showN {
+			continue
+		}
+		shown++
+		fmt.Printf("\nREJECT %s (bot %d):\n", rep.Name, rep.BotID)
+		for _, fd := range rep.Findings {
+			fmt.Printf("  [%s] %s — %s\n", fd.Severity, fd.Rule, fd.Detail)
+		}
+	}
+}

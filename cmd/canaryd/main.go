@@ -1,0 +1,56 @@
+// Command canaryd runs a standalone canary trigger service and streams
+// every trigger to stdout. Mint tokens with the printed base URL.
+//
+// Usage:
+//
+//	canaryd -addr 127.0.0.1:9000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/canary"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("canaryd: ")
+
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	demo := flag.Bool("demo", false, "mint a demo token set and print the artifacts' trigger URLs")
+	flag.Parse()
+
+	svc, err := canary.NewService(*addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	log.Printf("trigger service at %s", svc.BaseURL())
+
+	if *demo {
+		m := svc.NewMinter("canary.local", nil)
+		for _, tok := range m.MintSet("demo-guild") {
+			switch tok.Kind {
+			case canary.KindEmail:
+				log.Printf("minted %-5s token %s -> address %s", tok.Kind, tok.ID, tok.Address)
+			default:
+				log.Printf("minted %-5s token %s -> %s", tok.Kind, tok.ID, tok.TriggerURL)
+			}
+		}
+	}
+
+	go func() {
+		for trg := range svc.Watch() {
+			log.Printf("TRIGGER kind=%s guild=%s token=%s via=%s ip=%s",
+				trg.Kind, trg.GuildTag, trg.TokenID, trg.Via, trg.RemoteIP)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("%d triggers recorded", len(svc.Triggers()))
+}

@@ -1,0 +1,50 @@
+// Command listingd serves a standalone top.gg-style chatbot listing
+// over a synthetic population, with configurable anti-scraping
+// defences. Point a browser or the scraper at it.
+//
+// Usage:
+//
+//	listingd -addr 127.0.0.1:8080 -bots 500 -captcha-every 100
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/listing"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("listingd: ")
+
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		seed         = flag.Int64("seed", 2022, "population seed")
+		bots         = flag.Int("bots", 500, "population size")
+		rps          = flag.Float64("rps", 0, "per-client requests/second (0 = unlimited)")
+		captchaEvery = flag.Int("captcha-every", 0, "challenge a client every N requests (0 = never)")
+		flakyEvery   = flag.Int("flaky-every", 0, "one in N detail pages is flaky on first render (0 = never)")
+	)
+	flag.Parse()
+
+	eco := synth.Generate(synth.Config{Seed: *seed, NumBots: *bots})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{
+		RequestsPerSecond: *rps,
+		CaptchaEvery:      *captchaEvery,
+		FlakyEvery:        *flakyEvery,
+	}, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("serving %d bots at %s (try %s/bots)", *bots, srv.BaseURL(), srv.BaseURL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down after %d requests", srv.Requests())
+}

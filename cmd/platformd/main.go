@@ -1,0 +1,62 @@
+// Command platformd runs a standalone messaging platform with its
+// gateway, pre-seeded with a demo guild, users and a registered bot
+// whose token is printed so external bot processes can connect.
+//
+// Usage:
+//
+//	platformd -gateway 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/gateway"
+	"repro/internal/permissions"
+	"repro/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("platformd: ")
+
+	var (
+		gwAddr = flag.String("gateway", "127.0.0.1:7000", "gateway listen address")
+	)
+	flag.Parse()
+
+	p := platform.New(platform.Options{})
+	defer p.Close()
+
+	owner := p.CreateUser("admin")
+	p.VerifyUser(owner.ID)
+	guild, err := p.CreateGuild(owner.ID, "demo-guild", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bot, err := p.RegisterBot(owner.ID, "demo-bot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.InstallBot(owner.ID, guild.ID, bot.ID,
+		permissions.ViewChannel|permissions.SendMessages|permissions.ReadMessageHistory); err != nil {
+		log.Fatal(err)
+	}
+
+	gw, err := gateway.NewServer(p, *gwAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	log.Printf("gateway listening on %s", gw.Addr())
+	log.Printf("demo guild %s created by %s", guild.ID, owner.Tag())
+	log.Printf("bot token: %s", bot.Token)
+	log.Printf("connect with botsdk.Dial(%q, token, opts)", gw.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}

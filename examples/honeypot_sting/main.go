@@ -1,0 +1,86 @@
+// Honeypot sting: reconstruct the paper's Melonian incident end to
+// end. A snooping bot is installed into an isolated honeypot guild
+// seeded with four canary tokens (URL, email, Word doc, PDF) and a
+// believable conversation feed. The bot reads the channel, opens the
+// documents, follows the links, mails the address — and every action
+// phones home to the trigger service.
+//
+//	go run ./examples/honeypot_sting
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/canary"
+	"repro/internal/corpus"
+	"repro/internal/gateway"
+	"repro/internal/honeypot"
+	"repro/internal/permissions"
+	"repro/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Infrastructure: platform + gateway + canary collector.
+	p := platform.New(platform.Options{})
+	defer p.Close()
+	gw, err := gateway.NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	svc, err := canary.NewService("127.0.0.1:0", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	env := honeypot.Env{
+		Platform: p,
+		Gateway:  gw.Addr(),
+		Canary:   svc,
+		Minter:   svc.NewMinter("canary.example", nil),
+		Feed:     corpus.New(42),
+	}
+
+	// Watch triggers live, like canaryd does.
+	go func() {
+		for trg := range svc.Watch() {
+			fmt.Printf("  [trigger] %-5s token in %s via %s\n", trg.Kind, trg.GuildTag, trg.Via)
+		}
+	}()
+
+	cfg := honeypot.DefaultConfig()
+	cfg.Settle = time.Second
+
+	fmt.Println("== experiment 1: a benign responder bot ==")
+	clean, err := honeypot.Run(env, cfg, honeypot.Subject{
+		Name:   "FriendlyHelper",
+		Perms:  permissions.ViewChannel | permissions.SendMessages,
+		Prefix: "!",
+		Runner: honeypot.ResponderBot{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triggered=%v responded=%v\n\n", clean.Triggered, clean.Responded)
+
+	fmt.Println("== experiment 2: the Melonian-style snoop ==")
+	dirty, err := honeypot.Run(env, cfg, honeypot.Subject{
+		Name: "Melonian",
+		Perms: permissions.ViewChannel | permissions.ReadMessageHistory |
+			permissions.SendMessages | permissions.AttachFiles,
+		Runner: &honeypot.SnoopBot{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triggered=%v, %d triggers across kinds %v\n", dirty.Triggered, len(dirty.Triggers), dirty.TriggeredKinds)
+	for _, msg := range dirty.BotMessages {
+		fmt.Printf("the bot account posted: %q  <- not an automated message\n", msg)
+	}
+	fmt.Println("\nusers would never have noticed without the tokens — exactly the paper's point.")
+}

@@ -1,0 +1,68 @@
+// Longitudinal trends: the paper's future-work measurement (§5),
+// simulated. The ecosystem evolves over epochs — new bots arrive, some
+// are delisted, privacy-policy adoption slowly rises (as the paper
+// expects, mirroring what happened with voice assistants), and
+// permissions creep toward administrator. Each epoch is re-measured
+// with the pipeline's analyzers, and the trend table plus the riskiest
+// bots are printed.
+//
+//	go run ./examples/longitudinal_trends
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/listing"
+	"repro/internal/longitudinal"
+	"repro/internal/permissions"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	eco := synth.Generate(synth.Config{Seed: 2022, NumBots: 3000})
+	churn := longitudinal.DefaultChurn()
+	churn.NewBots = 120
+
+	series := longitudinal.Run(eco, 7, 10, churn)
+	longitudinal.Report(os.Stdout, series)
+
+	first, last := series[0], series[len(series)-1]
+	fmt.Printf("\nOver %d epochs: policy adoption %.1f%% -> %.1f%%, broken traceability %.1f%% -> %.1f%%,\n",
+		last.Epoch, first.PolicyPct, last.PolicyPct, first.BrokenPct, last.BrokenPct)
+	fmt.Printf("administrator share %.1f%% -> %.1f%% (permission creep), complete policies %d -> %d.\n",
+		first.AdminPct, last.AdminPct, first.CompleteCount, last.CompleteCount)
+
+	// The riskiest active bots at the end of the study, by risk score.
+	var sets []permissions.Permission
+	var bots []*listing.Bot
+	for _, b := range eco.Bots {
+		if b.InviteHealth == listing.InviteOK {
+			sets = append(sets, b.Perms)
+			bots = append(bots, b)
+		}
+	}
+	fmt.Println("\nRiskiest active bots at the final epoch:")
+	for i, idx := range permissions.RankByRisk(sets) {
+		if i >= 5 {
+			break
+		}
+		b := bots[idx]
+		fmt.Printf("  %-24s score %3d (%s) — %s\n",
+			b.Name, b.Perms.RiskScore(), b.Perms.Level(), summarize(b.Perms))
+	}
+}
+
+func summarize(p permissions.Permission) string {
+	if p.IsAdmin() {
+		return "administrator (subsumes everything)"
+	}
+	names := p.Names()
+	if len(names) > 4 {
+		return fmt.Sprintf("%s, … (%d permissions)", names[0], len(names))
+	}
+	return fmt.Sprint(names)
+}

@@ -1,0 +1,122 @@
+// Permission re-delegation: the paper's §5 attack, live. A moderation
+// bot holds kick-members. A guild member WITHOUT kick-members asks the
+// bot to kick a victim. Whether the attack works depends entirely on
+// whether the bot's developer checked the invoking user's permissions —
+// the platform never does (Discord has no runtime enforcer).
+//
+//	go run ./examples/permission_redelegation
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/botsdk"
+	"repro/internal/gateway"
+	"repro/internal/permissions"
+	"repro/internal/platform"
+)
+
+// modBot wires a "!kick @user" command. checked selects whether it
+// verifies the invoker — the exact difference the paper's Table 3 scan
+// measures in real bot code.
+func modBot(checked bool) func(s *botsdk.Session, m *botsdk.Message) {
+	return func(s *botsdk.Session, m *botsdk.Message) {
+		if m.AuthorBot || !strings.HasPrefix(m.Content, "!kick ") {
+			return
+		}
+		target := strings.TrimPrefix(m.Content, "!kick ")
+		go func() {
+			if checked {
+				// The responsible pattern: hasPermission(invoker).
+				ok, err := s.HasPermission(m.GuildID, m.AuthorID, permissions.KickMembers)
+				if err != nil || !ok {
+					s.Send(m.ChannelID, "you lack kick-members; refusing")
+					return
+				}
+			}
+			if err := s.Kick(m.GuildID, target); err != nil {
+				s.Send(m.ChannelID, "kick failed: "+err.Error())
+				return
+			}
+			s.Send(m.ChannelID, "kicked "+target)
+		}()
+	}
+}
+
+func run(checked bool) {
+	p := platform.New(platform.Options{})
+	defer p.Close()
+	gw, err := gateway.NewServer(p, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+
+	owner := p.CreateUser("owner")
+	guild, _ := p.CreateGuild(owner.ID, "workplace", false)
+	var general *platform.Channel
+	for _, ch := range guild.Channels {
+		general = ch
+	}
+	attacker := p.CreateUser("attacker")
+	victim := p.CreateUser("victim")
+	p.JoinGuild(attacker.ID, guild.ID)
+	p.JoinGuild(victim.ID, guild.ID)
+
+	bot, _ := p.RegisterBot(owner.ID, "modbot")
+	role, err := p.InstallBot(owner.ID, guild.ID, bot.ID,
+		permissions.ViewChannel|permissions.SendMessages|permissions.KickMembers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The owner raises the bot's role so it outranks ordinary members
+	// (hierarchy rule iv requires it).
+	if err := p.MoveRole(owner.ID, guild.ID, role.ID, 10); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := botsdk.Dial(gw.Addr(), bot.Token, botsdk.Options{RequestTimeout: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	sess.OnMessage(modBot(checked))
+
+	// The attacker cannot kick directly…
+	if err := p.KickMember(attacker.ID, guild.ID, victim.ID); err != nil {
+		fmt.Printf("  attacker kicks directly -> %v\n", err)
+	}
+	// …so they command the bot instead.
+	p.SendMessage(attacker.ID, general.ID, "!kick "+victim.ID.String())
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !p.IsMember(guild.ID, victim.ID) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if p.IsMember(guild.ID, victim.ID) {
+		fmt.Println("  victim still in guild — the bot refused the re-delegated action")
+	} else {
+		fmt.Println("  VICTIM KICKED — privilege re-delegated through the bot")
+	}
+	msgs, _ := p.ChannelMessages(general.ID)
+	for _, m := range msgs {
+		if m.AuthorID == bot.ID {
+			fmt.Printf("  bot said: %q\n", m.Content)
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("== bot WITHOUT an invoker permission check (97.35% of Python repos per the paper) ==")
+	run(false)
+	fmt.Println()
+	fmt.Println("== bot WITH an invoker permission check (.hasPermission pattern) ==")
+	run(true)
+}

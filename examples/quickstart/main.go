@@ -1,0 +1,42 @@
+// Quickstart: run the complete audit pipeline on a small synthetic
+// ecosystem and print every table and figure the paper reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One call stands up the whole simulated world: a top.gg-style
+	// listing, a GitHub-style code host, the messaging platform with
+	// its gateway, and the canary trigger service.
+	auditor, err := core.NewAuditor(core.Options{
+		Seed:           1,
+		NumBots:        400,
+		HoneypotSample: 30,
+		HoneypotSettle: 400 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer auditor.Close()
+
+	fmt.Printf("listing service running at %s\n", auditor.ListingURL())
+	fmt.Printf("population: %d bots\n\n", len(auditor.Ecosystem().Bots))
+
+	// Stage 1-4: scrape, traceability, code analysis, honeypot.
+	results, err := auditor.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results.Report(os.Stdout)
+}

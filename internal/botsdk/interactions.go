@@ -1,0 +1,72 @@
+package botsdk
+
+import "repro/internal/gateway"
+
+// Interaction is a received slash-command invocation. Unlike a prefix
+// message, it names the invoking user authoritatively, so command
+// handlers can check permissions against the right principal — and so
+// a runtime enforcer can attribute follow-up actions exactly.
+type Interaction struct {
+	ID        string
+	GuildID   string
+	ChannelID string
+	UserID    string
+	Command   string
+	Args      string
+}
+
+// OnInteraction registers a handler for slash-command invocations
+// addressed to this bot.
+func (s *Session) OnInteraction(h func(s *Session, in *Interaction)) {
+	s.On(string("INTERACTION_CREATE"), func(s *Session, e Event) {
+		if e.interaction != nil {
+			h(s, e.interaction)
+		}
+	})
+}
+
+// Respond posts the bot's reply to an interaction.
+func (s *Session) Respond(guildID, interactionID, content string) (string, error) {
+	res, err := s.request(gateway.MethodRespondInteraction, map[string]any{
+		"guild_id": guildID, "interaction_id": interactionID, "content": content,
+	})
+	if err != nil {
+		return "", err
+	}
+	id, _ := res["message_id"].(string)
+	return id, nil
+}
+
+// KickVia kicks a member citing the interaction that requested it, so
+// interaction-aware platforms (enforcer in exact mode) can attribute
+// the action to the invoking user rather than guessing.
+func (s *Session) KickVia(interactionID, guildID, userID string) error {
+	_, err := s.request(gateway.MethodKick, map[string]any{
+		"guild_id": guildID, "user_id": userID, "interaction_id": interactionID,
+	})
+	return err
+}
+
+// BanVia bans a member citing the requesting interaction.
+func (s *Session) BanVia(interactionID, guildID, userID string) error {
+	_, err := s.request(gateway.MethodBan, map[string]any{
+		"guild_id": guildID, "user_id": userID, "interaction_id": interactionID,
+	})
+	return err
+}
+
+// CreateWebhook mints a webhook on a channel (requires the bot to hold
+// manage-webhooks there). The returned token posts without any further
+// authentication — which is precisely why over-granting this permission
+// is dangerous.
+func (s *Session) CreateWebhook(channelID, name string) (id, token string, err error) {
+	res, err := s.request(gateway.MethodCreateWebhook, map[string]any{
+		"channel_id": channelID, "name": name,
+	})
+	if err != nil {
+		return "", "", err
+	}
+	id, _ = res["webhook_id"].(string)
+	token, _ = res["token"].(string)
+	return id, token, nil
+}

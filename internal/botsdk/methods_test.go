@@ -1,0 +1,256 @@
+package botsdk
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/permissions"
+)
+
+// methodServer answers every request with a canned result keyed by
+// method name, recording the args it saw.
+type methodServer struct {
+	results map[string]map[string]any
+	seen    chan gateway.Frame
+}
+
+func startMethodServer(t *testing.T, results map[string]map[string]any) (*methodServer, string) {
+	t.Helper()
+	ms := &methodServer{results: results, seen: make(chan gateway.Frame, 16)}
+	srv := newScripted(t, func(conn net.Conn, dec *json.Decoder, enc *json.Encoder) {
+		if !acceptIdentify(t, dec, enc) {
+			return
+		}
+		for {
+			var f gateway.Frame
+			if err := dec.Decode(&f); err != nil {
+				return
+			}
+			if f.Op != gateway.OpRequest {
+				continue
+			}
+			select {
+			case ms.seen <- f:
+			default:
+			}
+			res, ok := ms.results[f.Method]
+			if !ok {
+				enc.Encode(gateway.Frame{Op: gateway.OpResponse, ID: f.ID, Err: "unknown method"})
+				continue
+			}
+			enc.Encode(gateway.Frame{Op: gateway.OpResponse, ID: f.ID, OK: true, Result: res})
+		}
+	})
+	return ms, srv.ln.Addr().String()
+}
+
+func (ms *methodServer) lastArgs(t *testing.T, method string) map[string]any {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case f := <-ms.seen:
+			if f.Method == method {
+				return f.Args
+			}
+		case <-deadline:
+			t.Fatalf("request %s never reached the server", method)
+		}
+	}
+}
+
+func TestGuildInfoDecoding(t *testing.T) {
+	ms, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodGuildInfo: {
+			"name": "testguild", "members": float64(7),
+			"channels": []any{
+				map[string]any{"id": "11", "name": "general", "kind": "text"},
+				map[string]any{"id": "12", "name": "lounge", "kind": "voice"},
+			},
+		},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	name, members, channels, err := sess.GuildInfo("9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "testguild" || members != 7 || len(channels) != 2 {
+		t.Fatalf("GuildInfo = %q, %d, %v", name, members, channels)
+	}
+	if channels[1].Kind != "voice" || channels[1].ID != "12" {
+		t.Errorf("channel decode = %+v", channels[1])
+	}
+	args := ms.lastArgs(t, gateway.MethodGuildInfo)
+	if args["guild_id"] != "9" {
+		t.Errorf("args = %v", args)
+	}
+}
+
+func TestModerationMethodsSendRightArgs(t *testing.T) {
+	ms, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodBan:          {},
+		gateway.MethodEditNickname: {},
+		gateway.MethodKick:         {},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Ban("9", "42"); err != nil {
+		t.Fatal(err)
+	}
+	args := ms.lastArgs(t, gateway.MethodBan)
+	if args["guild_id"] != "9" || args["user_id"] != "42" {
+		t.Errorf("ban args = %v", args)
+	}
+	if err := sess.EditNickname("9", "42", "newnick"); err != nil {
+		t.Fatal(err)
+	}
+	args = ms.lastArgs(t, gateway.MethodEditNickname)
+	if args["nick"] != "newnick" {
+		t.Errorf("nick args = %v", args)
+	}
+	if err := sess.BanVia("77", "9", "42"); err != nil {
+		t.Fatal(err)
+	}
+	args = ms.lastArgs(t, gateway.MethodBan)
+	if args["interaction_id"] != "77" {
+		t.Errorf("BanVia args = %v", args)
+	}
+}
+
+func TestFetchAttachmentDecodesData(t *testing.T) {
+	payload := []byte("document-bytes")
+	_, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodGetAttachment: {
+			"filename": "x.pdf", "content_type": "application/pdf",
+			"data": base64.StdEncoding.EncodeToString(payload),
+		},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	att, err := sess.FetchAttachment("1", "2", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Filename != "x.pdf" || string(att.Data) != string(payload) || att.Size != len(payload) {
+		t.Errorf("attachment = %+v", att)
+	}
+	// Corrupt base64 surfaces as an error.
+	_, addr2 := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodGetAttachment: {"filename": "x", "data": "!!!not-base64!!!"},
+	})
+	sess2, _ := Dial(addr2, "tok", Options{RequestTimeout: time.Second})
+	defer sess2.Close()
+	if _, err := sess2.FetchAttachment("1", "2", "3"); err == nil {
+		t.Error("corrupt attachment data accepted")
+	}
+}
+
+func TestPermissionMethodsDecode(t *testing.T) {
+	want := permissions.SendMessages | permissions.KickMembers
+	_, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodPermissions:       {"value": want.Value(), "names": "kick members,send messages"},
+		gateway.MethodMemberPermissions: {"value": permissions.Administrator.Value()},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	mine, err := sess.MyPermissions("9")
+	if err != nil || mine != want {
+		t.Errorf("MyPermissions = %s, %v", mine, err)
+	}
+	ok, err := sess.HasPermission("9", "42", permissions.BanMembers)
+	if err != nil || !ok {
+		t.Errorf("HasPermission via admin = %v, %v", ok, err)
+	}
+}
+
+func TestVoiceStatesDecode(t *testing.T) {
+	_, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodVoiceStates: {
+			"states": []any{
+				map[string]any{"user_id": "4", "channel_id": "12", "muted": true, "deafened": false},
+			},
+		},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	states, err := sess.VoiceStates("9")
+	if err != nil || len(states) != 1 {
+		t.Fatalf("VoiceStates = %v, %v", states, err)
+	}
+	if states[0].UserID != "4" || !states[0].Muted || states[0].Deafened {
+		t.Errorf("state = %+v", states[0])
+	}
+}
+
+func TestRespondAndWebhookDecode(t *testing.T) {
+	ms, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodRespondInteraction: {"message_id": "m7"},
+		gateway.MethodCreateWebhook:      {"webhook_id": "w1", "token": "sekrit"},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	id, err := sess.Respond("9", "55", "done")
+	if err != nil || id != "m7" {
+		t.Errorf("Respond = %q, %v", id, err)
+	}
+	args := ms.lastArgs(t, gateway.MethodRespondInteraction)
+	if args["interaction_id"] != "55" || args["content"] != "done" {
+		t.Errorf("respond args = %v", args)
+	}
+	whID, token, err := sess.CreateWebhook("11", "feed")
+	if err != nil || whID != "w1" || token != "sekrit" {
+		t.Errorf("CreateWebhook = %q, %q, %v", whID, token, err)
+	}
+}
+
+func TestHistoryDecodesAttachmentsAndAuthors(t *testing.T) {
+	_, addr := startMethodServer(t, map[string]map[string]any{
+		gateway.MethodHistory: {
+			"messages": []any{
+				map[string]any{
+					"id": "1", "channel_id": "11", "guild_id": "9",
+					"author_id": "4", "author_bot": true, "content": "hi",
+					"attachments": []any{
+						map[string]any{"id": "a1", "filename": "f.docx", "content_type": "application/msword", "size": float64(12)},
+					},
+				},
+			},
+		},
+	})
+	sess, err := Dial(addr, "tok", Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	msgs, err := sess.History("11", 5)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("History = %v, %v", msgs, err)
+	}
+	m := msgs[0]
+	if !m.AuthorBot || m.Content != "hi" || len(m.Attachments) != 1 || m.Attachments[0].Size != 12 {
+		t.Errorf("message = %+v", m)
+	}
+}

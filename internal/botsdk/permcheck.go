@@ -1,0 +1,66 @@
+package botsdk
+
+import (
+	"encoding/base64"
+
+	"repro/internal/gateway"
+	"repro/internal/permissions"
+)
+
+func decodeB64(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+// MemberPermissions fetches the effective guild permissions of an
+// arbitrary member — the SDK's analogue of discord.js's
+// `member.permissions` / discord.py's `ctx.author.guild_permissions`.
+func (s *Session) MemberPermissions(guildID, userID string) (permissions.Permission, error) {
+	res, err := s.request(gateway.MethodMemberPermissions, map[string]any{
+		"guild_id": guildID, "user_id": userID,
+	})
+	if err != nil {
+		return permissions.None, err
+	}
+	raw, _ := res["value"].(string)
+	return permissions.ParseValue(raw)
+}
+
+// VoiceState is a member's voice-channel presence as seen by a bot.
+type VoiceState struct {
+	UserID    string
+	ChannelID string
+	Muted     bool
+	Deafened  bool
+}
+
+// VoiceStates fetches the guild's voice metadata — the data class a
+// view-channel grant exposes to every installed bot.
+func (s *Session) VoiceStates(guildID string) ([]VoiceState, error) {
+	res, err := s.request(gateway.MethodVoiceStates, map[string]any{"guild_id": guildID})
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := res["states"].([]any)
+	out := make([]VoiceState, 0, len(raw))
+	for _, item := range raw {
+		m, _ := item.(map[string]any)
+		var st VoiceState
+		st.UserID, _ = m["user_id"].(string)
+		st.ChannelID, _ = m["channel_id"].(string)
+		st.Muted, _ = m["muted"].(bool)
+		st.Deafened, _ = m["deafened"].(bool)
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// HasPermission reports whether a member holds a permission in a guild.
+// This is the check the paper's code analysis looks for (Table 3:
+// `.hasPermission(`, `.has(`, `member.roles.cache`, `userPermissions`):
+// a conscientious command handler calls it on the INVOKING user before
+// acting; bots that skip it enable permission re-delegation.
+func (s *Session) HasPermission(guildID, userID string, need permissions.Permission) (bool, error) {
+	perms, err := s.MemberPermissions(guildID, userID)
+	if err != nil {
+		return false, err
+	}
+	return perms.Effective().Has(need), nil
+}

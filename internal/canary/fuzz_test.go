@@ -1,0 +1,29 @@
+package canary
+
+import "testing"
+
+// FuzzDocumentParsers asserts the artifact parsers are total on
+// arbitrary bytes — they process attacker-adjacent input (documents
+// posted in channels), so they must never panic.
+func FuzzDocumentParsers(f *testing.F) {
+	m := NewMinter("http://127.0.0.1:1", "c.test", SequentialIDs("fz"))
+	word, _ := WordDocument(m.Mint(KindWord, "g"), "seed body")
+	pdf, _ := PDFDocument(m.Mint(KindPDF, "g"), "seed body")
+	f.Add(word)
+	f.Add(pdf)
+	f.Add([]byte("not a container at all"))
+	f.Add([]byte("PK\x03\x04 truncated zip"))
+	f.Add([]byte("%PDF-1.4 truncated"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Both parsers must return cleanly (error or refs), never panic.
+		refs, _ := ExternalRefsFromWord(data)
+		for _, r := range refs {
+			if r == "" {
+				t.Error("empty external ref extracted")
+			}
+		}
+		URIsFromPDF(data)
+		ExtractURLs(string(data))
+		ExtractEmails(string(data))
+	})
+}

@@ -1,0 +1,185 @@
+package canary
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trigger records one phone-home against a minted token.
+type Trigger struct {
+	TokenID   string
+	Kind      Kind
+	GuildTag  string
+	At        time.Time
+	RemoteIP  string
+	UserAgent string
+	Via       string // "http" for URL/doc fetches, "smtp" for mail
+}
+
+// Service is the trigger collector: an HTTP server whose /t/<id>
+// endpoints register URL/document triggers and whose /email/<id>
+// endpoint stands in for the canary mail path. It also acts as the
+// token registry mapping IDs back to guild identifiers.
+type Service struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu       sync.Mutex
+	registry map[string]Token
+	triggers []Trigger
+	waiters  []chan Trigger
+
+	now func() time.Time
+}
+
+// NewService starts a trigger service on addr ("127.0.0.1:0" for an
+// ephemeral port). now may be nil for the wall clock.
+func NewService(addr string, now func() time.Time) (*Service, error) {
+	if now == nil {
+		now = time.Now
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("canary: listen: %w", err)
+	}
+	s := &Service{ln: ln, registry: make(map[string]Token), now: now}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/t/", s.handleHTTP)
+	mux.HandleFunc("/email/", s.handleEmail)
+	mux.HandleFunc("/smtp", s.handleSMTP)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// BaseURL returns the root URL tokens should be minted against.
+func (s *Service) BaseURL() string { return "http://" + s.ln.Addr().String() }
+
+// Close shuts the service down.
+func (s *Service) Close() error { return s.srv.Close() }
+
+// Register makes the service aware of a minted token so triggers can be
+// attributed to its guild.
+func (s *Service) Register(t Token) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registry[t.ID] = t
+}
+
+// NewMinter returns a minter bound to this service that auto-registers
+// every minted token, so triggers are attributable immediately.
+func (s *Service) NewMinter(emailDomain string, ids IDSource) *Minter {
+	m := NewMinter(s.BaseURL(), emailDomain, ids)
+	m.onMint = s.Register
+	return m
+}
+
+func (s *Service) handleHTTP(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/t/")
+	s.record(id, "http", r)
+	// Canary endpoints answer innocuously.
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "ok")
+}
+
+func (s *Service) handleEmail(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/email/")
+	s.record(id, "smtp", r)
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "accepted")
+}
+
+// handleSMTP is the mail-submission stand-in: senders who harvested a
+// canary address from chat "send mail" by posting to=<address>. The
+// local part of the address is the token ID.
+func (s *Service) handleSMTP(w http.ResponseWriter, r *http.Request) {
+	to := r.FormValue("to")
+	at := strings.IndexByte(to, '@')
+	if at <= 0 {
+		http.Error(w, "bad recipient", http.StatusBadRequest)
+		return
+	}
+	s.record(to[:at], "smtp", r)
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, "queued")
+}
+
+func (s *Service) record(id, via string, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok, known := s.registry[id]
+	if !known {
+		return // unknown IDs are noise, not triggers
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	trg := Trigger{
+		TokenID: id, Kind: tok.Kind, GuildTag: tok.GuildTag,
+		At: s.now(), RemoteIP: host, UserAgent: r.UserAgent(), Via: via,
+	}
+	s.triggers = append(s.triggers, trg)
+	for _, ch := range s.waiters {
+		select {
+		case ch <- trg:
+		default:
+		}
+	}
+}
+
+// Triggers returns a copy of all recorded triggers, in arrival order.
+func (s *Service) Triggers() []Trigger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Trigger, len(s.triggers))
+	copy(out, s.triggers)
+	return out
+}
+
+// TriggersFor returns the triggers attributed to one guild identifier.
+func (s *Service) TriggersFor(guildTag string) []Trigger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Trigger
+	for _, t := range s.triggers {
+		if t.GuildTag == guildTag {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Watch returns a channel receiving future triggers (buffered; drops if
+// the consumer lags far behind).
+func (s *Service) Watch() <-chan Trigger {
+	ch := make(chan Trigger, 64)
+	s.mu.Lock()
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// SendMail models sending a message to an address via the given mail
+// relay (in the simulation, the canary service doubles as the relay the
+// way a real canary domain's MX resolves to the collector). A bot that
+// harvested an address from chat and mails it trips the token.
+func SendMail(client *http.Client, relayURL, to, subject string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.PostForm(strings.TrimRight(relayURL, "/")+"/smtp",
+		map[string][]string{"to": {to}, "subject": {subject}})
+	if err != nil {
+		return fmt.Errorf("canary: send mail: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("canary: relay rejected mail: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package codehost simulates the code-hosting side of the paper's code
+// analysis: repositories with files, per-repository language statistics
+// (computed linguist-style from file extensions and sizes), user
+// profile pages, and the link failure modes §4.2 catalogues — links
+// that lead to profiles instead of repositories, profiles without
+// public repositories, repositories holding no source code (README or
+// licence only), and dead links.
+package codehost
+
+import (
+	"path"
+	"sort"
+	"strings"
+)
+
+// File is one file in a repository.
+type File struct {
+	Path    string
+	Content string
+}
+
+// Repo is a hosted repository.
+type Repo struct {
+	Owner string
+	Name  string
+	Files []File
+}
+
+// FullName returns "owner/name".
+func (r *Repo) FullName() string { return r.Owner + "/" + r.Name }
+
+// languageByExt maps file extensions to display languages, linguist
+// style. Files outside the map (and documentation/licence files) do not
+// count as source code.
+var languageByExt = map[string]string{
+	".js":   "JavaScript",
+	".mjs":  "JavaScript",
+	".py":   "Python",
+	".go":   "Go",
+	".rb":   "Ruby",
+	".java": "Java",
+	".ts":   "TypeScript",
+	".rs":   "Rust",
+	".c":    "C",
+	".cpp":  "C++",
+	".cs":   "C#",
+	".php":  "PHP",
+}
+
+// LangStat is one language's share of a repository.
+type LangStat struct {
+	Language string
+	Bytes    int
+	Pct      float64
+}
+
+// Languages computes linguist-style statistics: bytes of source per
+// language, descending. Repositories with no recognizable source return
+// nil — the paper's "valid repositories that do not contain any source
+// code".
+func (r *Repo) Languages() []LangStat {
+	bytes := make(map[string]int)
+	total := 0
+	for _, f := range r.Files {
+		lang, ok := languageByExt[strings.ToLower(path.Ext(f.Path))]
+		if !ok {
+			continue
+		}
+		bytes[lang] += len(f.Content)
+		total += len(f.Content)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]LangStat, 0, len(bytes))
+	for lang, n := range bytes {
+		out = append(out, LangStat{Language: lang, Bytes: n, Pct: 100 * float64(n) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Language < out[j].Language
+	})
+	return out
+}
+
+// MainLanguage returns the top language, or "" when the repository has
+// no source code.
+func (r *Repo) MainLanguage() string {
+	langs := r.Languages()
+	if len(langs) == 0 {
+		return ""
+	}
+	return langs[0].Language
+}
+
+// SourceFiles returns the files recognized as source code in a given
+// language ("" for any language).
+func (r *Repo) SourceFiles(language string) []File {
+	var out []File
+	for _, f := range r.Files {
+		lang, ok := languageByExt[strings.ToLower(path.Ext(f.Path))]
+		if !ok {
+			continue
+		}
+		if language == "" || lang == language {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Host is the collection of repositories and profiles.
+type Host struct {
+	repos    map[string]*Repo    // "owner/name"
+	profiles map[string][]string // owner -> repo names (public)
+}
+
+// NewHost creates an empty host.
+func NewHost() *Host {
+	return &Host{repos: make(map[string]*Repo), profiles: make(map[string][]string)}
+}
+
+// AddRepo registers a repository and lists it on its owner's profile.
+func (h *Host) AddRepo(r *Repo) {
+	h.repos[r.FullName()] = r
+	h.profiles[r.Owner] = append(h.profiles[r.Owner], r.Name)
+}
+
+// AddProfile registers a user with no public repositories.
+func (h *Host) AddProfile(owner string) {
+	if _, ok := h.profiles[owner]; !ok {
+		h.profiles[owner] = nil
+	}
+}
+
+// Repo looks a repository up by "owner/name".
+func (h *Host) Repo(fullName string) (*Repo, bool) {
+	r, ok := h.repos[fullName]
+	return r, ok
+}
+
+// Profile returns a user's public repository names and whether the user
+// exists.
+func (h *Host) Profile(owner string) ([]string, bool) {
+	names, ok := h.profiles[owner]
+	return names, ok
+}
+
+// Len returns the number of hosted repositories.
+func (h *Host) Len() int { return len(h.repos) }

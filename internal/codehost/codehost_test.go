@@ -1,0 +1,206 @@
+package codehost
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func sampleRepo() *Repo {
+	return &Repo{
+		Owner: "alice",
+		Name:  "mixed",
+		Files: []File{
+			{Path: "README.md", Content: "# mixed"},
+			{Path: "index.js", Content: strings.Repeat("x", 300)},
+			{Path: "util.js", Content: strings.Repeat("y", 100)},
+			{Path: "helper.py", Content: strings.Repeat("z", 100)},
+		},
+	}
+}
+
+func TestLanguagesLinguistStyle(t *testing.T) {
+	r := sampleRepo()
+	langs := r.Languages()
+	if len(langs) != 2 {
+		t.Fatalf("languages = %v", langs)
+	}
+	if langs[0].Language != "JavaScript" || langs[0].Bytes != 400 {
+		t.Errorf("top language = %+v", langs[0])
+	}
+	if langs[1].Language != "Python" || langs[1].Bytes != 100 {
+		t.Errorf("second language = %+v", langs[1])
+	}
+	if pct := langs[0].Pct; pct < 79.9 || pct > 80.1 {
+		t.Errorf("JS pct = %f", pct)
+	}
+	if r.MainLanguage() != "JavaScript" {
+		t.Errorf("main language = %q", r.MainLanguage())
+	}
+}
+
+func TestLanguagesEmptyForDocsOnly(t *testing.T) {
+	r := &Repo{Owner: "a", Name: "docs", Files: []File{
+		{Path: "README.md", Content: "# docs"},
+		{Path: "LICENSE", Content: "MIT"},
+	}}
+	if got := r.Languages(); got != nil {
+		t.Errorf("docs-only languages = %v", got)
+	}
+	if r.MainLanguage() != "" {
+		t.Errorf("docs-only main language = %q", r.MainLanguage())
+	}
+}
+
+func TestLanguageTieBreak(t *testing.T) {
+	r := &Repo{Owner: "a", Name: "tie", Files: []File{
+		{Path: "a.js", Content: "12345"},
+		{Path: "b.py", Content: "12345"},
+	}}
+	// Equal bytes: alphabetical order decides, deterministically.
+	if r.MainLanguage() != "JavaScript" {
+		t.Errorf("tie-break main = %q", r.MainLanguage())
+	}
+}
+
+func TestSourceFilesFilter(t *testing.T) {
+	r := sampleRepo()
+	if got := len(r.SourceFiles("")); got != 3 {
+		t.Errorf("all source files = %d", got)
+	}
+	if got := len(r.SourceFiles("JavaScript")); got != 2 {
+		t.Errorf("js files = %d", got)
+	}
+	if got := len(r.SourceFiles("Rust")); got != 0 {
+		t.Errorf("rust files = %d", got)
+	}
+}
+
+func TestHostRegistry(t *testing.T) {
+	h := NewHost()
+	h.AddRepo(sampleRepo())
+	h.AddProfile("ghost")
+	if h.Len() != 1 {
+		t.Errorf("len = %d", h.Len())
+	}
+	if _, ok := h.Repo("alice/mixed"); !ok {
+		t.Error("repo lookup miss")
+	}
+	if _, ok := h.Repo("alice/none"); ok {
+		t.Error("ghost repo hit")
+	}
+	names, ok := h.Profile("alice")
+	if !ok || len(names) != 1 || names[0] != "mixed" {
+		t.Errorf("profile = %v, %v", names, ok)
+	}
+	names, ok = h.Profile("ghost")
+	if !ok || len(names) != 0 {
+		t.Errorf("empty profile = %v, %v", names, ok)
+	}
+	if _, ok := h.Profile("nobody"); ok {
+		t.Error("unknown profile hit")
+	}
+	// AddProfile must not clobber an existing repo list.
+	h.AddProfile("alice")
+	if names, _ := h.Profile("alice"); len(names) != 1 {
+		t.Error("AddProfile clobbered repo list")
+	}
+}
+
+func serverFixture(t *testing.T) string {
+	t.Helper()
+	h := NewHost()
+	h.AddRepo(sampleRepo())
+	h.AddProfile("ghost")
+	srv, err := NewServer(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.BaseURL()
+}
+
+func fetch(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestServerRepoPage(t *testing.T) {
+	base := serverFixture(t)
+	code, body := fetch(t, base+"/alice/mixed")
+	if code != 200 {
+		t.Fatalf("repo page status = %d", code)
+	}
+	for _, want := range []string{`id="repo"`, `id="code-section"`, `id="lang-bar"`, `data-lang="JavaScript"`, "index.js"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("repo page missing %q", want)
+		}
+	}
+	code, _ = fetch(t, base+"/alice/none")
+	if code != 404 {
+		t.Errorf("ghost repo status = %d", code)
+	}
+}
+
+func TestServerProfilePages(t *testing.T) {
+	base := serverFixture(t)
+	code, body := fetch(t, base+"/alice")
+	if code != 200 || !strings.Contains(body, `class="repo"`) {
+		t.Errorf("profile page: %d", code)
+	}
+	code, body = fetch(t, base+"/ghost")
+	if code != 200 || strings.Contains(body, `class="repo"`) {
+		t.Errorf("empty profile should list no repos: %d", code)
+	}
+	code, _ = fetch(t, base+"/nobody")
+	if code != 404 {
+		t.Errorf("unknown profile status = %d", code)
+	}
+	code, _ = fetch(t, base+"/")
+	if code != 404 {
+		t.Errorf("root status = %d", code)
+	}
+}
+
+func TestServerRawFiles(t *testing.T) {
+	base := serverFixture(t)
+	code, body := fetch(t, base+"/alice/mixed/raw/index.js")
+	if code != 200 || len(body) != 300 {
+		t.Errorf("raw file: %d, %d bytes", code, len(body))
+	}
+	code, _ = fetch(t, base+"/alice/mixed/raw/missing.js")
+	if code != 404 {
+		t.Errorf("missing raw status = %d", code)
+	}
+	code, _ = fetch(t, base+"/alice/none/raw/x.js")
+	if code != 404 {
+		t.Errorf("raw in ghost repo status = %d", code)
+	}
+}
+
+func TestDocsOnlyRepoHasNoLangBar(t *testing.T) {
+	h := NewHost()
+	h.AddRepo(&Repo{Owner: "d", Name: "docs", Files: []File{{Path: "README.md", Content: "#"}}})
+	srv, err := NewServer(h, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := fetch(t, srv.BaseURL()+"/d/docs")
+	if code != 200 {
+		t.Fatal(code)
+	}
+	if strings.Contains(body, "lang-bar") {
+		t.Error("docs-only repo rendered a language bar")
+	}
+	if !strings.Contains(body, "code-section") {
+		t.Error("repo with files should render the code section")
+	}
+}

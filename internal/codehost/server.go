@@ -1,0 +1,119 @@
+package codehost
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/htmlparse"
+)
+
+// Server exposes a Host over HTTP with GitHub-shaped URLs:
+//
+//	GET /{owner}            — profile page listing public repos
+//	GET /{owner}/{repo}     — repository page with code section + language bar
+//	GET /{owner}/{repo}/raw/{path...} — raw file contents
+type Server struct {
+	host *Host
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer starts a code-host frontend on addr.
+func NewServer(h *Host, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("codehost: listen: %w", err)
+	}
+	s := &Server{host: h, ln: ln}
+	s.srv = &http.Server{Handler: http.HandlerFunc(s.route)}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// BaseURL returns the host root.
+func (s *Server) BaseURL() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	switch {
+	case len(parts) == 1 && parts[0] != "":
+		s.profile(w, r, parts[0])
+	case len(parts) == 2:
+		s.repoPage(w, r, parts[0]+"/"+parts[1])
+	case len(parts) >= 4 && parts[2] == "raw":
+		s.rawFile(w, r, parts[0]+"/"+parts[1], strings.Join(parts[3:], "/"))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) profile(w http.ResponseWriter, r *http.Request, owner string) {
+	names, ok := s.host.Profile(owner)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, `<html><body><div id="profile" data-owner="%s"><h1>%s</h1><ul class="repo-list">`,
+		htmlparse.EscapeAttr(owner), htmlparse.EscapeText(owner))
+	for _, n := range names {
+		fmt.Fprintf(&b, `<li class="repo"><a href="/%s/%s">%s</a></li>`,
+			htmlparse.EscapeAttr(owner), htmlparse.EscapeAttr(n), htmlparse.EscapeText(n))
+	}
+	b.WriteString(`</ul></div></body></html>`)
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) repoPage(w http.ResponseWriter, r *http.Request, fullName string) {
+	repo, ok := s.host.Repo(fullName)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, `<html><body><div id="repo" data-full-name="%s"><h1>%s</h1>`,
+		htmlparse.EscapeAttr(fullName), htmlparse.EscapeText(fullName))
+	// The "code section" the paper's scraper checks for: present only
+	// when the repository actually holds files.
+	if len(repo.Files) > 0 {
+		b.WriteString(`<div id="code-section"><ul class="file-list">`)
+		for _, f := range repo.Files {
+			fmt.Fprintf(&b, `<li class="file"><a href="/%s/raw/%s">%s</a></li>`,
+				htmlparse.EscapeAttr(fullName), htmlparse.EscapeAttr(f.Path), htmlparse.EscapeText(f.Path))
+		}
+		b.WriteString(`</ul></div>`)
+	}
+	if langs := repo.Languages(); len(langs) > 0 {
+		b.WriteString(`<div id="lang-bar">`)
+		for _, l := range langs {
+			fmt.Fprintf(&b, `<span class="lang" data-lang="%s" data-pct="%.1f">%s %.1f%%</span>`,
+				htmlparse.EscapeAttr(l.Language), l.Pct, htmlparse.EscapeText(l.Language), l.Pct)
+		}
+		b.WriteString(`</div>`)
+	}
+	b.WriteString(`</div></body></html>`)
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) rawFile(w http.ResponseWriter, r *http.Request, fullName, path string) {
+	repo, ok := s.host.Repo(fullName)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	for _, f := range repo.Files {
+		if f.Path == path {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, f.Content)
+			return
+		}
+	}
+	http.NotFound(w, r)
+}

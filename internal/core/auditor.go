@@ -1,0 +1,313 @@
+// Package core wires the reproduction together into the paper's
+// Figure 1 pipeline: data collection over the listing site,
+// keyword-based traceability analysis of the collected privacy
+// policies, static code analysis of the linked repositories, and
+// dynamic honeypot analysis of the most-voted bots — all running
+// against in-process but socket-real services.
+//
+// The Auditor owns the full infrastructure (listing server, code host,
+// messaging platform + gateway, canary trigger service) so a single
+// call sequence reproduces the paper end to end:
+//
+//	a, _ := core.NewAuditor(core.Options{Seed: 1, NumBots: 2000})
+//	defer a.Close()
+//	res, _ := a.RunAll()
+//	res.Report(os.Stdout)
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/canary"
+	"repro/internal/codeanalysis"
+	"repro/internal/codehost"
+	"repro/internal/corpus"
+	"repro/internal/gateway"
+	"repro/internal/honeypot"
+	"repro/internal/listing"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/scraper"
+	"repro/internal/synth"
+	"repro/internal/traceability"
+	"repro/internal/vetting"
+)
+
+// Options configures an Auditor.
+type Options struct {
+	// Seed drives every generator; equal seeds give equal ecosystems.
+	Seed int64
+	// NumBots is the listing population (default: the paper's 20,915).
+	NumBots int
+	// Ecosystem overrides generation with a prebuilt population.
+	Ecosystem *synth.Ecosystem
+
+	// AntiScrape configures the listing site's defences; zero value
+	// disables them for fast runs.
+	AntiScrape listing.AntiScrape
+	// ScrapeTimeout bounds each scraper fetch (default 500ms — shorter
+	// than the slow-redirect delay, as the paper's timeouts were).
+	ScrapeTimeout time.Duration
+	// ScrapeWorkers is the crawl parallelism (default 8).
+	ScrapeWorkers int
+	// Solver answers captchas for both the scraper and the honeypot
+	// installer; defaults to a TwoCaptchaSim.
+	Solver scraper.Solver
+
+	// HoneypotSample is how many most-voted bots the dynamic analysis
+	// tests (default: the paper's 500, capped at the population).
+	HoneypotSample int
+	// HoneypotConcurrency bounds simultaneous guild experiments.
+	HoneypotConcurrency int
+	// HoneypotSettle is the per-bot trigger-watch window.
+	HoneypotSettle time.Duration
+}
+
+// Auditor owns the simulated ecosystem and its services.
+type Auditor struct {
+	opts Options
+	eco  *synth.Ecosystem
+
+	listingSrv *listing.Server
+	hostSrv    *codehost.Server
+	plat       *platform.Platform
+	gw         *gateway.Server
+	canarySvc  *canary.Service
+
+	listClient *scraper.Client
+	codeClient *scraper.Client
+}
+
+// Results bundles every stage's output.
+type Results struct {
+	// Stage 1: data collection.
+	Records  []*scraper.Record
+	PermDist []scraper.PermissionShare
+	Scraper  scraper.Stats
+
+	// Stage 2: traceability.
+	Table2 report.Table2Data
+	// DataTypes is the ontology-based refinement: per-data-type
+	// exposure vs. disclosure.
+	DataTypes *traceability.DataTypeResult
+
+	// Stage 3: code analysis.
+	Code     *codeanalysis.Result
+	Analyses []*codeanalysis.RepoAnalysis
+
+	// Stage 4: dynamic analysis.
+	Honeypot *honeypot.CampaignResult
+
+	// Mitigation: listing-time vetting verdicts (§7 recommendation).
+	Vetting        []*vetting.Report
+	VettingSummary vetting.Summary
+
+	// Developer attribution (Table 1).
+	BotsPerDeveloper map[string]int
+}
+
+// NewAuditor generates the ecosystem and starts all services.
+func NewAuditor(opts Options) (*Auditor, error) {
+	if opts.ScrapeTimeout <= 0 {
+		opts.ScrapeTimeout = 500 * time.Millisecond
+	}
+	if opts.ScrapeWorkers <= 0 {
+		opts.ScrapeWorkers = 8
+	}
+	if opts.Solver == nil {
+		opts.Solver = &scraper.TwoCaptchaSim{CostPerSolve: 299}
+	}
+	if opts.HoneypotSample <= 0 {
+		opts.HoneypotSample = 500
+	}
+	if opts.HoneypotConcurrency <= 0 {
+		opts.HoneypotConcurrency = 8
+	}
+	if opts.HoneypotSettle <= 0 {
+		opts.HoneypotSettle = 500 * time.Millisecond
+	}
+
+	eco := opts.Ecosystem
+	if eco == nil {
+		eco = synth.Generate(synth.Config{Seed: opts.Seed, NumBots: opts.NumBots})
+	}
+	a := &Auditor{opts: opts, eco: eco}
+
+	var err error
+	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.AntiScrape, "127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("core: listing server: %w", err)
+	}
+	if a.hostSrv, err = codehost.NewServer(eco.Host, "127.0.0.1:0"); err != nil {
+		a.Close()
+		return nil, fmt.Errorf("core: code host: %w", err)
+	}
+	a.plat = platform.New(platform.Options{})
+	if a.gw, err = gateway.NewServer(a.plat, "127.0.0.1:0"); err != nil {
+		a.Close()
+		return nil, fmt.Errorf("core: gateway: %w", err)
+	}
+	if a.canarySvc, err = canary.NewService("127.0.0.1:0", nil); err != nil {
+		a.Close()
+		return nil, fmt.Errorf("core: canary service: %w", err)
+	}
+	if a.listClient, err = scraper.NewClient(a.listingSrv.BaseURL(), opts.ScrapeTimeout, 0, opts.Solver); err != nil {
+		a.Close()
+		return nil, err
+	}
+	// The code host imposes no defences; give it a generous timeout.
+	if a.codeClient, err = scraper.NewClient(a.hostSrv.BaseURL(), 5*time.Second, 0, opts.Solver); err != nil {
+		a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Ecosystem exposes the generated ground truth (for validation and
+// examples).
+func (a *Auditor) Ecosystem() *synth.Ecosystem { return a.eco }
+
+// CanaryTriggers returns every trigger the canary service recorded.
+func (a *Auditor) CanaryTriggers() []canary.Trigger { return a.canarySvc.Triggers() }
+
+// ListingURL returns the listing site base URL.
+func (a *Auditor) ListingURL() string { return a.listingSrv.BaseURL() }
+
+// Close tears down every service.
+func (a *Auditor) Close() {
+	if a.listingSrv != nil {
+		a.listingSrv.Close()
+	}
+	if a.hostSrv != nil {
+		a.hostSrv.Close()
+	}
+	if a.gw != nil {
+		a.gw.Close()
+	}
+	if a.canarySvc != nil {
+		a.canarySvc.Close()
+	}
+	if a.plat != nil {
+		a.plat.Close()
+	}
+}
+
+// Collect runs stage 1: crawl the listing and decode permissions.
+func (a *Auditor) Collect() ([]*scraper.Record, error) {
+	records, err := scraper.Crawl(a.listClient, scraper.Config{Workers: a.opts.ScrapeWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("core: collect: %w", err)
+	}
+	return records, nil
+}
+
+// Traceability runs stage 2 over collected records.
+func (a *Auditor) Traceability(records []*scraper.Record) report.Table2Data {
+	d, _ := a.traceabilityFull(records)
+	return d
+}
+
+func (a *Auditor) traceabilityFull(records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
+	var d report.Table2Data
+	var an traceability.Analyzer
+	dt := traceability.NewDataTypeResult()
+	for _, r := range records {
+		if r == nil || !r.PermsValid {
+			continue
+		}
+		d.ActiveBots++
+		if r.HasWebsite {
+			d.WebsiteLink++
+		}
+		if r.PolicyLinkFound {
+			d.PolicyLink++
+			if !r.PolicyLinkDead {
+				d.PolicyValid++
+			}
+		}
+		d.Traceability.Add(an.AnalyzePolicy(r.PolicyText, r.Perms))
+		dt.Add(r.PolicyText, r.Perms)
+	}
+	return d, dt
+}
+
+// CodeAnalysis runs stage 3 over collected records.
+func (a *Auditor) CodeAnalysis(records []*scraper.Record) (*codeanalysis.Result, []*codeanalysis.RepoAnalysis, error) {
+	return codeanalysis.Analyze(a.codeClient, records, a.opts.ScrapeWorkers)
+}
+
+// DynamicAnalysis runs stage 4: the honeypot campaign over the
+// most-voted sample.
+func (a *Auditor) DynamicAnalysis() (*honeypot.CampaignResult, error) {
+	env := honeypot.Env{
+		Platform: a.plat,
+		Gateway:  a.gw.Addr(),
+		Canary:   a.canarySvc,
+		Minter:   a.canarySvc.NewMinter("canary.invalid", nil),
+		Feed:     corpus.New(a.opts.Seed ^ 0xfeed),
+	}
+	expCfg := honeypot.DefaultConfig()
+	expCfg.Settle = a.opts.HoneypotSettle
+	expCfg.Solver = a.opts.Solver
+	return honeypot.Campaign(env, a.eco, honeypot.CampaignConfig{
+		SampleSize:  a.opts.HoneypotSample,
+		Concurrency: a.opts.HoneypotConcurrency,
+		Experiment:  expCfg,
+	})
+}
+
+// RunAll executes the full Figure 1 pipeline.
+func (a *Auditor) RunAll() (*Results, error) {
+	res := &Results{}
+	var err error
+	if res.Records, err = a.Collect(); err != nil {
+		return nil, err
+	}
+	res.PermDist = scraper.PermissionDistribution(res.Records)
+	res.Scraper = a.listClient.Stats()
+	res.Table2, res.DataTypes = a.traceabilityFull(res.Records)
+	if res.Code, res.Analyses, err = a.CodeAnalysis(res.Records); err != nil {
+		return nil, err
+	}
+	if res.Honeypot, err = a.DynamicAnalysis(); err != nil {
+		return nil, err
+	}
+	res.Vetting, res.VettingSummary = vetting.VetAll(res.Records)
+	res.BotsPerDeveloper = make(map[string]int)
+	for dev, ids := range a.eco.Developers {
+		res.BotsPerDeveloper[dev] = len(ids)
+	}
+	return res, nil
+}
+
+// Report renders every table and figure to w.
+func (r *Results) Report(w io.Writer) {
+	report.ScrapeYield(w, r.Records)
+	fmt.Fprintln(w)
+	report.Figure3(w, r.PermDist)
+	fmt.Fprintln(w)
+	report.Table1(w, r.BotsPerDeveloper)
+	fmt.Fprintln(w)
+	report.Table2(w, r.Table2)
+	fmt.Fprintln(w)
+	if r.DataTypes != nil {
+		report.DataTypes(w, r.DataTypes)
+		fmt.Fprintln(w)
+	}
+	if r.Code != nil {
+		report.CodeTaxonomy(w, r.Code)
+		fmt.Fprintln(w)
+		report.Table3(w, r.Code)
+		fmt.Fprintln(w)
+	}
+	if r.Honeypot != nil {
+		report.Honeypot(w, r.Honeypot)
+	}
+	if r.VettingSummary.Total > 0 {
+		fmt.Fprintln(w)
+		report.Vetting(w, r.VettingSummary)
+	}
+	fmt.Fprintf(w, "\nScraper stats: %d requests, %d throttled, %d captchas solved, %d timeouts, %d retries\n",
+		r.Scraper.Requests, r.Scraper.Throttled, r.Scraper.CaptchasSolved, r.Scraper.Timeouts, r.Scraper.Retries)
+}

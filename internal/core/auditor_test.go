@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/listing"
+	"repro/internal/permissions"
+	"repro/internal/vetting"
+)
+
+// newSmallAuditor builds a fast, fully-featured auditor over a small
+// population.
+func newSmallAuditor(t *testing.T, n int) *Auditor {
+	t.Helper()
+	a, err := NewAuditor(Options{
+		Seed:                11,
+		NumBots:             n,
+		HoneypotSample:      20,
+		HoneypotConcurrency: 8,
+		HoneypotSettle:      400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	return a
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	a := newSmallAuditor(t, 150)
+	res, err := a.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 150 {
+		t.Fatalf("collected %d records", len(res.Records))
+	}
+	// Stage outputs are populated and mutually consistent.
+	if len(res.PermDist) == 0 {
+		t.Error("no permission distribution")
+	}
+	if res.Table2.ActiveBots == 0 || res.Table2.ActiveBots > 150 {
+		t.Errorf("active bots = %d", res.Table2.ActiveBots)
+	}
+	if res.Table2.Traceability.Total != res.Table2.ActiveBots {
+		t.Errorf("traceability total %d != active %d", res.Table2.Traceability.Total, res.Table2.ActiveBots)
+	}
+	if res.Table2.Traceability.Complete != 0 {
+		t.Errorf("complete policies = %d, paper found none", res.Table2.Traceability.Complete)
+	}
+	if res.Code == nil || res.Code.ActiveBots != res.Table2.ActiveBots {
+		t.Errorf("code analysis active = %v", res.Code)
+	}
+	if res.Honeypot == nil || res.Honeypot.Tested != 20 {
+		t.Fatalf("honeypot tested = %+v", res.Honeypot)
+	}
+	// The single planted malicious bot is caught, and only it.
+	if len(res.Honeypot.Triggered) != 1 || res.Honeypot.Triggered[0].Subject.Name != "Melonian" {
+		t.Errorf("triggered = %+v", res.Honeypot.Triggered)
+	}
+	if len(res.BotsPerDeveloper) == 0 {
+		t.Error("developer attribution missing")
+	}
+	// Extensions: data-type audit and vetting run as part of RunAll.
+	if res.DataTypes == nil || res.DataTypes.Bots != res.Table2.ActiveBots {
+		t.Errorf("data-type audit = %+v", res.DataTypes)
+	}
+	if res.VettingSummary.Total != len(res.Records) {
+		t.Errorf("vetting covered %d of %d bots", res.VettingSummary.Total, len(res.Records))
+	}
+	if res.VettingSummary.Rejected == 0 {
+		t.Error("a 55%-admin ecosystem should see vetting rejections")
+	}
+}
+
+func TestReportRendersAllSections(t *testing.T) {
+	a := newSmallAuditor(t, 120)
+	res, err := a.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Report(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Scrape yield:",
+		"Figure 3:",
+		"Table 1:",
+		"Table 2:",
+		"Table 3:",
+		"GitHub link taxonomy",
+		"Honeypot campaign:",
+		"Melonian",
+		"Data-type audit",
+		"Vetting (listing-time mitigation)",
+		"send messages",
+		"administrator",
+		"Scraper stats:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestStagesRunIndividually(t *testing.T) {
+	a := newSmallAuditor(t, 80)
+	records, err := a.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := a.Traceability(records)
+	if d.ActiveBots == 0 {
+		t.Error("traceability saw no active bots")
+	}
+	code, analyses, err := a.CodeAnalysis(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code.WithLink != len(analyses) {
+		t.Errorf("analyses %d != links %d", len(analyses), code.WithLink)
+	}
+}
+
+func TestAuditorWithDefences(t *testing.T) {
+	a, err := NewAuditor(Options{
+		Seed:    13,
+		NumBots: 60,
+		AntiScrape: listing.AntiScrape{
+			CaptchaEvery:      25,
+			FlakyEvery:        3,
+			RequestsPerSecond: 400,
+			Burst:             40,
+		},
+		HoneypotSample: 5,
+		HoneypotSettle: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	records, err := a.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := a.listClient.Stats()
+	if stats.CaptchasSolved == 0 {
+		t.Error("no captchas solved despite CaptchaEvery")
+	}
+	// Yield must survive the defences: every InviteOK bot valid.
+	okTruth := 0
+	for _, b := range a.Ecosystem().Bots {
+		if b.InviteHealth == listing.InviteOK {
+			okTruth++
+		}
+	}
+	got := 0
+	for _, r := range records {
+		if r.PermsValid {
+			got++
+		}
+	}
+	if got != okTruth {
+		t.Errorf("valid records %d != ground truth %d", got, okTruth)
+	}
+}
+
+func TestVettingRejectsTheHoneypotConfirmedBot(t *testing.T) {
+	// Cross-validation of the mitigation: the one bot the DYNAMIC
+	// analysis catches red-handed (Melonian) is also rejected by the
+	// STATIC listing-time vetting rules — malicious bots don't publish
+	// policies or source (§5), which the rules punish.
+	a := newSmallAuditor(t, 150)
+	res, err := a.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var melonian *vetting.Report
+	for _, rep := range res.Vetting {
+		if rep.Name == "Melonian" {
+			melonian = rep
+		}
+	}
+	if melonian == nil {
+		t.Fatal("Melonian not vetted")
+	}
+	if melonian.Verdict != vetting.Reject {
+		t.Errorf("Melonian verdict = %s, findings = %+v", melonian.Verdict, melonian.Findings)
+	}
+}
+
+func TestScrapedPermsMatchGroundTruth(t *testing.T) {
+	a := newSmallAuditor(t, 100)
+	records, err := a.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[int]permissions.Permission)
+	for _, b := range a.Ecosystem().Bots {
+		if b.InviteHealth == listing.InviteOK {
+			truth[b.ID] = b.Perms
+		}
+	}
+	for _, r := range records {
+		if !r.PermsValid {
+			continue
+		}
+		if want, ok := truth[r.ID]; !ok || want != r.Perms {
+			t.Fatalf("bot %d perms = %s, truth %s (ok=%v)", r.ID, r.Perms, want, ok)
+		}
+	}
+}

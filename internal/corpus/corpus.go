@@ -1,0 +1,252 @@
+// Package corpus generates short, informal, OSN-style conversation the
+// honeypot uses to make its guilds look active. The paper's §3 notes
+// that instant-messaging style is "shorter and less formal than email",
+// so it seeded honeypot channels from public social-network posts
+// instead of the Enron corpus; this package is the offline equivalent: a
+// seeded generator over Reddit-flavoured templates and word banks that
+// produces an endless, deterministic message feed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Persona is a synthetic account used to post feed messages.
+type Persona struct {
+	Username string
+	Style    Style
+}
+
+// Style biases a persona's template pool.
+type Style int
+
+// Persona styles.
+const (
+	StyleCasual Style = iota
+	StyleGamer
+	StyleTechie
+	StyleLurker
+)
+
+var styleNames = map[Style]string{
+	StyleCasual: "casual", StyleGamer: "gamer",
+	StyleTechie: "techie", StyleLurker: "lurker",
+}
+
+// String names the style.
+func (s Style) String() string { return styleNames[s] }
+
+var (
+	adjectives = []string{
+		"wild", "cursed", "based", "broken", "shiny", "ancient", "spicy",
+		"sus", "epic", "mid", "legendary", "fresh", "haunted", "golden",
+	}
+	nouns = []string{
+		"keyboard", "raid", "patch", "meme", "playlist", "stream",
+		"build", "recipe", "deadline", "server", "update", "skin",
+		"queue", "lobby", "ticket", "sticker",
+	}
+	games = []string{
+		"the new season", "ranked", "the expansion", "co-op", "the beta",
+		"speedruns", "the tournament", "that indie game",
+	}
+	techThings = []string{
+		"the CI pipeline", "my dotfiles", "the merge conflict",
+		"that regex", "the standup", "prod", "the docker build",
+		"my mechanical keyboard",
+	}
+	reactions = []string{
+		"lol", "lmao", "no way", "fr fr", "honestly same", "big mood",
+		"rip", "oof", "W", "L take", "can't even", "say less",
+	}
+	greetings = []string{
+		"yo", "hey all", "morning", "sup", "o/", "back again",
+		"anyone around?", "hi chat",
+	}
+	nameParts1 = []string{
+		"pixel", "noodle", "turbo", "mellow", "crypto", "salty", "fuzzy",
+		"hyper", "sleepy", "quantum", "disco", "mocha", "static", "velvet",
+	}
+	nameParts2 = []string{
+		"panda", "wizard", "goblin", "falcon", "otter", "bandit", "nova",
+		"biscuit", "raven", "moth", "yeti", "pickle", "comet", "badger",
+	}
+)
+
+// Generator produces deterministic feed messages. It is safe for
+// concurrent use; note that concurrent callers interleave draws from
+// one stream, so per-caller determinism requires per-caller generators
+// (see Derive).
+type Generator struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New creates a generator with the given seed; equal seeds yield equal
+// output streams.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Derive mints an independent generator whose stream depends only on
+// the receiver's identity-independent salt — the way concurrent
+// experiments get deterministic, non-interleaved feeds.
+func Derive(baseSeed, salt int64) *Generator {
+	const mix = int64(0x5851F42D4C957F2D) // LCG multiplier, odd
+	return New(baseSeed ^ (salt * mix))
+}
+
+// Persona mints a synthetic account with a plausible OSN username.
+func (g *Generator) Persona() Persona {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.persona()
+}
+
+func (g *Generator) persona() Persona {
+	style := Style(g.rng.Intn(4))
+	name := nameParts1[g.rng.Intn(len(nameParts1))] +
+		nameParts2[g.rng.Intn(len(nameParts2))]
+	if g.rng.Intn(2) == 0 {
+		name = fmt.Sprintf("%s%d", name, g.rng.Intn(100))
+	}
+	return Persona{Username: name, Style: style}
+}
+
+// Personas mints n distinct personas. Username collisions are resolved
+// by numeric suffixing so the result is always n unique accounts.
+func (g *Generator) Personas(n int) []Persona {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := make(map[string]bool, n)
+	out := make([]Persona, 0, n)
+	for len(out) < n {
+		p := g.persona()
+		for seen[p.Username] {
+			p.Username = fmt.Sprintf("%s_%d", p.Username, g.rng.Intn(1000))
+		}
+		seen[p.Username] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+func (g *Generator) pick(xs []string) string { return xs[g.rng.Intn(len(xs))] }
+
+// Message produces one short message in the persona's register.
+func (g *Generator) Message(p Persona) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.message(p)
+}
+
+func (g *Generator) message(p Persona) string {
+	switch p.Style {
+	case StyleGamer:
+		return g.gamerLine()
+	case StyleTechie:
+		return g.techieLine()
+	case StyleLurker:
+		return g.pick(reactions)
+	default:
+		return g.casualLine()
+	}
+}
+
+func (g *Generator) casualLine() string {
+	switch g.rng.Intn(5) {
+	case 0:
+		return g.pick(greetings)
+	case 1:
+		return fmt.Sprintf("just saw a %s %s, %s",
+			g.pick(adjectives), g.pick(nouns), g.pick(reactions))
+	case 2:
+		return fmt.Sprintf("anyone else think the %s is %s?",
+			g.pick(nouns), g.pick(adjectives))
+	case 3:
+		return fmt.Sprintf("ok the %s situation is getting %s",
+			g.pick(nouns), g.pick(adjectives))
+	default:
+		return fmt.Sprintf("%s. that's it, that's the post", g.pick(reactions))
+	}
+}
+
+func (g *Generator) gamerLine() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("anyone up for %s tonight?", g.pick(games))
+	case 1:
+		return fmt.Sprintf("just got a %s %s drop %s",
+			g.pick(adjectives), g.pick(nouns), g.pick(reactions))
+	case 2:
+		return fmt.Sprintf("%s is so %s after the patch", g.pick(games), g.pick(adjectives))
+	default:
+		return fmt.Sprintf("queue times for %s are %s rn", g.pick(games), g.pick(adjectives))
+	}
+}
+
+func (g *Generator) techieLine() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s broke again, %s", g.pick(techThings), g.pick(reactions))
+	case 1:
+		return fmt.Sprintf("finally fixed %s. it was a %s %s all along",
+			g.pick(techThings), g.pick(adjectives), g.pick(nouns))
+	case 2:
+		return fmt.Sprintf("hot take: %s is just a %s %s",
+			g.pick(techThings), g.pick(adjectives), g.pick(nouns))
+	default:
+		return fmt.Sprintf("spent 3 hours on %s today", g.pick(techThings))
+	}
+}
+
+// Exchange is one message of a scripted conversation.
+type Exchange struct {
+	Author Persona
+	Text   string
+}
+
+// Conversation scripts n messages alternating across the personas so
+// interactions "resemble legitimate conversations between actual users"
+// (§4.2). It never posts two consecutive messages by the same persona
+// when more than one persona is available.
+func (g *Generator) Conversation(personas []Persona, n int) []Exchange {
+	if len(personas) == 0 || n <= 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Exchange, 0, n)
+	last := -1
+	for i := 0; i < n; i++ {
+		idx := g.rng.Intn(len(personas))
+		if idx == last && len(personas) > 1 {
+			idx = (idx + 1 + g.rng.Intn(len(personas)-1)) % len(personas)
+		}
+		last = idx
+		p := personas[idx]
+		text := g.message(p)
+		// Occasionally address the previous speaker for realism.
+		if i > 0 && g.rng.Intn(5) == 0 {
+			text = "@" + out[i-1].Author.Username + " " + g.pick(reactions)
+		}
+		out = append(out, Exchange{Author: p, Text: text})
+	}
+	return out
+}
+
+// AverageWords reports the mean message length in words — a sanity
+// metric asserting the feed stays in the short, informal IM register.
+func AverageWords(ex []Exchange) float64 {
+	if len(ex) == 0 {
+		return 0
+	}
+	total := 0
+	for _, e := range ex {
+		total += len(strings.Fields(e.Text))
+	}
+	return float64(total) / float64(len(ex))
+}

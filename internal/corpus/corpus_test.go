@@ -1,0 +1,138 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	pa, pb := a.Personas(5), b.Personas(5)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("personas diverge at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	ca := a.Conversation(pa, 25)
+	cb := b.Conversation(pb, 25)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("conversation diverges at %d", i)
+		}
+	}
+	// A different seed must diverge somewhere.
+	c := New(8)
+	pc := c.Personas(5)
+	same := true
+	for i := range pa {
+		if pa[i] != pc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical personas")
+	}
+}
+
+func TestPersonasUnique(t *testing.T) {
+	g := New(1)
+	ps := g.Personas(200)
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		if seen[p.Username] {
+			t.Fatalf("duplicate username %q", p.Username)
+		}
+		seen[p.Username] = true
+	}
+	if len(ps) != 200 {
+		t.Errorf("got %d personas", len(ps))
+	}
+}
+
+func TestConversationAlternation(t *testing.T) {
+	g := New(3)
+	ps := g.Personas(5)
+	conv := g.Conversation(ps, 100)
+	if len(conv) != 100 {
+		t.Fatalf("conversation length = %d", len(conv))
+	}
+	for i := 1; i < len(conv); i++ {
+		if conv[i].Author.Username == conv[i-1].Author.Username {
+			t.Fatalf("consecutive messages by %q at %d", conv[i].Author.Username, i)
+		}
+	}
+}
+
+func TestConversationSingletonAndEmpty(t *testing.T) {
+	g := New(3)
+	solo := g.Personas(1)
+	conv := g.Conversation(solo, 10)
+	if len(conv) != 10 {
+		t.Errorf("solo conversation length = %d", len(conv))
+	}
+	if got := g.Conversation(nil, 10); got != nil {
+		t.Error("nil personas should yield nil conversation")
+	}
+	if got := g.Conversation(solo, 0); got != nil {
+		t.Error("zero-length conversation should be nil")
+	}
+}
+
+func TestMessagesShortAndInformal(t *testing.T) {
+	// §3: IM style is "shorter and less formal than email". Assert the
+	// feed stays in that register: short average length, no long-form
+	// prose.
+	g := New(11)
+	ps := g.Personas(8)
+	conv := g.Conversation(ps, 500)
+	avg := AverageWords(conv)
+	if avg < 2 || avg > 12 {
+		t.Errorf("average message length %.1f words, want IM-like 2..12", avg)
+	}
+	for _, e := range conv {
+		if len(e.Text) > 120 {
+			t.Errorf("message too long for IM register: %q", e.Text)
+		}
+		if e.Text == "" {
+			t.Error("empty message generated")
+		}
+	}
+	if AverageWords(nil) != 0 {
+		t.Error("AverageWords(nil) should be 0")
+	}
+}
+
+func TestStyleCoverage(t *testing.T) {
+	g := New(5)
+	ps := g.Personas(100)
+	styles := make(map[Style]int)
+	for _, p := range ps {
+		styles[p.Style]++
+	}
+	for _, s := range []Style{StyleCasual, StyleGamer, StyleTechie, StyleLurker} {
+		if styles[s] == 0 {
+			t.Errorf("style %s never generated in 100 personas", s)
+		}
+		if s.String() == "" {
+			t.Errorf("style %d has no name", s)
+		}
+	}
+}
+
+func TestMentionsReferencePreviousSpeaker(t *testing.T) {
+	g := New(99)
+	ps := g.Personas(6)
+	conv := g.Conversation(ps, 400)
+	mentions := 0
+	for i := 1; i < len(conv); i++ {
+		if strings.HasPrefix(conv[i].Text, "@") {
+			mentions++
+			if !strings.HasPrefix(conv[i].Text, "@"+conv[i-1].Author.Username) {
+				t.Errorf("mention at %d targets a non-previous speaker: %q", i, conv[i].Text)
+			}
+		}
+	}
+	if mentions == 0 {
+		t.Error("no mentions generated in 400 messages")
+	}
+}

@@ -1,0 +1,210 @@
+// Package dataset persists and reloads pipeline artifacts as JSON Lines
+// — the measurement-study habit of snapshotting each stage so analyses
+// can be re-run without re-crawling. Records round-trip losslessly;
+// derived results (Figure 3 series, Table 2, code analysis, honeypot
+// verdicts) export for downstream tooling.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/canary"
+	"repro/internal/codeanalysis"
+	"repro/internal/honeypot"
+	"repro/internal/permissions"
+	"repro/internal/scraper"
+)
+
+// recordJSON is the stable wire form of a scraper.Record.
+type recordJSON struct {
+	ID          int      `json:"id"`
+	Name        string   `json:"name"`
+	Tags        []string `json:"tags,omitempty"`
+	Description string   `json:"description,omitempty"`
+	GuildCount  int      `json:"guild_count"`
+	Votes       int      `json:"votes"`
+	Prefix      string   `json:"prefix,omitempty"`
+	Commands    []string `json:"commands,omitempty"`
+	Developers  []string `json:"developers,omitempty"`
+
+	HasWebsite bool   `json:"has_website,omitempty"`
+	GitHubURL  string `json:"github_url,omitempty"`
+
+	PermsValid    bool     `json:"perms_valid"`
+	Perms         string   `json:"permissions,omitempty"` // decimal bitfield
+	PermNames     []string `json:"permission_names,omitempty"`
+	InvalidReason string   `json:"invalid_reason,omitempty"`
+
+	PolicyLinkFound bool   `json:"policy_link_found,omitempty"`
+	PolicyLinkDead  bool   `json:"policy_link_dead,omitempty"`
+	PolicyText      string `json:"policy_text,omitempty"`
+}
+
+func toJSON(r *scraper.Record) recordJSON {
+	out := recordJSON{
+		ID: r.ID, Name: r.Name, Tags: r.Tags, Description: r.Description,
+		GuildCount: r.GuildCount, Votes: r.Votes, Prefix: r.Prefix,
+		Commands: r.Commands, Developers: r.Developers,
+		HasWebsite: r.HasWebsite, GitHubURL: r.GitHubURL,
+		PermsValid:      r.PermsValid,
+		InvalidReason:   string(r.InvalidReason),
+		PolicyLinkFound: r.PolicyLinkFound, PolicyLinkDead: r.PolicyLinkDead,
+		PolicyText: r.PolicyText,
+	}
+	if r.PermsValid {
+		out.Perms = r.Perms.Value()
+		out.PermNames = r.Perms.Names()
+	}
+	return out
+}
+
+func fromJSON(j recordJSON) (*scraper.Record, error) {
+	r := &scraper.Record{
+		ID: j.ID, Name: j.Name, Tags: j.Tags, Description: j.Description,
+		GuildCount: j.GuildCount, Votes: j.Votes, Prefix: j.Prefix,
+		Commands: j.Commands, Developers: j.Developers,
+		HasWebsite: j.HasWebsite, GitHubURL: j.GitHubURL,
+		PermsValid:      j.PermsValid,
+		InvalidReason:   scraper.InvalidReason(j.InvalidReason),
+		PolicyLinkFound: j.PolicyLinkFound, PolicyLinkDead: j.PolicyLinkDead,
+		PolicyText: j.PolicyText,
+	}
+	if j.PermsValid {
+		p, err := permissions.ParseValue(j.Perms)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", j.ID, err)
+		}
+		r.Perms = p
+	}
+	return r, nil
+}
+
+// WriteRecords streams records as JSON Lines. Nil records (crawler
+// gaps) are skipped.
+func WriteRecords(w io.Writer, records []*scraper.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if r == nil {
+			continue
+		}
+		if err := enc.Encode(toJSON(r)); err != nil {
+			return fmt.Errorf("dataset: encode record %d: %w", r.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords loads a JSON Lines record stream.
+func ReadRecords(r io.Reader) ([]*scraper.Record, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []*scraper.Record
+	for dec.More() {
+		var j recordJSON
+		if err := dec.Decode(&j); err != nil {
+			return nil, fmt.Errorf("dataset: decode line %d: %w", len(out)+1, err)
+		}
+		rec, err := fromJSON(j)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// CodeAnalysisJSON is the export form of a repo analysis.
+type CodeAnalysisJSON struct {
+	BotID         int      `json:"bot_id"`
+	Link          string   `json:"link"`
+	Outcome       string   `json:"outcome"`
+	FullName      string   `json:"full_name,omitempty"`
+	MainLanguage  string   `json:"main_language,omitempty"`
+	Analyzed      bool     `json:"analyzed"`
+	PerformsCheck bool     `json:"performs_check"`
+	Patterns      []string `json:"patterns,omitempty"`
+}
+
+// WriteCodeAnalyses streams per-repo analyses as JSON Lines.
+func WriteCodeAnalyses(w io.Writer, analyses []*codeanalysis.RepoAnalysis) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, a := range analyses {
+		if a == nil {
+			continue
+		}
+		j := CodeAnalysisJSON{
+			BotID: a.BotID, Link: a.Link, Outcome: string(a.Outcome),
+			FullName: a.FullName, MainLanguage: a.MainLanguage,
+			Analyzed: a.Analyzed, PerformsCheck: a.PerformsCheck,
+			Patterns: a.PatternsFound,
+		}
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("dataset: encode analysis %d: %w", a.BotID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// VerdictJSON is the export form of a honeypot verdict.
+type VerdictJSON struct {
+	Bot            string   `json:"bot"`
+	GuildTag       string   `json:"guild_tag"`
+	Triggered      bool     `json:"triggered"`
+	TriggeredKinds []string `json:"triggered_kinds,omitempty"`
+	TriggerCount   int      `json:"trigger_count"`
+	Responded      bool     `json:"responded"`
+	BotMessages    []string `json:"bot_messages,omitempty"`
+}
+
+// WriteVerdicts streams honeypot verdicts as JSON Lines.
+func WriteVerdicts(w io.Writer, verdicts []*honeypot.Verdict) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, v := range verdicts {
+		if v == nil {
+			continue
+		}
+		j := VerdictJSON{
+			Bot: v.Subject.Name, GuildTag: v.GuildTag,
+			Triggered: v.Triggered, TriggerCount: len(v.Triggers),
+			Responded: v.Responded, BotMessages: v.BotMessages,
+		}
+		for _, k := range v.TriggeredKinds {
+			j.TriggeredKinds = append(j.TriggeredKinds, k.String())
+		}
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("dataset: encode verdict %s: %w", v.Subject.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// TriggerJSON is the export form of a canary trigger.
+type TriggerJSON struct {
+	TokenID  string `json:"token_id"`
+	Kind     string `json:"kind"`
+	GuildTag string `json:"guild_tag"`
+	Via      string `json:"via"`
+	RemoteIP string `json:"remote_ip,omitempty"`
+	At       string `json:"at"`
+}
+
+// WriteTriggers streams canary triggers as JSON Lines.
+func WriteTriggers(w io.Writer, triggers []canary.Trigger) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range triggers {
+		j := TriggerJSON{
+			TokenID: t.TokenID, Kind: t.Kind.String(), GuildTag: t.GuildTag,
+			Via: t.Via, RemoteIP: t.RemoteIP, At: t.At.UTC().Format("2006-01-02T15:04:05.000Z"),
+		}
+		if err := enc.Encode(j); err != nil {
+			return fmt.Errorf("dataset: encode trigger %s: %w", t.TokenID, err)
+		}
+	}
+	return bw.Flush()
+}

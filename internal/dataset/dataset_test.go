@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/canary"
+	"repro/internal/codeanalysis"
+	"repro/internal/honeypot"
+	"repro/internal/permissions"
+	"repro/internal/scraper"
+)
+
+func sampleRecords() []*scraper.Record {
+	return []*scraper.Record{
+		{
+			ID: 1, Name: "Alpha", Tags: []string{"fun", "music"},
+			Description: "a bot", GuildCount: 42, Votes: 7, Prefix: "!",
+			Commands: []string{"!help"}, Developers: []string{"dev#0001"},
+			HasWebsite: true, GitHubURL: "/dev/alpha",
+			PermsValid: true, Perms: permissions.SendMessages | permissions.Administrator,
+			PolicyLinkFound: true, PolicyText: "we collect data",
+		},
+		{
+			ID: 2, Name: "Beta", PermsValid: false,
+			InvalidReason: scraper.InvalidTimeout,
+		},
+		nil, // crawler gap: skipped on write
+	}
+}
+
+func TestRecordsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()[:2]
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRecordsJSONShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["permissions"] != (permissions.SendMessages | permissions.Administrator).Value() {
+		t.Errorf("permissions field = %v", m["permissions"])
+	}
+	names, _ := m["permission_names"].([]any)
+	if len(names) != 2 {
+		t.Errorf("permission_names = %v", names)
+	}
+	// Invalid record carries the reason and no permission value.
+	m = nil
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["invalid_reason"] != string(scraper.InvalidTimeout) {
+		t.Errorf("invalid_reason = %v", m["invalid_reason"])
+	}
+	if _, present := m["permissions"]; present {
+		t.Error("invalid record exported a permission value")
+	}
+}
+
+func TestReadRecordsBadInput(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadRecords(strings.NewReader(`{"id":1,"perms_valid":true,"permissions":"zzz"}`)); err == nil {
+		t.Error("bad permission value accepted")
+	}
+	got, err := ReadRecords(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input = %v, %v", got, err)
+	}
+}
+
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(id int, name string, rawPerms uint64, valid bool, guilds int) bool {
+		rec := &scraper.Record{
+			ID: id, Name: name, GuildCount: guilds,
+			PermsValid: valid,
+		}
+		if valid {
+			rec.Perms = permissions.Permission(rawPerms) & permissions.All
+		}
+		var buf bytes.Buffer
+		if err := WriteRecords(&buf, []*scraper.Record{rec}); err != nil {
+			return false
+		}
+		got, err := ReadRecords(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(got[0], rec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCodeAnalyses(t *testing.T) {
+	analyses := []*codeanalysis.RepoAnalysis{
+		{BotID: 1, Link: "/a/r", Outcome: codeanalysis.OutcomeValidRepo,
+			FullName: "a/r", MainLanguage: "JavaScript", Analyzed: true,
+			PerformsCheck: true, PatternsFound: []string{".has("}},
+		nil,
+		{BotID: 2, Link: "/dead", Outcome: codeanalysis.OutcomeDead},
+	}
+	var buf bytes.Buffer
+	if err := WriteCodeAnalyses(&buf, analyses); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"performs_check":true`) {
+		t.Errorf("line 0 = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"outcome":"invalid-link"`) {
+		t.Errorf("line 1 = %s", lines[1])
+	}
+}
+
+func TestWriteVerdictsAndTriggers(t *testing.T) {
+	verdicts := []*honeypot.Verdict{
+		{
+			Subject: honeypot.Subject{Name: "Melonian"}, GuildTag: "hp-Melonian",
+			Triggered:      true,
+			TriggeredKinds: []canary.Kind{canary.KindWord, canary.KindURL},
+			Triggers:       make([]canary.Trigger, 2),
+			BotMessages:    []string{"wtf is this bro"},
+		},
+		nil,
+	}
+	var buf bytes.Buffer
+	if err := WriteVerdicts(&buf, verdicts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"bot":"Melonian"`, `"triggered_kinds":["word","url"]`, `"trigger_count":2`, "wtf is this bro"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verdict export missing %q: %s", want, out)
+		}
+	}
+
+	at := time.Date(2022, 10, 25, 12, 0, 0, 0, time.UTC)
+	triggers := []canary.Trigger{{
+		TokenID: "tok1", Kind: canary.KindPDF, GuildTag: "hp-x", Via: "http",
+		RemoteIP: "127.0.0.1", At: at,
+	}}
+	buf.Reset()
+	if err := WriteTriggers(&buf, triggers); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"at":"2022-10-25T12:00:00.000Z"`) {
+		t.Errorf("trigger export = %s", buf.String())
+	}
+}

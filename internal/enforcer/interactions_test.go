@@ -1,0 +1,117 @@
+package enforcer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/botsdk"
+	"repro/internal/platform"
+)
+
+// interactionBot wires a /kick slash command that cites its interaction
+// when acting — the modern, attributable pattern.
+func wireInteractionKick(sess *botsdk.Session) {
+	sess.OnInteraction(func(s *botsdk.Session, in *botsdk.Interaction) {
+		if in.Command != "kick" {
+			return
+		}
+		go func() {
+			if err := s.KickVia(in.ID, in.GuildID, in.Args); err != nil {
+				s.Respond(in.GuildID, in.ID, "kick failed: "+err.Error())
+				return
+			}
+			s.Respond(in.GuildID, in.ID, "kicked "+in.Args)
+		}()
+	})
+}
+
+func waitGone(t *testing.T, r *rig, timeout time.Duration) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if !r.p.IsMember(r.guild.ID, r.victim.ID) {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+func TestExactAttributionAllowsPrivilegedInvoker(t *testing.T) {
+	r := newRig(t, time.Minute)
+	wireInteractionKick(r.sess)
+	// Adversarial ordering: the PLEB speaks last (the heuristic would
+	// blame them), but the MOD's interaction carries the true invoker.
+	r.speak(t, r.pleb, "unrelated chatter")
+	botID, _ := platform.ParseID(r.sess.BotID())
+	if _, err := r.p.Interact(r.mod.ID, botID, r.general.ID, "kick", r.victim.ID.String()); err != nil {
+		t.Fatal(err)
+	}
+	if !waitGone(t, r, 2*time.Second) {
+		t.Fatal("mod-invoked kick denied despite exact attribution")
+	}
+	if s := r.enf.Stats(); s.Allowed != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestExactAttributionBlocksUnprivilegedInvoker(t *testing.T) {
+	r := newRig(t, time.Minute)
+	wireInteractionKick(r.sess)
+	// Reverse adversarial ordering: the MOD speaks last (heuristic
+	// would allow), but the PLEB's interaction is the true invoker.
+	r.speak(t, r.mod, "I approve of nothing")
+	botID, _ := platform.ParseID(r.sess.BotID())
+	if _, err := r.p.Interact(r.pleb.ID, botID, r.general.ID, "kick", r.victim.ID.String()); err != nil {
+		t.Fatal(err)
+	}
+	if waitGone(t, r, 700*time.Millisecond) {
+		t.Fatal("pleb-invoked kick allowed — exact attribution failed")
+	}
+	if s := r.enf.Stats(); s.DeniedRedelegate != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	// The bot's failure reply names the re-delegation.
+	msgs, _ := r.p.ChannelMessages(r.general.ID)
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m.Content, "kick failed") &&
+			strings.Contains(m.Content, "lacks the required permission") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bot reply with enforcement error missing")
+	}
+}
+
+func TestForgedInteractionRejected(t *testing.T) {
+	r := newRig(t, time.Minute)
+	// A mod interaction exists, but for ANOTHER bot: citing it must not
+	// authorize this bot's action.
+	owner, _ := r.p.UserByID(r.guild.OwnerID)
+	otherBot, err := r.p.RegisterBot(owner.ID, "decoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.p.InstallBot(owner.ID, r.guild.ID, otherBot.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	in, err := r.p.Interact(r.mod.ID, otherBot.ID, r.general.ID, "kick", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.sess.KickVia(in.ID.String(), r.guild.ID.String(), r.victim.ID.String())
+	if err == nil || !strings.Contains(err.Error(), "invalid for this bot") {
+		t.Fatalf("forged citation err = %v", err)
+	}
+	// Citing a nonexistent interaction fails the same way.
+	err = r.sess.KickVia("999999", r.guild.ID.String(), r.victim.ID.String())
+	if err == nil {
+		t.Fatal("nonexistent citation accepted")
+	}
+	if s := r.enf.Stats(); s.DeniedNoContext != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,476 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+)
+
+// Server accepts bot connections and bridges them to the platform.
+type Server struct {
+	p  *platform.Platform
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	intercept func(bot *platform.User, method string, args map[string]any) error
+
+	// rate limiting (zero = disabled)
+	rateRPS   float64
+	rateBurst float64
+
+	// Logf receives connection-level diagnostics; defaults to a no-op.
+	Logf func(format string, args ...any)
+}
+
+// SetRateLimit enables per-session request throttling, like Discord's
+// REST rate limits: bots may issue rps sustained requests per second
+// with the given burst. Throttled requests receive a response whose
+// error is ErrRateLimited and whose RetryAfterMS suggests a backoff.
+func (s *Server) SetRateLimit(rps float64, burst int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rateRPS = rps
+	s.rateBurst = float64(burst)
+	if s.rateBurst <= 0 {
+		s.rateBurst = 5
+	}
+}
+
+// SetInterceptor installs a runtime policy hook consulted before every
+// bot request. A non-nil error denies the request with that message.
+// Discord ships no such enforcer (the paper's central observation);
+// Slack/MS Teams-style platforms do — internal/enforcer implements one
+// so the two models can be compared.
+func (s *Server) SetInterceptor(f func(bot *platform.User, method string, args map[string]any) error) {
+	s.mu.Lock()
+	s.intercept = f
+	s.mu.Unlock()
+}
+
+func (s *Server) interceptor() func(bot *platform.User, method string, args map[string]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.intercept
+}
+
+// NewServer starts a gateway listening on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(p *platform.Platform, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen: %w", err)
+	}
+	s := &Server{
+		p:        p,
+		ln:       ln,
+		sessions: make(map[*session]struct{}),
+		Logf:     func(string, ...any) {},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address, e.g. to hand to bot clients.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and tears down every session.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// session is one authenticated bot connection.
+type session struct {
+	conn net.Conn
+	bot  *platform.User
+	sub  *platform.Subscription
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	rateMu     sync.Mutex
+	rateTokens float64
+	rateLast   time.Time
+
+	closeOnce sync.Once
+}
+
+// throttled applies the server's per-session token bucket; it returns
+// the suggested backoff when the request must be rejected.
+func (s *Server) throttled(sess *session) (time.Duration, bool) {
+	s.mu.Lock()
+	rps, burst := s.rateRPS, s.rateBurst
+	s.mu.Unlock()
+	if rps <= 0 {
+		return 0, false
+	}
+	sess.rateMu.Lock()
+	defer sess.rateMu.Unlock()
+	now := time.Now()
+	if sess.rateLast.IsZero() {
+		sess.rateTokens = burst
+	} else {
+		sess.rateTokens += now.Sub(sess.rateLast).Seconds() * rps
+		if sess.rateTokens > burst {
+			sess.rateTokens = burst
+		}
+	}
+	sess.rateLast = now
+	if sess.rateTokens < 1 {
+		deficit := 1 - sess.rateTokens
+		return time.Duration(deficit / rps * float64(time.Second)), true
+	}
+	sess.rateTokens--
+	return 0, false
+}
+
+func (sess *session) send(f Frame) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	return sess.enc.Encode(f)
+}
+
+func (sess *session) close() {
+	sess.closeOnce.Do(func() { sess.conn.Close() })
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	// First frame must identify within a deadline.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var hello Frame
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	if hello.Op != OpIdentify {
+		json.NewEncoder(conn).Encode(Frame{Op: OpError, Err: "expected identify"})
+		return
+	}
+	bot, err := s.p.BotByToken(hello.Token)
+	if err != nil {
+		json.NewEncoder(conn).Encode(Frame{Op: OpError, Err: "invalid token"})
+		return
+	}
+
+	sess := &session{conn: conn, bot: bot, enc: json.NewEncoder(conn)}
+	// Deliver only events in guilds this bot belongs to, and not the
+	// bot's own messages (Discord bots receive their own messages, but
+	// our honeypot bots never need the echo; suppressing it avoids
+	// self-trigger loops).
+	sess.sub = s.p.Subscribe(256, func(e platform.Event) bool {
+		if e.Type == platform.EventMessageCreate && e.UserID == bot.ID {
+			return false
+		}
+		// Interactions are addressed to one bot; other bots in the
+		// guild never see them.
+		if e.Type == platform.EventInteractionCreate {
+			return e.Interaction != nil && e.Interaction.BotID == bot.ID
+		}
+		return s.p.IsMember(e.GuildID, bot.ID)
+	})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.p.Unsubscribe(sess.sub)
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.p.Unsubscribe(sess.sub)
+		sess.close()
+	}()
+
+	var guilds []string
+	for _, gid := range s.p.GuildsOf(bot.ID) {
+		guilds = append(guilds, gid.String())
+	}
+	if err := sess.send(Frame{Op: OpReady, BotID: bot.ID.String(), BotName: bot.Name, GuildIDs: guilds}); err != nil {
+		return
+	}
+
+	// Pump events to the client.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case e, ok := <-sess.sub.C:
+				if !ok {
+					return
+				}
+				f := Frame{Op: OpDispatch, Type: string(e.Type), Event: encodeEvent(s.p, e)}
+				if err := sess.send(f); err != nil {
+					sess.close()
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for {
+		var f Frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		switch f.Op {
+		case OpHeartbeat:
+			if err := sess.send(Frame{Op: OpHeartbeatAck, Seq: f.Seq}); err != nil {
+				return
+			}
+		case OpRequest:
+			if wait, limited := s.throttled(sess); limited {
+				resp := Frame{Op: OpResponse, ID: f.ID, Err: ErrRateLimited,
+					RetryAfterMS: int64(wait / time.Millisecond)}
+				if resp.RetryAfterMS < 1 {
+					resp.RetryAfterMS = 1
+				}
+				if err := sess.send(resp); err != nil {
+					return
+				}
+				continue
+			}
+			resp := s.handleRequest(bot, f)
+			if err := sess.send(resp); err != nil {
+				return
+			}
+		default:
+			sess.send(Frame{Op: OpError, Err: "unexpected op " + string(f.Op)})
+		}
+	}
+}
+
+func argString(args map[string]any, key string) string {
+	v, _ := args[key].(string)
+	return v
+}
+
+func argID(args map[string]any, key string) platform.ID {
+	id, err := platform.ParseID(argString(args, key))
+	if err != nil {
+		return platform.Nil
+	}
+	return id
+}
+
+func argInt(args map[string]any, key string) int {
+	switch v := args[key].(type) {
+	case float64:
+		return int(v)
+	case string:
+		id, _ := platform.ParseID(v)
+		return int(id)
+	default:
+		return 0
+	}
+}
+
+// handleRequest executes one REST-style method as the authenticated bot.
+// Crucially, the platform checks only the BOT's permissions here — there
+// is no notion of "the user who asked the bot to do this", which is the
+// Discord design gap the paper studies.
+func (s *Server) handleRequest(bot *platform.User, f Frame) Frame {
+	resp := Frame{Op: OpResponse, ID: f.ID}
+	fail := func(err error) Frame {
+		resp.OK = false
+		resp.Err = err.Error()
+		return resp
+	}
+	ok := func(result map[string]any) Frame {
+		resp.OK = true
+		resp.Result = result
+		return resp
+	}
+
+	if hook := s.interceptor(); hook != nil {
+		if err := hook(bot, f.Method, f.Args); err != nil {
+			return fail(err)
+		}
+	}
+
+	switch f.Method {
+	case MethodSendMessage:
+		var atts []platform.Attachment
+		if raw, found := f.Args["attachments"]; found {
+			blob, _ := json.Marshal(raw)
+			var was []WireAttachment
+			_ = json.Unmarshal(blob, &was)
+			for _, wa := range was {
+				atts = append(atts, platform.Attachment{Filename: wa.Filename, ContentType: wa.ContentType})
+			}
+		}
+		if data := argString(f.Args, "attachment_data"); data != "" && len(atts) > 0 {
+			atts[0].Data = decodeData(data)
+		}
+		msg, err := s.p.SendMessage(bot.ID, argID(f.Args, "channel_id"), argString(f.Args, "content"), atts...)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{"message_id": msg.ID.String()})
+
+	case MethodHistory:
+		msgs, err := s.p.History(bot.ID, argID(f.Args, "channel_id"), argInt(f.Args, "limit"))
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]*WireMessage, 0, len(msgs))
+		for _, m := range msgs {
+			out = append(out, encodeMessage(s.p, m))
+		}
+		blob, _ := json.Marshal(out)
+		var generic []any
+		_ = json.Unmarshal(blob, &generic)
+		return ok(map[string]any{"messages": generic})
+
+	case MethodGuilds:
+		var ids []string
+		for _, gid := range s.p.GuildsOf(bot.ID) {
+			ids = append(ids, gid.String())
+		}
+		return ok(map[string]any{"guild_ids": strings.Join(ids, ",")})
+
+	case MethodGuildInfo:
+		info, err := s.p.GuildSummary(argID(f.Args, "guild_id"), bot.ID)
+		if err != nil {
+			return fail(err)
+		}
+		chans := make([]any, 0, len(info.Channels))
+		for _, ch := range info.Channels {
+			chans = append(chans, map[string]any{
+				"id": ch.ID.String(), "name": ch.Name, "kind": ch.Kind.String(),
+			})
+		}
+		return ok(map[string]any{
+			"name": info.Name, "members": float64(info.Members), "channels": chans,
+		})
+
+	case MethodKick:
+		if err := s.p.KickMember(bot.ID, argID(f.Args, "guild_id"), argID(f.Args, "user_id")); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case MethodBan:
+		if err := s.p.BanMember(bot.ID, argID(f.Args, "guild_id"), argID(f.Args, "user_id")); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case MethodEditNickname:
+		if err := s.p.EditNickname(bot.ID, argID(f.Args, "guild_id"), argID(f.Args, "user_id"), argString(f.Args, "nick")); err != nil {
+			return fail(err)
+		}
+		return ok(nil)
+
+	case MethodGetAttachment:
+		att, err := s.p.Attachment(bot.ID, argID(f.Args, "channel_id"), argID(f.Args, "message_id"), argID(f.Args, "attachment_id"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{
+			"filename": att.Filename, "content_type": att.ContentType,
+			"data": encodeData(att.Data),
+		})
+
+	case MethodPermissions:
+		perms, err := s.p.Permissions(argID(f.Args, "guild_id"), bot.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{"value": perms.Value(), "names": strings.Join(perms.Names(), ",")})
+
+	case MethodMemberPermissions:
+		gid := argID(f.Args, "guild_id")
+		if !s.p.IsMember(gid, bot.ID) {
+			return fail(platform.ErrNotMember)
+		}
+		perms, err := s.p.Permissions(gid, argID(f.Args, "user_id"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{"value": perms.Value()})
+
+	case MethodRespondInteraction:
+		msg, err := s.p.RespondInteraction(bot.ID,
+			argID(f.Args, "guild_id"), argID(f.Args, "interaction_id"),
+			argString(f.Args, "content"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{"message_id": msg.ID.String()})
+
+	case MethodCreateWebhook:
+		wh, err := s.p.CreateWebhook(bot.ID, argID(f.Args, "channel_id"), argString(f.Args, "name"))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(map[string]any{"webhook_id": wh.ID.String(), "token": wh.Token})
+
+	case MethodVoiceStates:
+		states, err := s.p.VoiceStates(bot.ID, argID(f.Args, "guild_id"))
+		if err != nil {
+			return fail(err)
+		}
+		out := make([]any, 0, len(states))
+		for _, st := range states {
+			out = append(out, map[string]any{
+				"user_id": st.UserID.String(), "channel_id": st.ChannelID.String(),
+				"muted": st.Muted, "deafened": st.Deafened,
+			})
+		}
+		return ok(map[string]any{"states": out})
+
+	default:
+		return fail(errors.New("gateway: unknown method " + f.Method))
+	}
+}

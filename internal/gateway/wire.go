@@ -1,0 +1,170 @@
+// Package gateway exposes the platform to chatbots over a TCP
+// line-delimited JSON protocol, mirroring the role of Discord's gateway
+// plus a minimal REST surface multiplexed on the same connection.
+//
+// A session begins with an identify frame carrying the bot token. The
+// server then pushes dispatch frames for events in guilds the bot
+// belongs to, answers request frames (send message, read history, kick,
+// ban, …) with response frames, and expects periodic heartbeats.
+package gateway
+
+import (
+	"encoding/base64"
+
+	"repro/internal/platform"
+)
+
+// Op is the frame opcode.
+type Op string
+
+// Frame opcodes.
+const (
+	OpIdentify     Op = "identify"
+	OpReady        Op = "ready"
+	OpDispatch     Op = "dispatch"
+	OpHeartbeat    Op = "heartbeat"
+	OpHeartbeatAck Op = "heartbeat_ack"
+	OpRequest      Op = "request"
+	OpResponse     Op = "response"
+	OpError        Op = "error"
+)
+
+// Method names accepted in request frames.
+const (
+	MethodSendMessage   = "send_message"
+	MethodHistory       = "history"
+	MethodGuilds        = "guilds"
+	MethodGuildInfo     = "guild_info"
+	MethodKick          = "kick"
+	MethodBan           = "ban"
+	MethodEditNickname  = "edit_nickname"
+	MethodGetAttachment = "get_attachment"
+	MethodPermissions   = "permissions"
+	// MethodMemberPermissions resolves another member's effective guild
+	// permissions — what SDKs expose so bot code CAN check invoking
+	// users. Whether bot code actually calls it is the paper's Table 3
+	// question.
+	MethodMemberPermissions = "member_permissions"
+	// MethodVoiceStates exposes the guild's voice metadata — one of the
+	// data classes Discord's policy says bots may access.
+	MethodVoiceStates = "voice_states"
+	// MethodRespondInteraction posts a bot's reply to a slash-command
+	// interaction.
+	MethodRespondInteraction = "respond_interaction"
+	// MethodCreateWebhook mints a channel webhook (manage-webhooks).
+	MethodCreateWebhook = "create_webhook"
+)
+
+// Frame is the single wire envelope. Fields are populated per opcode.
+type Frame struct {
+	Op    Op     `json:"op"`
+	Token string `json:"token,omitempty"` // identify
+
+	BotID    string   `json:"bot_id,omitempty"`   // ready
+	BotName  string   `json:"bot_name,omitempty"` // ready
+	GuildIDs []string `json:"guild_ids,omitempty"`
+
+	Type  string     `json:"type,omitempty"`  // dispatch
+	Event *WireEvent `json:"event,omitempty"` // dispatch
+
+	Seq int64 `json:"seq,omitempty"` // heartbeat
+
+	ID     int64          `json:"id,omitempty"`     // request/response correlation
+	Method string         `json:"method,omitempty"` // request
+	Args   map[string]any `json:"args,omitempty"`   // request
+
+	OK     bool           `json:"ok,omitempty"`     // response
+	Result map[string]any `json:"result,omitempty"` // response
+	Err    string         `json:"error,omitempty"`  // response/error
+	// RetryAfterMS, on a rate-limited response, tells the client how
+	// long to back off before retrying — Discord's Retry-After.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrRateLimited is the error string carried by throttled responses.
+const ErrRateLimited = "gateway: rate limited"
+
+// WireEvent is the JSON shape of a platform event.
+type WireEvent struct {
+	GuildID     string           `json:"guild_id,omitempty"`
+	ChannelID   string           `json:"channel_id,omitempty"`
+	UserID      string           `json:"user_id,omitempty"`
+	Message     *WireMessage     `json:"message,omitempty"`
+	Interaction *WireInteraction `json:"interaction,omitempty"`
+}
+
+// WireInteraction is the JSON shape of a slash-command invocation. It
+// carries the invoking user — the context prefix commands lack.
+type WireInteraction struct {
+	ID        string `json:"id"`
+	GuildID   string `json:"guild_id"`
+	ChannelID string `json:"channel_id"`
+	UserID    string `json:"user_id"`
+	Command   string `json:"command"`
+	Args      string `json:"args,omitempty"`
+}
+
+// WireMessage is the JSON shape of a message.
+type WireMessage struct {
+	ID          string           `json:"id"`
+	ChannelID   string           `json:"channel_id"`
+	GuildID     string           `json:"guild_id"`
+	AuthorID    string           `json:"author_id"`
+	AuthorBot   bool             `json:"author_bot"`
+	Content     string           `json:"content"`
+	Attachments []WireAttachment `json:"attachments,omitempty"`
+}
+
+// WireAttachment describes an attachment without its payload; bots fetch
+// payloads with the get_attachment method, like downloading from a CDN.
+type WireAttachment struct {
+	ID          string `json:"id"`
+	Filename    string `json:"filename"`
+	ContentType string `json:"content_type"`
+	Size        int    `json:"size"`
+}
+
+func encodeMessage(p *platform.Platform, m *platform.Message) *WireMessage {
+	wm := &WireMessage{
+		ID:        m.ID.String(),
+		ChannelID: m.ChannelID.String(),
+		GuildID:   m.GuildID.String(),
+		AuthorID:  m.AuthorID.String(),
+		Content:   m.Content,
+	}
+	if u, err := p.UserByID(m.AuthorID); err == nil {
+		wm.AuthorBot = u.IsBot()
+	}
+	for _, a := range m.Attachments {
+		wm.Attachments = append(wm.Attachments, WireAttachment{
+			ID: a.ID.String(), Filename: a.Filename,
+			ContentType: a.ContentType, Size: len(a.Data),
+		})
+	}
+	return wm
+}
+
+func encodeEvent(p *platform.Platform, e platform.Event) *WireEvent {
+	we := &WireEvent{
+		GuildID:   e.GuildID.String(),
+		ChannelID: e.ChannelID.String(),
+		UserID:    e.UserID.String(),
+	}
+	if e.Message != nil {
+		we.Message = encodeMessage(p, e.Message)
+	}
+	if e.Interaction != nil {
+		we.Interaction = &WireInteraction{
+			ID:        e.Interaction.ID.String(),
+			GuildID:   e.Interaction.GuildID.String(),
+			ChannelID: e.Interaction.ChannelID.String(),
+			UserID:    e.Interaction.UserID.String(),
+			Command:   e.Interaction.Command,
+			Args:      e.Interaction.Args,
+		}
+	}
+	return we
+}
+
+func encodeData(b []byte) string { return base64.StdEncoding.EncodeToString(b) }
+func decodeData(s string) []byte { b, _ := base64.StdEncoding.DecodeString(s); return b }

@@ -1,0 +1,184 @@
+package honeypot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/canary"
+	"repro/internal/corpus"
+	"repro/internal/listing"
+	"repro/internal/synth"
+)
+
+// CampaignConfig tunes a multi-bot honeypot campaign.
+type CampaignConfig struct {
+	// SampleSize is how many most-voted bots to test (paper: 500).
+	SampleSize int
+	// Concurrency bounds simultaneous experiments.
+	Concurrency int
+	// Experiment is the per-bot configuration.
+	Experiment Config
+}
+
+// Diversity summarizes how varied the tested sample is — the paper
+// justifies its sample by its spread in guild count (3M..25), votes
+// (876K..6) and purpose tags.
+type Diversity struct {
+	GuildCountMin, GuildCountMax int
+	VotesMin, VotesMax           int
+	// TagCoverage counts sampled bots per purpose tag.
+	TagCoverage map[string]int
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Tested    int
+	Triggered []*Verdict
+	Verdicts  []*Verdict
+	// GiveawayMessages maps bot names to non-command messages they
+	// posted (the human-operator tell).
+	GiveawayMessages map[string][]string
+	// Diversity describes the tested sample.
+	Diversity Diversity
+}
+
+// sampleDiversity computes the spread of a selected sample.
+func sampleDiversity(sample []*listing.Bot) Diversity {
+	d := Diversity{TagCoverage: make(map[string]int)}
+	for i, b := range sample {
+		if i == 0 {
+			d.GuildCountMin, d.GuildCountMax = b.GuildCount, b.GuildCount
+			d.VotesMin, d.VotesMax = b.Votes, b.Votes
+		}
+		if b.GuildCount < d.GuildCountMin {
+			d.GuildCountMin = b.GuildCount
+		}
+		if b.GuildCount > d.GuildCountMax {
+			d.GuildCountMax = b.GuildCount
+		}
+		if b.Votes < d.VotesMin {
+			d.VotesMin = b.Votes
+		}
+		if b.Votes > d.VotesMax {
+			d.VotesMax = b.Votes
+		}
+		for _, tag := range b.Tags {
+			d.TagCoverage[tag]++
+		}
+	}
+	return d
+}
+
+// SelectMostVoted picks the top-K most-voted bots with valid invites —
+// "a diverse sample of most-voted chatbots … as these chatbots are more
+// likely to be active and maintained" (§4.2).
+func SelectMostVoted(bots []*listing.Bot, k int) []*listing.Bot {
+	var eligible []*listing.Bot
+	for _, b := range bots {
+		if b.InviteHealth == listing.InviteOK {
+			eligible = append(eligible, b)
+		}
+	}
+	sort.SliceStable(eligible, func(i, j int) bool {
+		if eligible[i].Votes != eligible[j].Votes {
+			return eligible[i].Votes > eligible[j].Votes
+		}
+		return eligible[i].ID < eligible[j].ID
+	})
+	if k > 0 && len(eligible) > k {
+		eligible = eligible[:k]
+	}
+	return eligible
+}
+
+// RunnerForBehavior maps a synthetic behaviour profile to a runner.
+func RunnerForBehavior(b synth.Behavior) BotRunner {
+	switch b {
+	case synth.BehaviorResponder:
+		return ResponderBot{}
+	case synth.BehaviorSnoop:
+		return &SnoopBot{}
+	default:
+		return IdleBot{}
+	}
+}
+
+// Campaign runs isolated experiments over the most-voted sample of an
+// ecosystem, mirroring the paper's 500-bot study.
+func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 500
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	sample := SelectMostVoted(eco.Bots, cfg.SampleSize)
+	res := &CampaignResult{
+		GiveawayMessages: make(map[string][]string),
+		Diversity:        sampleDiversity(sample),
+	}
+	verdicts := make([]*Verdict, len(sample))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	var firstErr error
+	var mu sync.Mutex
+	for i, b := range sample {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, b *listing.Bot) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub := Subject{
+				ListingID: b.ID,
+				Name:      b.Name,
+				Perms:     b.Perms,
+				Prefix:    b.Prefix,
+				Runner:    RunnerForBehavior(eco.Behaviors[b.ID]),
+			}
+			// Each experiment gets its own derived feed so concurrent
+			// guilds neither interleave one RNG stream nor lose
+			// per-experiment determinism.
+			expEnv := env
+			expEnv.Feed = corpus.Derive(int64(cfg.SampleSize), int64(b.ID))
+			v, err := Run(expEnv, cfg.Experiment, sub)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("honeypot: bot %s: %w", b.Name, err)
+				}
+				mu.Unlock()
+				return
+			}
+			verdicts[i] = v
+		}(i, b)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, v := range verdicts {
+		res.Tested++
+		res.Verdicts = append(res.Verdicts, v)
+		if v.Triggered {
+			res.Triggered = append(res.Triggered, v)
+		}
+		if len(v.BotMessages) > 0 {
+			res.GiveawayMessages[v.Subject.Name] = v.BotMessages
+		}
+	}
+	return res, nil
+}
+
+// KindsTriggered summarizes which token kinds fired across a campaign.
+func (r *CampaignResult) KindsTriggered() map[canary.Kind]int {
+	out := make(map[canary.Kind]int)
+	for _, v := range r.Triggered {
+		for _, k := range v.TriggeredKinds {
+			out[k]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package honeypot
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/botsdk"
+	"repro/internal/platform"
+)
+
+// SharedVerdict is the outcome of a shared-guild run: triggers exist
+// but cannot be attributed to a single bot.
+type SharedVerdict struct {
+	GuildTag string
+	// Triggered reports whether any token fired.
+	Triggered bool
+	// SuspectNames lists every bot present in the guild — with shared
+	// deployment, all of them are suspects. The size of this set is
+	// the attribution ambiguity the paper's per-bot isolation removes.
+	SuspectNames []string
+}
+
+// RunShared installs every subject into ONE guild and plants one token
+// set — the ablation of the paper's isolation design choice ("we test
+// each chatbot in an independent and isolated messaging environment").
+// When a trigger fires here, the experimenter learns only that SOME bot
+// snooped.
+func RunShared(env Env, cfg Config, subs []Subject) (*SharedVerdict, error) {
+	if cfg.Personas <= 0 {
+		cfg.Personas = 5
+	}
+	if cfg.FeedMessages <= 0 {
+		cfg.FeedMessages = 25
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 10 * time.Millisecond
+	}
+	p := env.Platform
+	guildTag := "hp-shared"
+	operator := p.CreateUser("operator-shared")
+	p.VerifyUser(operator.ID)
+	guild, err := p.CreateGuild(operator.ID, guildTag, true)
+	if err != nil {
+		return nil, fmt.Errorf("honeypot: shared guild: %w", err)
+	}
+	var general *platform.Channel
+	for _, ch := range guild.Channels {
+		general = ch
+	}
+
+	personas := env.Feed.Personas(cfg.Personas)
+	invite, err := p.CreateInvite(operator.ID, guild.ID)
+	if err != nil {
+		return nil, err
+	}
+	var users []*platform.User
+	for _, per := range personas {
+		u := p.CreateUser(per.Username)
+		p.VerifyUser(u.ID)
+		if _, err := p.RedeemInvite(u.ID, invite); err != nil {
+			return nil, err
+		}
+		users = append(users, u)
+	}
+
+	v := &SharedVerdict{GuildTag: guildTag}
+	var sessions []*botsdk.Session
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	var runners []BotRunner
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+	for _, sub := range subs {
+		bot, err := p.RegisterBot(operator.ID, sub.Name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.InstallBot(operator.ID, guild.ID, bot.ID, sub.Perms); err != nil {
+			return nil, fmt.Errorf("honeypot: shared install %s: %w", sub.Name, err)
+		}
+		sess, err := botsdk.Dial(env.Gateway, bot.Token, botsdk.Options{RequestTimeout: 5 * time.Second})
+		if err != nil {
+			return nil, err
+		}
+		sessions = append(sessions, sess)
+		runner := sub.Runner
+		if runner == nil {
+			runner = IdleBot{}
+		}
+		runner.Start(sess, BotEnv{MailRelay: env.Canary.BaseURL(), Prefix: sub.Prefix})
+		runners = append(runners, runner)
+		v.SuspectNames = append(v.SuspectNames, sub.Name)
+	}
+
+	byName := make(map[string]*platform.User, len(users))
+	for i, per := range personas {
+		byName[per.Username] = users[i]
+	}
+	for _, ex := range env.Feed.Conversation(personas, cfg.FeedMessages) {
+		if _, err := p.SendMessage(byName[ex.Author.Username].ID, general.ID, ex.Text); err != nil {
+			return nil, err
+		}
+	}
+	tokens := env.Minter.MintSet(guildTag)
+	if err := plantTokens(p, env, users, general.ID, tokens); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(cfg.Settle)
+	for time.Now().Before(deadline) {
+		if len(env.Canary.TriggersFor(guildTag)) >= len(tokens) {
+			break
+		}
+		time.Sleep(cfg.PollEvery)
+	}
+	v.Triggered = len(env.Canary.TriggersFor(guildTag)) > 0
+	return v, nil
+}

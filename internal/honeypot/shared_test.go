@@ -1,0 +1,45 @@
+package honeypot
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSharedGuildLosesAttribution(t *testing.T) {
+	env := newEnv(t)
+	cfg := testCfg()
+	cfg.Settle = 1200 * time.Millisecond
+	subs := []Subject{
+		{Name: "InnocentA", Perms: snoopPerms, Runner: IdleBot{}},
+		{Name: "Sneaky", Perms: snoopPerms, Runner: &SnoopBot{}},
+		{Name: "InnocentB", Perms: snoopPerms, Prefix: "!", Runner: ResponderBot{}},
+	}
+	v, err := RunShared(env, cfg, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Triggered {
+		t.Fatal("shared-guild snoop tripped nothing")
+	}
+	// The whole point of the ablation: the trigger implicates every
+	// co-located bot, not just the guilty one.
+	if len(v.SuspectNames) != 3 {
+		t.Errorf("suspects = %v, want all 3 bots", v.SuspectNames)
+	}
+}
+
+func TestSharedGuildCleanWhenAllBenign(t *testing.T) {
+	env := newEnv(t)
+	cfg := testCfg()
+	cfg.Settle = 300 * time.Millisecond
+	v, err := RunShared(env, cfg, []Subject{
+		{Name: "A", Perms: snoopPerms, Runner: IdleBot{}},
+		{Name: "B", Perms: snoopPerms, Runner: IdleBot{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Triggered {
+		t.Error("benign shared guild triggered")
+	}
+}

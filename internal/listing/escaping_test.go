@@ -1,0 +1,69 @@
+package listing
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/htmlparse"
+	"repro/internal/permissions"
+)
+
+// TestHostileBotMetadataIsEscaped plants XSS-style payloads in every
+// bot-controlled field and asserts the rendered pages contain no live
+// markup from them — and that a scraper parsing the page recovers the
+// original strings instead of being structurally confused. Listing
+// sites render attacker-controlled bot metadata, so this is exactly the
+// crawl-robustness problem a real measurement pipeline faces.
+func TestHostileBotMetadataIsEscaped(t *testing.T) {
+	hostile := &Bot{
+		ID:            1,
+		Name:          `<script>alert(1)</script>`,
+		Developers:    []string{`evil"><img src=x onerror=alert(2)>#0001`},
+		Tags:          []string{`"><li class="bot-card">`},
+		Description:   `</div><div id="fake-detail">`,
+		Prefix:        `"><b>`,
+		Commands:      []string{`!help<iframe>`},
+		GuildCount:    5,
+		Votes:         50,
+		Perms:         permissions.SendMessages,
+		HasWebsite:    true,
+		HasPolicyLink: true,
+		PolicyText:    `<style>body{display:none}</style> we collect data`,
+	}
+	srv := newServer(t, []*Bot{hostile}, AntiScrape{})
+
+	for _, path := range []string{"/bots?page=1", "/bot/1", "/site/1", "/site/1/privacy"} {
+		code, body := get(t, srv.BaseURL()+path)
+		if code != 200 {
+			t.Fatalf("%s status = %d", path, code)
+		}
+		if strings.Contains(body, "<script>") || strings.Contains(body, "<iframe>") ||
+			strings.Contains(body, "<style>") {
+			t.Errorf("%s rendered live hostile markup:\n%s", path, body)
+		}
+		doc := htmlparse.Parse(body)
+		if n := doc.SelectFirst("#fake-detail"); n != nil {
+			t.Errorf("%s: description broke out of its element", path)
+		}
+		if got := len(doc.Select("li.bot-card")); path == "/bots?page=1" && got != 1 {
+			t.Errorf("%s: tag injection altered card count: %d", path, got)
+		}
+	}
+
+	// The parser recovers the original name verbatim on the detail page.
+	_, body := get(t, srv.BaseURL()+"/bot/1")
+	doc := htmlparse.Parse(body)
+	name := doc.SelectFirst("h1.bot-name")
+	if name == nil || name.Text() != hostile.Name {
+		t.Errorf("scraped name = %v, want original payload", name)
+	}
+	policyCode, policyBody := get(t, srv.BaseURL()+"/site/1/privacy")
+	if policyCode != 200 {
+		t.Fatal(policyCode)
+	}
+	pdoc := htmlparse.Parse(policyBody)
+	pre := pdoc.SelectFirst("#privacy-policy pre")
+	if pre == nil || !strings.Contains(pre.Text(), "we collect data") {
+		t.Errorf("policy text mangled: %v", pre)
+	}
+}

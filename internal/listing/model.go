@@ -1,0 +1,175 @@
+// Package listing implements a top.gg-style chatbot repository: a data
+// model for bot listings and an HTTP server that renders them as
+// paginated HTML, complete with the anti-scraping behaviours the
+// paper's crawler had to survive — rate limits, captcha challenges,
+// flaky page elements, removed bots, and slow redirect invite links.
+package listing
+
+import (
+	"sort"
+
+	"repro/internal/permissions"
+)
+
+// InviteHealth describes what happens when the install link of a bot is
+// followed. The paper found 26% of bots had invalid permissions "due to
+// invalid invite links, have been removed, or timed out due to slow
+// redirect links".
+type InviteHealth int
+
+// Invite health states.
+const (
+	// InviteOK renders the consent page with the requested permissions.
+	InviteOK InviteHealth = iota
+	// InviteBroken points at a malformed URL that 404s.
+	InviteBroken
+	// InviteRemoved belongs to a bot deleted from the platform; the
+	// install endpoint answers 410 Gone.
+	InviteRemoved
+	// InviteSlow redirects only after a delay longer than any sane
+	// scraper timeout.
+	InviteSlow
+)
+
+// String names the health state.
+func (h InviteHealth) String() string {
+	switch h {
+	case InviteOK:
+		return "ok"
+	case InviteBroken:
+		return "broken"
+	case InviteRemoved:
+		return "removed"
+	case InviteSlow:
+		return "slow-redirect"
+	default:
+		return "unknown"
+	}
+}
+
+// Bot is one listed chatbot with every attribute the paper's data
+// collection extracts: "the chatbot's ID, name, URL, tags, permissions,
+// guild count, description and GitHub link".
+type Bot struct {
+	ID          int
+	Name        string
+	Developers  []string // "name#discriminator" tags; first is primary
+	Tags        []string
+	Description string
+	GuildCount  int
+	Votes       int
+	Prefix      string
+	Commands    []string
+
+	Perms        permissions.Permission
+	InviteHealth InviteHealth
+
+	// HasWebsite controls whether the detail page shows a website link
+	// (served under /site/<id> on the listing host).
+	HasWebsite bool
+	// HasPolicyLink controls whether that website links a privacy
+	// policy page.
+	HasPolicyLink bool
+	// PolicyDead makes the policy link 404 (paper: 676 links, 673
+	// valid pages).
+	PolicyDead bool
+	// PolicyText is served at /site/<id>/privacy when present.
+	PolicyText string
+
+	// GitHubURL, when non-empty, is rendered on the detail page. It may
+	// point at a valid repository, a user profile, or a dead path on
+	// the code host — the link taxonomy of §4.2.
+	GitHubURL string
+}
+
+// Directory is an ordered collection of listed bots, sorted by vote
+// count descending — the "top chatbot" list the paper traverses.
+type Directory struct {
+	bots   []*Bot
+	byID   map[int]*Bot
+	perRow int
+}
+
+// PageSize is the number of bot cards per listing page. 26 cards over
+// 20,915 bots yields the "over 800 pages" the paper reports traversing.
+const PageSize = 26
+
+// NewDirectory builds a directory from a bot population. The slice is
+// copied and sorted by votes descending (ties by ID for determinism).
+func NewDirectory(bots []*Bot) *Directory {
+	d := &Directory{
+		bots: append([]*Bot(nil), bots...),
+		byID: make(map[int]*Bot, len(bots)),
+	}
+	sort.SliceStable(d.bots, func(i, j int) bool {
+		if d.bots[i].Votes != d.bots[j].Votes {
+			return d.bots[i].Votes > d.bots[j].Votes
+		}
+		return d.bots[i].ID < d.bots[j].ID
+	})
+	for _, b := range d.bots {
+		d.byID[b.ID] = b
+	}
+	return d
+}
+
+// Len returns the population size.
+func (d *Directory) Len() int { return len(d.bots) }
+
+// Pages returns the number of listing pages.
+func (d *Directory) Pages() int {
+	return (len(d.bots) + PageSize - 1) / PageSize
+}
+
+// Page returns the bots on 1-indexed page n (empty past the end).
+func (d *Directory) Page(n int) []*Bot {
+	if n < 1 {
+		return nil
+	}
+	lo := (n - 1) * PageSize
+	if lo >= len(d.bots) {
+		return nil
+	}
+	hi := lo + PageSize
+	if hi > len(d.bots) {
+		hi = len(d.bots)
+	}
+	return d.bots[lo:hi]
+}
+
+// PageByTag returns the 1-indexed page of bots carrying a purpose tag,
+// in listing (vote) order, plus whether more pages follow. The paper's
+// honeypot sample spans purposes "such as gaming, fun, social, music,
+// meme"; tag pages are how a listing surfaces them.
+func (d *Directory) PageByTag(tag string, n int) ([]*Bot, bool) {
+	if n < 1 {
+		return nil, false
+	}
+	var matched []*Bot
+	for _, b := range d.bots {
+		for _, t := range b.Tags {
+			if t == tag {
+				matched = append(matched, b)
+				break
+			}
+		}
+	}
+	lo := (n - 1) * PageSize
+	if lo >= len(matched) {
+		return nil, false
+	}
+	hi := lo + PageSize
+	if hi > len(matched) {
+		hi = len(matched)
+	}
+	return matched[lo:hi], hi < len(matched)
+}
+
+// ByID looks a bot up.
+func (d *Directory) ByID(id int) (*Bot, bool) {
+	b, ok := d.byID[id]
+	return b, ok
+}
+
+// All returns the bots in listing order. Callers must not mutate.
+func (d *Directory) All() []*Bot { return d.bots }

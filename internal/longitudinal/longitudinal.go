@@ -1,0 +1,234 @@
+// Package longitudinal implements the paper's stated future work (§5):
+// "a large-scale measurement that quantifies the prevalence of such
+// phenomena" over time. It evolves a synthetic ecosystem through
+// epochs — bot churn, permission creep, and gradually rising privacy-
+// policy adoption (the paper "expect[s] that including privacy policies
+// will become the norm in the future", as it did for voice assistants)
+// — and measures each epoch with the same analyzers the pipeline uses,
+// yielding trend series for the paper's headline metrics.
+package longitudinal
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/listing"
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+	"repro/internal/synth"
+	"repro/internal/traceability"
+)
+
+// EpochStats is one epoch's measurement.
+type EpochStats struct {
+	Epoch int
+	Bots  int
+	// ActivePct is the share of bots with readable (valid) invites.
+	ActivePct float64
+	// AdminPct is the share of active bots requesting administrator.
+	AdminPct float64
+	// PolicyPct is the share of active bots with a live policy.
+	PolicyPct float64
+	// BrokenPct is the broken-traceability share among active bots.
+	BrokenPct float64
+	// CompleteCount counts fully-disclosing policies.
+	CompleteCount int
+	// MeanRisk is the mean permission risk score of active bots.
+	MeanRisk float64
+	// CriticalPct is the share of active bots at critical risk level.
+	CriticalPct float64
+}
+
+// Churn configures one evolution step.
+type Churn struct {
+	// NewBots arrive this epoch (developers keep publishing).
+	NewBots int
+	// RemovalRate is the probability an existing bot is delisted.
+	RemovalRate float64
+	// PolicyAdoptionRate is the probability a policy-less active bot
+	// gains one this epoch.
+	PolicyAdoptionRate float64
+	// PolicyImprovementRate is the probability an existing partial
+	// policy is rewritten to cover all four categories (the ecosystem
+	// maturing toward complete disclosure).
+	PolicyImprovementRate float64
+	// PermCreepRate is the probability a non-admin bot escalates to
+	// administrator (the path of least resistance the paper laments).
+	PermCreepRate float64
+}
+
+// DefaultChurn models a slowly professionalizing ecosystem.
+func DefaultChurn() Churn {
+	return Churn{
+		NewBots:               50,
+		RemovalRate:           0.02,
+		PolicyAdoptionRate:    0.08,
+		PolicyImprovementRate: 0.05,
+		PermCreepRate:         0.01,
+	}
+}
+
+// Evolver mutates an ecosystem across epochs.
+type Evolver struct {
+	eco    *synth.Ecosystem
+	rng    *rand.Rand
+	pg     *policygen.Generator
+	nextID int
+	epoch  int
+}
+
+// NewEvolver wraps an ecosystem for evolution. The ecosystem is
+// mutated in place.
+func NewEvolver(eco *synth.Ecosystem, seed int64) *Evolver {
+	maxID := 0
+	for _, b := range eco.Bots {
+		if b.ID > maxID {
+			maxID = b.ID
+		}
+	}
+	return &Evolver{
+		eco:    eco,
+		rng:    rand.New(rand.NewSource(seed)),
+		pg:     policygen.New(seed ^ 0x10ad),
+		nextID: maxID + 1,
+	}
+}
+
+// Epoch returns how many steps have been applied.
+func (e *Evolver) Epoch() int { return e.epoch }
+
+// Step applies one epoch of churn.
+func (e *Evolver) Step(c Churn) {
+	e.epoch++
+	kept := e.eco.Bots[:0]
+	for _, b := range e.eco.Bots {
+		if b.ID != e.eco.MaliciousID && e.rng.Float64() < c.RemovalRate {
+			continue // delisted
+		}
+		e.evolveBot(b, c)
+		kept = append(kept, b)
+	}
+	e.eco.Bots = kept
+	for i := 0; i < c.NewBots; i++ {
+		e.eco.Bots = append(e.eco.Bots, e.newBot())
+	}
+}
+
+func (e *Evolver) evolveBot(b *listing.Bot, c Churn) {
+	// Policy adoption: a policy-less bot publishes one (partial, like
+	// the rest of the ecosystem at first).
+	if b.InviteHealth == listing.InviteOK && b.PolicyText == "" &&
+		e.rng.Float64() < c.PolicyAdoptionRate {
+		b.HasWebsite = true
+		b.HasPolicyLink = true
+		b.PolicyDead = false
+		b.PolicyText = e.pg.Generate(policygen.Spec{
+			BotName: b.Name,
+			Covered: []policygen.Category{policygen.Collect, policygen.Use},
+		})
+	}
+	// Policy improvement: an existing policy is rewritten to complete.
+	if b.PolicyText != "" && !b.PolicyDead && e.rng.Float64() < c.PolicyImprovementRate {
+		b.PolicyText = e.pg.Generate(policygen.Spec{
+			BotName: b.Name,
+			Covered: policygen.AllCategories,
+		})
+	}
+	// Permission creep.
+	if !b.Perms.IsAdmin() && e.rng.Float64() < c.PermCreepRate {
+		b.Perms |= permissions.Administrator
+	}
+}
+
+func (e *Evolver) newBot() *listing.Bot {
+	id := e.nextID
+	e.nextID++
+	b := &listing.Bot{
+		ID:         id,
+		Name:       fmt.Sprintf("Newcomer%d", id),
+		Developers: []string{fmt.Sprintf("newdev%d#%04d", id, e.rng.Intn(10000))},
+		Tags:       []string{"utility"},
+		Prefix:     "!",
+		Votes:      e.rng.Intn(500),
+		GuildCount: e.rng.Intn(200),
+		Perms:      permissions.SendMessages | permissions.ViewChannel,
+	}
+	if e.rng.Float64() < 0.55 {
+		b.Perms |= permissions.Administrator
+	}
+	if e.rng.Float64() > 0.74 {
+		b.InviteHealth = listing.InviteBroken
+	}
+	return b
+}
+
+// Measure computes an epoch's statistics with the pipeline's analyzers
+// (traceability keyword classes, permission risk scoring) applied
+// directly to the ecosystem's ground truth.
+func Measure(eco *synth.Ecosystem, epoch int) EpochStats {
+	var an traceability.Analyzer
+	st := EpochStats{Epoch: epoch, Bots: len(eco.Bots)}
+	active, admin, withPolicy, broken, critical := 0, 0, 0, 0, 0
+	riskTotal := 0
+	for _, b := range eco.Bots {
+		if b.InviteHealth != listing.InviteOK {
+			continue
+		}
+		active++
+		if b.Perms.IsAdmin() {
+			admin++
+		}
+		policy := ""
+		if b.HasPolicyLink && !b.PolicyDead {
+			policy = b.PolicyText
+		}
+		if policy != "" {
+			withPolicy++
+		}
+		v := an.AnalyzePolicy(policy, b.Perms)
+		switch v.Class {
+		case policygen.Broken:
+			broken++
+		case policygen.Complete:
+			st.CompleteCount++
+		}
+		riskTotal += b.Perms.RiskScore()
+		if b.Perms.Level() == permissions.RiskCritical {
+			critical++
+		}
+	}
+	if active > 0 {
+		st.ActivePct = 100 * float64(active) / float64(len(eco.Bots))
+		st.AdminPct = 100 * float64(admin) / float64(active)
+		st.PolicyPct = 100 * float64(withPolicy) / float64(active)
+		st.BrokenPct = 100 * float64(broken) / float64(active)
+		st.MeanRisk = float64(riskTotal) / float64(active)
+		st.CriticalPct = 100 * float64(critical) / float64(active)
+	}
+	return st
+}
+
+// Run evolves the ecosystem for n epochs under churn c, measuring
+// before the first step and after each step (n+1 rows).
+func Run(eco *synth.Ecosystem, seed int64, n int, c Churn) []EpochStats {
+	ev := NewEvolver(eco, seed)
+	out := []EpochStats{Measure(eco, 0)}
+	for i := 0; i < n; i++ {
+		ev.Step(c)
+		out = append(out, Measure(eco, ev.Epoch()))
+	}
+	return out
+}
+
+// Report renders the trend table.
+func Report(w io.Writer, series []EpochStats) {
+	fmt.Fprintln(w, "Longitudinal trends (per epoch):")
+	fmt.Fprintf(w, "  %-6s %-6s %-8s %-7s %-8s %-8s %-9s %-9s %s\n",
+		"epoch", "bots", "active%", "admin%", "policy%", "broken%", "complete", "meanRisk", "critical%")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-6d %-6d %-8.2f %-7.2f %-8.2f %-8.2f %-9d %-9.1f %.2f\n",
+			s.Epoch, s.Bots, s.ActivePct, s.AdminPct, s.PolicyPct, s.BrokenPct,
+			s.CompleteCount, s.MeanRisk, s.CriticalPct)
+	}
+}

@@ -1,0 +1,146 @@
+package longitudinal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testEco(seed int64, n int) *synth.Ecosystem {
+	return synth.Generate(synth.Config{Seed: seed, NumBots: n})
+}
+
+func TestMeasureBaselineMatchesPaperShape(t *testing.T) {
+	eco := testEco(1, 4000)
+	st := Measure(eco, 0)
+	if st.Bots != 4000 {
+		t.Fatalf("bots = %d", st.Bots)
+	}
+	if st.ActivePct < 70 || st.ActivePct > 78 {
+		t.Errorf("active%% = %.2f", st.ActivePct)
+	}
+	if st.AdminPct < 50 || st.AdminPct > 60 {
+		t.Errorf("admin%% = %.2f", st.AdminPct)
+	}
+	if st.BrokenPct < 92 || st.BrokenPct > 99 {
+		t.Errorf("broken%% = %.2f", st.BrokenPct)
+	}
+	if st.CompleteCount != 0 {
+		t.Errorf("complete = %d at epoch 0", st.CompleteCount)
+	}
+	if st.MeanRisk <= 0 || st.CriticalPct <= 0 {
+		t.Errorf("risk stats empty: %+v", st)
+	}
+}
+
+func TestRunTrendsDirections(t *testing.T) {
+	eco := testEco(2, 3000)
+	churn := DefaultChurn()
+	churn.NewBots = 100 // outpace the 2% removal of a 3000-bot population
+	series := Run(eco, 7, 12, churn)
+	if len(series) != 13 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	first, last := series[0], series[len(series)-1]
+	// Policy adoption must rise under positive adoption churn.
+	if last.PolicyPct <= first.PolicyPct {
+		t.Errorf("policy%% did not rise: %.2f -> %.2f", first.PolicyPct, last.PolicyPct)
+	}
+	// Broken traceability correspondingly falls.
+	if last.BrokenPct >= first.BrokenPct {
+		t.Errorf("broken%% did not fall: %.2f -> %.2f", first.BrokenPct, last.BrokenPct)
+	}
+	// Complete policies appear as improvement churn lands.
+	if last.CompleteCount == 0 {
+		t.Error("no complete policies after 12 improvement epochs")
+	}
+	// Permission creep pushes admin share and risk up.
+	if last.AdminPct <= first.AdminPct {
+		t.Errorf("admin%% did not creep: %.2f -> %.2f", first.AdminPct, last.AdminPct)
+	}
+	if last.MeanRisk <= first.MeanRisk {
+		t.Errorf("mean risk did not rise: %.1f -> %.1f", first.MeanRisk, last.MeanRisk)
+	}
+	// Population grows on net (50 new vs ~2% of 3000 removed).
+	if last.Bots <= first.Bots {
+		t.Errorf("population did not grow: %d -> %d", first.Bots, last.Bots)
+	}
+}
+
+func TestEvolutionDeterministic(t *testing.T) {
+	a := Run(testEco(3, 800), 11, 5, DefaultChurn())
+	b := Run(testEco(3, 800), 11, 5, DefaultChurn())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("epoch %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMaliciousBotSurvivesChurn(t *testing.T) {
+	eco := testEco(4, 500)
+	churn := DefaultChurn()
+	churn.RemovalRate = 0.5 // aggressive delisting
+	ev := NewEvolver(eco, 9)
+	for i := 0; i < 6; i++ {
+		ev.Step(churn)
+	}
+	found := false
+	for _, b := range eco.Bots {
+		if b.ID == eco.MaliciousID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the planted malicious bot must persist for the honeypot thread")
+	}
+	if ev.Epoch() != 6 {
+		t.Errorf("epoch = %d", ev.Epoch())
+	}
+}
+
+func TestNewBotIDsUnique(t *testing.T) {
+	eco := testEco(5, 300)
+	ev := NewEvolver(eco, 1)
+	for i := 0; i < 4; i++ {
+		ev.Step(Churn{NewBots: 100})
+	}
+	seen := make(map[int]bool)
+	for _, b := range eco.Bots {
+		if seen[b.ID] {
+			t.Fatalf("duplicate bot ID %d after evolution", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	if len(eco.Bots) != 700 {
+		t.Errorf("population = %d, want 700", len(eco.Bots))
+	}
+}
+
+func TestZeroChurnIsStasis(t *testing.T) {
+	eco := testEco(6, 400)
+	before := Measure(eco, 0)
+	series := Run(eco, 1, 3, Churn{})
+	for _, st := range series {
+		if st.Bots != before.Bots || st.AdminPct != before.AdminPct ||
+			st.PolicyPct != before.PolicyPct {
+			t.Fatalf("zero churn changed the ecosystem: %+v vs %+v", st, before)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	eco := testEco(7, 300)
+	series := Run(eco, 2, 2, DefaultChurn())
+	var buf bytes.Buffer
+	Report(&buf, series)
+	out := buf.String()
+	if !strings.Contains(out, "Longitudinal trends") || !strings.Contains(out, "admin%") {
+		t.Errorf("report header missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("too few rows:\n%s", out)
+	}
+}

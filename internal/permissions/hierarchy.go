@@ -1,0 +1,119 @@
+package permissions
+
+// RolePosition is the position of a role in a guild's role list. Higher
+// positions outrank lower ones; the implicit @everyone role sits at
+// position 0.
+type RolePosition int
+
+// Actor is the minimal view of a guild member the hierarchy rules need:
+// its highest role position and its effective guild-level permissions.
+// Both platform members and chatbots satisfy it.
+type Actor struct {
+	HighestRole RolePosition
+	Perms       Permission
+}
+
+// The five hierarchy rules from the paper's §4.1 ("Discord implements a
+// 'permission hierarchy' system"):
+//
+//	i)   an actor can grant roles positioned below its own highest role;
+//	ii)  an actor can edit roles positioned below its highest role, but
+//	     can only grant permissions it itself has;
+//	iii) an actor can only sort (move) roles below its highest role;
+//	iv)  an actor can only kick, ban and edit nicknames of users whose
+//	     highest role is below its own;
+//	v)   otherwise, permissions do not obey the role hierarchy.
+//
+// Administrator short-circuits the permission requirement but NOT the
+// position comparisons for member moderation (matching Discord, where
+// even admins cannot ban higher-positioned members).
+
+// CanGrantRole implements rule i: actor may assign a role at position
+// target to another member. Requires the manage-roles capability.
+func CanGrantRole(actor Actor, target RolePosition) bool {
+	if !actor.Perms.Effective().Has(ManageRoles) {
+		return false
+	}
+	return target < actor.HighestRole
+}
+
+// CanEditRole implements rule ii: actor may change a role at position
+// target so that it carries perms. Every permission granted to the
+// edited role must already be held by the actor (administrators hold
+// everything).
+func CanEditRole(actor Actor, target RolePosition, grant Permission) bool {
+	if !actor.Perms.Effective().Has(ManageRoles) {
+		return false
+	}
+	if target >= actor.HighestRole {
+		return false
+	}
+	return actor.Perms.Effective().Has(grant)
+}
+
+// CanSortRole implements rule iii: actor may move the role at position
+// target within the role list.
+func CanSortRole(actor Actor, target RolePosition) bool {
+	if !actor.Perms.Effective().Has(ManageRoles) {
+		return false
+	}
+	return target < actor.HighestRole
+}
+
+// ModerationAction is a member-targeted moderation capability governed
+// by rule iv.
+type ModerationAction int
+
+// Moderation actions covered by hierarchy rule iv.
+const (
+	ActionKick ModerationAction = iota
+	ActionBan
+	ActionEditNickname
+)
+
+// requiredPerm maps each moderation action to the permission bit it
+// needs.
+func (a ModerationAction) requiredPerm() Permission {
+	switch a {
+	case ActionKick:
+		return KickMembers
+	case ActionBan:
+		return BanMembers
+	case ActionEditNickname:
+		return ManageNicknames
+	default:
+		return All // unreachable actions require everything, i.e. fail closed
+	}
+}
+
+// String names the action for audit logs.
+func (a ModerationAction) String() string {
+	switch a {
+	case ActionKick:
+		return "kick"
+	case ActionBan:
+		return "ban"
+	case ActionEditNickname:
+		return "edit-nickname"
+	default:
+		return "unknown"
+	}
+}
+
+// CanModerate implements rule iv: actor may kick/ban/rename a member
+// whose highest role is target only if that member sits strictly below
+// the actor.
+func CanModerate(actor Actor, action ModerationAction, target RolePosition) bool {
+	if !actor.Perms.Effective().Has(action.requiredPerm()) {
+		return false
+	}
+	return target < actor.HighestRole
+}
+
+// HierarchyExempt implements rule v: permissions other than the ones the
+// explicit rules govern do not obey the role hierarchy at all — holding
+// the bit suffices regardless of relative positions.
+func HierarchyExempt(p Permission) bool {
+	const governed = ManageRoles | KickMembers | BanMembers | ManageNicknames
+	return p&governed == 0
+}

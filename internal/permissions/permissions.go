@@ -1,0 +1,236 @@
+// Package permissions implements the Discord-style permission bitfield
+// used throughout the reproduction: the permission constants, their
+// canonical names as shown on installation pages and in listings, the
+// "dangerous" subset highlighted by the paper, and helpers for parsing
+// and formatting permission sets.
+//
+// Bit assignments follow the public Discord API documentation so that
+// synthetic invite URLs (?permissions=NNN) decode exactly like the ones
+// the paper's scraper collected from top.gg.
+package permissions
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Permission is a bitfield of guild/channel capabilities. A Permission
+// value with several bits set represents a permission *set*.
+type Permission uint64
+
+// Permission bits, matching the Discord API values.
+const (
+	CreateInstantInvite Permission = 1 << 0
+	KickMembers         Permission = 1 << 1
+	BanMembers          Permission = 1 << 2
+	Administrator       Permission = 1 << 3
+	ManageChannels      Permission = 1 << 4
+	ManageGuild         Permission = 1 << 5
+	AddReactions        Permission = 1 << 6
+	ViewAuditLog        Permission = 1 << 7
+	PrioritySpeaker     Permission = 1 << 8
+	Stream              Permission = 1 << 9
+	ViewChannel         Permission = 1 << 10 // "read messages" on install pages
+	SendMessages        Permission = 1 << 11
+	SendTTSMessages     Permission = 1 << 12
+	ManageMessages      Permission = 1 << 13
+	EmbedLinks          Permission = 1 << 14
+	AttachFiles         Permission = 1 << 15
+	ReadMessageHistory  Permission = 1 << 16
+	MentionEveryone     Permission = 1 << 17
+	UseExternalEmojis   Permission = 1 << 18
+	ViewGuildInsights   Permission = 1 << 19
+	Connect             Permission = 1 << 20
+	Speak               Permission = 1 << 21
+	MuteMembers         Permission = 1 << 22
+	DeafenMembers       Permission = 1 << 23
+	MoveMembers         Permission = 1 << 24
+	UseVAD              Permission = 1 << 25 // "use voice activity"
+	ChangeNickname      Permission = 1 << 26
+	ManageNicknames     Permission = 1 << 27
+	ManageRoles         Permission = 1 << 28
+	ManageWebhooks      Permission = 1 << 29
+	ManageEmojis        Permission = 1 << 30 // "manage emojis and stickers"
+)
+
+// None is the empty permission set.
+const None Permission = 0
+
+// All is the union of every defined permission bit.
+const All Permission = CreateInstantInvite | KickMembers | BanMembers |
+	Administrator | ManageChannels | ManageGuild | AddReactions |
+	ViewAuditLog | PrioritySpeaker | Stream | ViewChannel | SendMessages |
+	SendTTSMessages | ManageMessages | EmbedLinks | AttachFiles |
+	ReadMessageHistory | MentionEveryone | UseExternalEmojis |
+	ViewGuildInsights | Connect | Speak | MuteMembers | DeafenMembers |
+	MoveMembers | UseVAD | ChangeNickname | ManageNicknames | ManageRoles |
+	ManageWebhooks | ManageEmojis
+
+// names maps single bits to the lower-case labels used by installation
+// pages and by Figure 3 of the paper.
+var names = map[Permission]string{
+	CreateInstantInvite: "create invite",
+	KickMembers:         "kick members",
+	BanMembers:          "ban members",
+	Administrator:       "administrator",
+	ManageChannels:      "manage channels",
+	ManageGuild:         "manage server",
+	AddReactions:        "add reactions",
+	ViewAuditLog:        "view audit log",
+	PrioritySpeaker:     "priority speaker",
+	Stream:              "stream",
+	ViewChannel:         "read messages",
+	SendMessages:        "send messages",
+	SendTTSMessages:     "send tts messages",
+	ManageMessages:      "manage messages",
+	EmbedLinks:          "embed links",
+	AttachFiles:         "attach files",
+	ReadMessageHistory:  "read message history",
+	MentionEveryone:     "mention @everyone",
+	UseExternalEmojis:   "use external emojis",
+	ViewGuildInsights:   "view server insights",
+	Connect:             "connect",
+	Speak:               "speak",
+	MuteMembers:         "mute members",
+	DeafenMembers:       "deafen members",
+	MoveMembers:         "move members",
+	UseVAD:              "use voice activity",
+	ChangeNickname:      "change nickname",
+	ManageNicknames:     "manage nicknames",
+	ManageRoles:         "manage roles",
+	ManageWebhooks:      "manage webhooks",
+	ManageEmojis:        "manage emojis and stickers",
+}
+
+var byName map[string]Permission
+
+func init() {
+	byName = make(map[string]Permission, len(names))
+	for p, n := range names {
+		byName[n] = p
+	}
+}
+
+// Dangerous is the subset of permissions the paper treats as high risk
+// when granted to a third-party chatbot: full control of the guild, of
+// its members, or of its access-control configuration.
+const Dangerous = Administrator | ManageGuild | ManageRoles |
+	ManageChannels | ManageWebhooks | BanMembers | KickMembers |
+	ManageMessages | MentionEveryone
+
+// Has reports whether every bit of q is present in p. Administrator does
+// NOT implicitly grant other bits at this level; use Effective for that.
+func (p Permission) Has(q Permission) bool { return p&q == q }
+
+// HasAny reports whether at least one bit of q is present in p.
+func (p Permission) HasAny(q Permission) bool { return p&q != 0 }
+
+// Add returns p with all bits of q set.
+func (p Permission) Add(q Permission) Permission { return p | q }
+
+// Remove returns p with all bits of q cleared.
+func (p Permission) Remove(q Permission) Permission { return p &^ q }
+
+// IsAdmin reports whether the set includes the administrator bit.
+func (p Permission) IsAdmin() bool { return p&Administrator != 0 }
+
+// Effective expands the administrator bit: an administrator holds every
+// permission and bypasses channel overwrites (paper §4.1).
+func (p Permission) Effective() Permission {
+	if p.IsAdmin() {
+		return All
+	}
+	return p
+}
+
+// Count returns the number of individual permission bits set.
+func (p Permission) Count() int {
+	n := 0
+	for q := p; q != 0; q &= q - 1 {
+		n++
+	}
+	return n
+}
+
+// Split returns the individual bits of p in ascending bit order.
+func (p Permission) Split() []Permission {
+	var out []Permission
+	for bit := Permission(1); bit != 0 && bit <= p; bit <<= 1 {
+		if p&bit != 0 {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// Name returns the canonical lower-case label for a single-bit
+// permission, or "unknown(0xN)" for undefined bits. For multi-bit sets
+// use Names or String.
+func (p Permission) Name() string {
+	if n, ok := names[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("unknown(%#x)", uint64(p))
+}
+
+// Names returns the labels of every bit set in p, sorted alphabetically
+// the way installation pages list them.
+func (p Permission) Names() []string {
+	bits := p.Split()
+	out := make([]string, 0, len(bits))
+	for _, b := range bits {
+		out = append(out, b.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as a comma-separated list of names, or "none".
+func (p Permission) String() string {
+	if p == None {
+		return "none"
+	}
+	return strings.Join(p.Names(), ", ")
+}
+
+// Defined reports whether every bit in p corresponds to a defined
+// permission constant. Invite links scraped from listings can carry
+// arbitrary integers; the scraper uses this to flag invalid permission
+// values.
+func (p Permission) Defined() bool { return p&^All == 0 }
+
+// FromName resolves a canonical label back to its bit. The second result
+// is false for unknown labels.
+func FromName(name string) (Permission, bool) {
+	p, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+	return p, ok
+}
+
+// ParseValue parses the decimal integer carried by an invite URL's
+// ?permissions= query parameter.
+func ParseValue(s string) (Permission, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return None, fmt.Errorf("permissions: parse %q: %w", s, err)
+	}
+	return Permission(v), nil
+}
+
+// Value renders the set as the decimal integer used in invite URLs.
+func (p Permission) Value() string { return strconv.FormatUint(uint64(p), 10) }
+
+// AllDefined returns every defined single-bit permission in ascending
+// bit order. The slice is freshly allocated on each call.
+func AllDefined() []Permission {
+	return All.Split()
+}
+
+// RedundantWithAdmin reports whether the set requests administrator plus
+// at least one other permission. The paper (§5, "Misunderstanding the
+// permission system") flags such requests as redundant because
+// administrator already encompasses every other permission.
+func (p Permission) RedundantWithAdmin() bool {
+	return p.IsAdmin() && p != Administrator
+}

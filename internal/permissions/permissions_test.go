@@ -1,0 +1,369 @@
+package permissions
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitValuesMatchDiscordAPI(t *testing.T) {
+	// Spot-check against the documented Discord API values so synthetic
+	// invite URLs decode identically to real ones.
+	cases := []struct {
+		p    Permission
+		want uint64
+	}{
+		{CreateInstantInvite, 0x1},
+		{KickMembers, 0x2},
+		{BanMembers, 0x4},
+		{Administrator, 0x8},
+		{ManageGuild, 0x20},
+		{ViewChannel, 0x400},
+		{SendMessages, 0x800},
+		{ManageMessages, 0x2000},
+		{ReadMessageHistory, 0x10000},
+		{Connect, 0x100000},
+		{ManageRoles, 0x10000000},
+		{ManageEmojis, 0x40000000},
+	}
+	for _, c := range cases {
+		if uint64(c.p) != c.want {
+			t.Errorf("%s = %#x, want %#x", c.p.Name(), uint64(c.p), c.want)
+		}
+	}
+}
+
+func TestAllContainsEveryNamedBit(t *testing.T) {
+	for p := range names {
+		if !All.Has(p) {
+			t.Errorf("All missing %s", p.Name())
+		}
+	}
+	if got, want := All.Count(), len(names); got != want {
+		t.Errorf("All has %d bits, names has %d entries", got, want)
+	}
+}
+
+func TestHasAddRemove(t *testing.T) {
+	p := None.Add(SendMessages).Add(EmbedLinks)
+	if !p.Has(SendMessages) || !p.Has(EmbedLinks) {
+		t.Fatalf("Add lost bits: %s", p)
+	}
+	if p.Has(SendMessages | Administrator) {
+		t.Error("Has should require every bit of the query set")
+	}
+	if !p.HasAny(SendMessages | Administrator) {
+		t.Error("HasAny should accept a partial overlap")
+	}
+	p = p.Remove(SendMessages)
+	if p.Has(SendMessages) {
+		t.Error("Remove did not clear the bit")
+	}
+	if !p.Has(EmbedLinks) {
+		t.Error("Remove cleared an unrelated bit")
+	}
+}
+
+func TestEffectiveExpandsAdministrator(t *testing.T) {
+	if got := Administrator.Effective(); got != All {
+		t.Errorf("Administrator.Effective() = %s, want All", got)
+	}
+	p := SendMessages | Connect
+	if got := p.Effective(); got != p {
+		t.Errorf("non-admin Effective changed the set: %s", got)
+	}
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	p := SendMessages | Administrator | ManageRoles
+	bits := p.Split()
+	if len(bits) != 3 {
+		t.Fatalf("Split returned %d bits, want 3", len(bits))
+	}
+	var rejoined Permission
+	for _, b := range bits {
+		if b.Count() != 1 {
+			t.Errorf("Split produced multi-bit element %s", b)
+		}
+		rejoined |= b
+	}
+	if rejoined != p {
+		t.Errorf("Split/rejoin mismatch: %s vs %s", rejoined, p)
+	}
+}
+
+func TestNamesRoundTrip(t *testing.T) {
+	for p, n := range names {
+		got, ok := FromName(n)
+		if !ok {
+			t.Errorf("FromName(%q) not found", n)
+			continue
+		}
+		if got != p {
+			t.Errorf("FromName(%q) = %s, want %s", n, got.Name(), p.Name())
+		}
+	}
+	if _, ok := FromName("launch nukes"); ok {
+		t.Error("FromName accepted an unknown label")
+	}
+}
+
+func TestFromNameNormalizes(t *testing.T) {
+	got, ok := FromName("  Administrator ")
+	if !ok || got != Administrator {
+		t.Errorf("FromName with padding/case = %v, %v", got, ok)
+	}
+}
+
+func TestStringAndNameFormatting(t *testing.T) {
+	if None.String() != "none" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	s := (SendMessages | Administrator).String()
+	if !strings.Contains(s, "administrator") || !strings.Contains(s, "send messages") {
+		t.Errorf("String() missing labels: %q", s)
+	}
+	if !strings.HasPrefix(Permission(1<<40).Name(), "unknown(") {
+		t.Errorf("undefined bit Name() = %q", Permission(1<<40).Name())
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	ns := All.Names()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] > ns[i] {
+			t.Fatalf("Names not sorted: %q > %q", ns[i-1], ns[i])
+		}
+	}
+}
+
+func TestParseValueAndValue(t *testing.T) {
+	p, err := ParseValue("2147483647")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(Administrator) || !p.Has(ManageEmojis) {
+		t.Errorf("parsed set missing expected bits: %s", p)
+	}
+	if _, err := ParseValue("not-a-number"); err == nil {
+		t.Error("ParseValue accepted garbage")
+	}
+	if _, err := ParseValue("-5"); err == nil {
+		t.Error("ParseValue accepted a negative value")
+	}
+	if got := (SendMessages | ViewChannel).Value(); got != "3072" {
+		t.Errorf("Value() = %q, want 3072", got)
+	}
+}
+
+func TestDefined(t *testing.T) {
+	if !All.Defined() {
+		t.Error("All should be Defined")
+	}
+	if Permission(1 << 45).Defined() {
+		t.Error("undefined high bit reported as Defined")
+	}
+	if !(SendMessages | Administrator).Defined() {
+		t.Error("valid combination reported undefined")
+	}
+}
+
+func TestRedundantWithAdmin(t *testing.T) {
+	if Administrator.RedundantWithAdmin() {
+		t.Error("bare administrator is not redundant")
+	}
+	if !(Administrator | SendMessages).RedundantWithAdmin() {
+		t.Error("admin+send messages should be redundant")
+	}
+	if (SendMessages | EmbedLinks).RedundantWithAdmin() {
+		t.Error("non-admin set can never be admin-redundant")
+	}
+}
+
+func TestDangerousSubset(t *testing.T) {
+	if !Dangerous.Has(Administrator) {
+		t.Error("Dangerous must include administrator")
+	}
+	if Dangerous.Has(AddReactions) {
+		t.Error("add reactions should not be dangerous")
+	}
+	if !Dangerous.Defined() {
+		t.Error("Dangerous contains undefined bits")
+	}
+}
+
+func TestAllDefinedFresh(t *testing.T) {
+	a, b := AllDefined(), AllDefined()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("AllDefined lengths: %d vs %d", len(a), len(b))
+	}
+	a[0] = None
+	if b[0] == None {
+		t.Error("AllDefined shares backing storage between calls")
+	}
+}
+
+// Property: Value/ParseValue round-trips for any defined set.
+func TestQuickValueRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Permission(raw) & All
+		got, err := ParseValue(p.Value())
+		return err == nil && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split always returns single bits that OR back to the input.
+func TestQuickSplitRejoin(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Permission(raw)
+		var join Permission
+		for _, b := range p.Split() {
+			if b.Count() != 1 {
+				return false
+			}
+			join |= b
+		}
+		return join == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the number of elements Split returns.
+func TestQuickCountMatchesSplit(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Permission(raw)
+		return p.Count() == len(p.Split())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Effective is idempotent and never loses bits.
+func TestQuickEffectiveMonotone(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Permission(raw) & All
+		e := p.Effective()
+		return e.Has(p) && e.Effective() == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyGrantRole(t *testing.T) {
+	mod := Actor{HighestRole: 5, Perms: ManageRoles}
+	if !CanGrantRole(mod, 3) {
+		t.Error("should grant a lower role")
+	}
+	if CanGrantRole(mod, 5) {
+		t.Error("must not grant a role at own position")
+	}
+	if CanGrantRole(mod, 7) {
+		t.Error("must not grant a higher role")
+	}
+	noPerm := Actor{HighestRole: 9, Perms: SendMessages}
+	if CanGrantRole(noPerm, 1) {
+		t.Error("manage-roles bit is required")
+	}
+	admin := Actor{HighestRole: 5, Perms: Administrator}
+	if !CanGrantRole(admin, 4) {
+		t.Error("administrator implies manage roles")
+	}
+}
+
+func TestHierarchyEditRole(t *testing.T) {
+	mod := Actor{HighestRole: 5, Perms: ManageRoles | KickMembers}
+	if !CanEditRole(mod, 2, KickMembers) {
+		t.Error("may grant a permission it holds to a lower role")
+	}
+	if CanEditRole(mod, 2, BanMembers) {
+		t.Error("must not grant a permission it lacks (rule ii)")
+	}
+	if CanEditRole(mod, 6, KickMembers) {
+		t.Error("must not edit a higher role")
+	}
+	admin := Actor{HighestRole: 5, Perms: Administrator}
+	if !CanEditRole(admin, 2, BanMembers|ManageGuild) {
+		t.Error("administrator holds every permission for rule ii")
+	}
+}
+
+func TestHierarchySortRole(t *testing.T) {
+	mod := Actor{HighestRole: 4, Perms: ManageRoles}
+	if !CanSortRole(mod, 3) || CanSortRole(mod, 4) || CanSortRole(mod, 9) {
+		t.Error("rule iii: only strictly lower roles are sortable")
+	}
+}
+
+func TestHierarchyModeration(t *testing.T) {
+	bot := Actor{HighestRole: 10, Perms: KickMembers | BanMembers | ManageNicknames}
+	for _, action := range []ModerationAction{ActionKick, ActionBan, ActionEditNickname} {
+		if !CanModerate(bot, action, 4) {
+			t.Errorf("%s on lower member should pass", action)
+		}
+		if CanModerate(bot, action, 10) {
+			t.Errorf("%s on equal member must fail", action)
+		}
+		if CanModerate(bot, action, 15) {
+			t.Errorf("%s on higher member must fail", action)
+		}
+	}
+	weak := Actor{HighestRole: 10, Perms: SendMessages}
+	if CanModerate(weak, ActionBan, 1) {
+		t.Error("ban without ban-members bit must fail")
+	}
+	// Administrator supplies the bit but not a position bypass.
+	admin := Actor{HighestRole: 3, Perms: Administrator}
+	if !CanModerate(admin, ActionKick, 1) {
+		t.Error("admin kick on lower member should pass")
+	}
+	if CanModerate(admin, ActionKick, 8) {
+		t.Error("admin must still respect the hierarchy for kicks")
+	}
+}
+
+func TestModerationActionStrings(t *testing.T) {
+	if ActionKick.String() != "kick" || ActionBan.String() != "ban" ||
+		ActionEditNickname.String() != "edit-nickname" {
+		t.Error("unexpected action labels")
+	}
+	if ModerationAction(99).String() != "unknown" {
+		t.Error("unknown action should label as unknown")
+	}
+	if ModerationAction(99).requiredPerm() != All {
+		t.Error("unknown action must fail closed")
+	}
+}
+
+func TestHierarchyExempt(t *testing.T) {
+	if HierarchyExempt(KickMembers) || HierarchyExempt(ManageRoles) {
+		t.Error("governed bits are not exempt")
+	}
+	if !HierarchyExempt(SendMessages) || !HierarchyExempt(ManageChannels) {
+		t.Error("rule v: ungoverned permissions ignore the hierarchy")
+	}
+}
+
+// Property: moderation never succeeds against an equal-or-higher member,
+// no matter the permissions held.
+func TestQuickModerationRespectsHierarchy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		actor := Actor{
+			HighestRole: RolePosition(rng.Intn(20)),
+			Perms:       Permission(rng.Uint64()) & All,
+		}
+		target := actor.HighestRole + RolePosition(rng.Intn(5))
+		action := ModerationAction(rng.Intn(3))
+		if CanModerate(actor, action, target) {
+			t.Fatalf("moderation of equal/higher member allowed: actor=%+v target=%d", actor, target)
+		}
+	}
+}

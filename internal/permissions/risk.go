@@ -1,0 +1,122 @@
+package permissions
+
+import "sort"
+
+// Risk scoring for permission sets, after the quantitative Android
+// permission risk assessments the paper builds on (its refs [6], [55]):
+// each permission carries a weight reflecting the damage a malicious or
+// compromised bot could do with it; a set's score aggregates the
+// weights, with administrator pinned to the maximum since it subsumes
+// everything.
+
+// RiskWeight classifies a single permission's abuse potential on a
+// 0–10 scale.
+func RiskWeight(p Permission) int {
+	switch p {
+	case Administrator:
+		return 10
+	case ManageGuild, ManageRoles, ManageWebhooks:
+		return 9
+	case BanMembers, ManageChannels:
+		return 8
+	case KickMembers, ManageMessages:
+		return 7
+	case MentionEveryone, ManageNicknames:
+		return 6
+	case ViewAuditLog, ReadMessageHistory:
+		return 5
+	case ViewChannel, AttachFiles, ManageEmojis:
+		return 4
+	case MoveMembers, MuteMembers, DeafenMembers:
+		return 3
+	case SendMessages, EmbedLinks, CreateInstantInvite, Connect:
+		return 2
+	case Speak, SendTTSMessages, AddReactions, UseExternalEmojis,
+		UseVAD, ChangeNickname, PrioritySpeaker, Stream, ViewGuildInsights:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxRiskScore is the score of the full permission set (and of any set
+// containing administrator).
+var MaxRiskScore = func() int {
+	total := 0
+	for _, p := range AllDefined() {
+		if p == Administrator {
+			continue
+		}
+		total += RiskWeight(p)
+	}
+	return total
+}()
+
+// RiskScore aggregates a set's weights. Administrator pins the score to
+// MaxRiskScore: it subsumes every capability, so extra requested bits
+// add nothing (they are redundant, per §5).
+func (p Permission) RiskScore() int {
+	if p.IsAdmin() {
+		return MaxRiskScore
+	}
+	total := 0
+	for _, bit := range p.Split() {
+		total += RiskWeight(bit)
+	}
+	return total
+}
+
+// RiskLevel is a coarse bucket for reporting.
+type RiskLevel int
+
+// Risk levels.
+const (
+	RiskLow RiskLevel = iota
+	RiskModerate
+	RiskHigh
+	RiskCritical
+)
+
+// String names the level.
+func (l RiskLevel) String() string {
+	switch l {
+	case RiskCritical:
+		return "critical"
+	case RiskHigh:
+		return "high"
+	case RiskModerate:
+		return "moderate"
+	default:
+		return "low"
+	}
+}
+
+// Level buckets a set's risk score: critical for administrator or
+// near-total capability, high for guild-control sets, moderate for
+// data-reading sets, low otherwise.
+func (p Permission) Level() RiskLevel {
+	score := p.RiskScore()
+	switch {
+	case p.IsAdmin() || score >= MaxRiskScore*3/4:
+		return RiskCritical
+	case score >= 20 || p.HasAny(ManageGuild|ManageRoles|BanMembers):
+		return RiskHigh
+	case score >= 8:
+		return RiskModerate
+	default:
+		return RiskLow
+	}
+}
+
+// RankByRisk orders permission sets by descending risk score (stable on
+// ties). It returns indexes into the input slice.
+func RankByRisk(sets []Permission) []int {
+	idx := make([]int, len(sets))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return sets[idx[a]].RiskScore() > sets[idx[b]].RiskScore()
+	})
+	return idx
+}

@@ -1,0 +1,100 @@
+package permissions
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRiskWeightsDefined(t *testing.T) {
+	for _, p := range AllDefined() {
+		if RiskWeight(p) <= 0 {
+			t.Errorf("%s has no risk weight", p.Name())
+		}
+	}
+	if RiskWeight(Permission(1<<50)) != 0 {
+		t.Error("undefined bit should weigh 0")
+	}
+	if RiskWeight(Administrator) != 10 {
+		t.Error("administrator must carry the maximum single weight")
+	}
+}
+
+func TestRiskScoreAdminPinned(t *testing.T) {
+	if Administrator.RiskScore() != MaxRiskScore {
+		t.Errorf("admin score = %d, want %d", Administrator.RiskScore(), MaxRiskScore)
+	}
+	// Admin + extras is no riskier than admin alone — the extras are
+	// redundant (§5).
+	if (Administrator | SendMessages | BanMembers).RiskScore() != MaxRiskScore {
+		t.Error("redundant extras changed the admin score")
+	}
+	if None.RiskScore() != 0 {
+		t.Error("empty set should score 0")
+	}
+}
+
+func TestRiskScoreMonotone(t *testing.T) {
+	f := func(raw uint64) bool {
+		p := Permission(raw) & All &^ Administrator
+		// Adding any bit never lowers the score.
+		return (p | KickMembers).RiskScore() >= p.RiskScore()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRiskScoreAdditiveWithoutAdmin(t *testing.T) {
+	a := SendMessages | EmbedLinks
+	if a.RiskScore() != RiskWeight(SendMessages)+RiskWeight(EmbedLinks) {
+		t.Errorf("score = %d", a.RiskScore())
+	}
+}
+
+func TestRiskLevels(t *testing.T) {
+	cases := []struct {
+		p    Permission
+		want RiskLevel
+	}{
+		{Administrator, RiskCritical},
+		{ManageGuild | SendMessages, RiskHigh},
+		{BanMembers, RiskHigh},
+		{ViewChannel | ReadMessageHistory, RiskModerate},
+		{SendMessages | AddReactions, RiskLow},
+		{None, RiskLow},
+	}
+	for _, c := range cases {
+		if got := c.p.Level(); got != c.want {
+			t.Errorf("Level(%s) = %s, want %s", c.p, got, c.want)
+		}
+	}
+	names := map[RiskLevel]string{
+		RiskLow: "low", RiskModerate: "moderate", RiskHigh: "high", RiskCritical: "critical",
+	}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("level %d = %q", l, l.String())
+		}
+	}
+}
+
+func TestRankByRisk(t *testing.T) {
+	sets := []Permission{
+		SendMessages,             // low
+		Administrator,            // max
+		ViewChannel | BanMembers, // middle
+	}
+	order := RankByRisk(sets)
+	if len(order) != 3 || order[0] != 1 || order[2] != 0 {
+		t.Errorf("order = %v", order)
+	}
+	// Stability on ties.
+	ties := []Permission{SendMessages, SendMessages, SendMessages}
+	got := RankByRisk(ties)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("tie order = %v", got)
+	}
+	if out := RankByRisk(nil); len(out) != 0 {
+		t.Errorf("nil input = %v", out)
+	}
+}

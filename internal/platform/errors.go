@@ -1,0 +1,31 @@
+package platform
+
+import "errors"
+
+// Sentinel errors returned by platform operations. Callers branch on
+// these with errors.Is.
+var (
+	ErrNotFound          = errors.New("platform: entity not found")
+	ErrPermissionDenied  = errors.New("platform: permission denied")
+	ErrHierarchy         = errors.New("platform: role hierarchy forbids action")
+	ErrNotMember         = errors.New("platform: user is not a guild member")
+	ErrAlreadyMember     = errors.New("platform: user is already a member")
+	ErrBanned            = errors.New("platform: user is banned from guild")
+	ErrPrivateGuild      = errors.New("platform: private guild requires an invite")
+	ErrGuildLimit        = errors.New("platform: normal users are limited in guild count")
+	ErrVerification      = errors.New("platform: mobile verification required")
+	ErrNotBot            = errors.New("platform: account is not a bot")
+	ErrNotNormalUser     = errors.New("platform: account is not a normal user")
+	ErrInvalidToken      = errors.New("platform: invalid bot token")
+	ErrWrongChannelKind  = errors.New("platform: operation not valid for channel kind")
+	ErrUndefinedPerms    = errors.New("platform: undefined permission bits requested")
+	ErrEmptyContent      = errors.New("platform: empty message content")
+	ErrSelfModeration    = errors.New("platform: cannot moderate yourself")
+	ErrOwnerImmune       = errors.New("platform: guild owner cannot be moderated")
+	ErrInviteExpired     = errors.New("platform: invite is expired or invalid")
+	ErrAlreadyBanned     = errors.New("platform: user is already banned")
+	ErrRapidJoinFlagged  = errors.New("platform: account flagged for joining guilds too quickly")
+	ErrRoleManaged       = errors.New("platform: managed roles cannot be edited directly")
+	ErrEveryoneImmutable = errors.New("platform: the everyone role cannot be moved or deleted")
+	ErrAlreadyResponded  = errors.New("platform: interaction already responded to")
+)

@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType labels platform events delivered over the gateway.
+type EventType string
+
+// Event types.
+const (
+	EventMessageCreate     EventType = "MESSAGE_CREATE"
+	EventGuildMemberAdd    EventType = "GUILD_MEMBER_ADD"
+	EventGuildMemberRemove EventType = "GUILD_MEMBER_REMOVE"
+	EventGuildBanAdd       EventType = "GUILD_BAN_ADD"
+	EventRoleUpdate        EventType = "GUILD_ROLE_UPDATE"
+)
+
+// eventFlush is an internal marker used by Flush; never delivered to
+// subscribers.
+const eventFlush EventType = "__FLUSH__"
+
+// Event is a platform occurrence. Message is set for MESSAGE_CREATE.
+type Event struct {
+	Type        EventType
+	GuildID     ID
+	ChannelID   ID
+	UserID      ID
+	Message     *Message
+	Interaction *Interaction
+	At          time.Time
+
+	flush chan struct{}
+}
+
+// Subscription receives events matching its filter on C. If a
+// subscriber falls behind its buffer, events are dropped and counted —
+// the same back-pressure behaviour a real gateway applies to slow bots.
+type Subscription struct {
+	C      chan Event
+	id     int
+	filter func(Event) bool
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// Dropped reports how many events were discarded because the subscriber
+// was slow.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+func (s *Subscription) deliver(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if s.filter != nil && !s.filter(e) {
+		return
+	}
+	select {
+	case s.C <- e:
+	default:
+		s.dropped++
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.C)
+	}
+}
+
+// bus fans platform events out to subscribers. Delivery happens on a
+// dedicated dispatcher goroutine so that publishing — which occurs while
+// the platform write-lock is held — never invokes subscriber filters
+// that might re-enter the platform (and self-deadlock on the RWMutex).
+type bus struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Event
+	stopped bool
+	nextID  int
+	subs    map[int]*Subscription
+}
+
+func newBus() *bus {
+	b := &bus{subs: make(map[int]*Subscription)}
+	b.cond = sync.NewCond(&b.mu)
+	go b.run()
+	return b
+}
+
+// run drains the queue in order, delivering outside any platform lock.
+func (b *bus) run() {
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 && !b.stopped {
+			b.cond.Wait()
+		}
+		if b.stopped && len(b.queue) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		batch := b.queue
+		b.queue = nil
+		subs := make([]*Subscription, 0, len(b.subs))
+		for _, s := range b.subs {
+			subs = append(subs, s)
+		}
+		b.mu.Unlock()
+		for _, e := range batch {
+			if e.Type == eventFlush {
+				close(e.flush)
+				continue
+			}
+			for _, s := range subs {
+				s.deliver(e)
+			}
+		}
+	}
+}
+
+func (b *bus) stop() {
+	b.mu.Lock()
+	b.stopped = true
+	b.cond.Signal()
+	b.mu.Unlock()
+}
+
+// Subscribe registers for events. filter may be nil for all events;
+// buffer is the channel depth before drops begin (min 1).
+func (p *Platform) Subscribe(buffer int, filter func(Event) bool) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	s := &Subscription{C: make(chan Event, buffer), id: p.bus.nextID, filter: filter}
+	p.bus.nextID++
+	p.bus.subs[s.id] = s
+	return s
+}
+
+// Unsubscribe removes the subscription and closes its channel.
+func (p *Platform) Unsubscribe(s *Subscription) {
+	p.bus.mu.Lock()
+	delete(p.bus.subs, s.id)
+	p.bus.mu.Unlock()
+	s.close()
+}
+
+// publishLocked enqueues an event for asynchronous fan-out. Callers
+// hold p.mu; enqueueing never blocks and never runs subscriber code.
+func (p *Platform) publishLocked(e Event) {
+	p.bus.mu.Lock()
+	if !p.bus.stopped {
+		p.bus.queue = append(p.bus.queue, e)
+		p.bus.cond.Signal()
+	}
+	p.bus.mu.Unlock()
+}
+
+// Close stops the event dispatcher. Pending events are still delivered;
+// subsequent publishes are dropped.
+func (p *Platform) Close() {
+	p.bus.stop()
+}
+
+// Flush blocks until every event published before the call has been
+// handed to subscribers — useful in tests and in the honeypot's
+// settle phase.
+func (p *Platform) Flush() {
+	done := make(chan struct{})
+	p.bus.mu.Lock()
+	if p.bus.stopped {
+		p.bus.mu.Unlock()
+		close(done)
+		<-done
+		return
+	}
+	p.bus.queue = append(p.bus.queue, Event{Type: eventFlush, flush: done})
+	p.bus.cond.Signal()
+	p.bus.mu.Unlock()
+	<-done
+}

@@ -1,0 +1,42 @@
+package platform
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// ID is a snowflake-style identifier. Real Discord snowflakes encode a
+// millisecond timestamp, worker id and sequence number; for reproducible
+// experiments we only need uniqueness and monotonicity, so IDs are
+// allocated from a per-platform counter seeded by a configurable epoch.
+type ID uint64
+
+// Nil is the zero ID, never allocated to an entity.
+const Nil ID = 0
+
+// String renders the ID the way Discord renders snowflakes: a decimal
+// integer.
+func (id ID) String() string { return strconv.FormatUint(uint64(id), 10) }
+
+// ParseID parses a decimal snowflake.
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	return ID(v), err
+}
+
+// idSource hands out unique IDs. The epoch shifts the counter so IDs
+// from differently-seeded platforms don't collide in mixed fixtures.
+type idSource struct {
+	next uint64
+}
+
+func newIDSource(epoch uint64) *idSource {
+	if epoch == 0 {
+		epoch = 1 // reserve 0 for Nil
+	}
+	return &idSource{next: epoch}
+}
+
+func (s *idSource) Next() ID {
+	return ID(atomic.AddUint64(&s.next, 1))
+}

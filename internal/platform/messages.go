@@ -1,0 +1,123 @@
+package platform
+
+import "repro/internal/permissions"
+
+// SendMessage posts a message to a text channel on behalf of actorID.
+// Requires view-channel and send-messages in the channel, plus
+// attach-files when attachments are present. Returns the stored message.
+func (p *Platform) SendMessage(actorID, channelID ID, content string, atts ...Attachment) (*Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch, g, err := p.channelLocked(channelID)
+	if err != nil {
+		return nil, err
+	}
+	if ch.Kind != ChannelText {
+		return nil, ErrWrongChannelKind
+	}
+	if content == "" && len(atts) == 0 {
+		return nil, ErrEmptyContent
+	}
+	need := permissions.ViewChannel | permissions.SendMessages
+	if len(atts) > 0 {
+		need |= permissions.AttachFiles
+	}
+	if err := p.requireChannelLocked(g, ch, actorID, need); err != nil {
+		return nil, err
+	}
+	msg := &Message{
+		ID:        p.ids.Next(),
+		ChannelID: channelID,
+		GuildID:   g.ID,
+		AuthorID:  actorID,
+		Content:   content,
+		Timestamp: p.now(),
+	}
+	for _, a := range atts {
+		a.ID = p.ids.Next()
+		msg.Attachments = append(msg.Attachments, a)
+	}
+	ch.Messages = append(ch.Messages, msg)
+	p.publishLocked(Event{
+		Type: EventMessageCreate, GuildID: g.ID, ChannelID: channelID,
+		UserID: actorID, Message: msg, At: msg.Timestamp,
+	})
+	return msg, nil
+}
+
+// History returns up to limit most-recent messages, oldest first.
+// Requires view-channel and read-message-history.
+func (p *Platform) History(actorID, channelID ID, limit int) ([]*Message, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ch, g, err := p.channelLocked(channelID)
+	if err != nil {
+		return nil, err
+	}
+	if ch.Kind != ChannelText {
+		return nil, ErrWrongChannelKind
+	}
+	need := permissions.ViewChannel | permissions.ReadMessageHistory
+	if err := p.requireChannelLocked(g, ch, actorID, need); err != nil {
+		return nil, err
+	}
+	msgs := ch.Messages
+	if limit > 0 && len(msgs) > limit {
+		msgs = msgs[len(msgs)-limit:]
+	}
+	out := make([]*Message, len(msgs))
+	copy(out, msgs)
+	return out, nil
+}
+
+// DeleteMessage removes a message. Authors may delete their own;
+// otherwise manage-messages is required.
+func (p *Platform) DeleteMessage(actorID, channelID, messageID ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch, g, err := p.channelLocked(channelID)
+	if err != nil {
+		return err
+	}
+	for i, m := range ch.Messages {
+		if m.ID != messageID {
+			continue
+		}
+		if m.AuthorID != actorID {
+			if err := p.requireChannelLocked(g, ch, actorID, permissions.ManageMessages); err != nil {
+				return err
+			}
+		}
+		ch.Messages = append(ch.Messages[:i], ch.Messages[i+1:]...)
+		p.auditLocked(g.ID, actorID, "message.delete", messageID.String(), "")
+		return nil
+	}
+	return ErrNotFound
+}
+
+// Attachment fetches a posted attachment by message and attachment ID.
+// Requires view-channel; the paper's canary documents are retrieved this
+// way by bots before being "opened".
+func (p *Platform) Attachment(actorID, channelID, messageID, attachmentID ID) (*Attachment, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ch, g, err := p.channelLocked(channelID)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.requireChannelLocked(g, ch, actorID, permissions.ViewChannel); err != nil {
+		return nil, err
+	}
+	for _, m := range ch.Messages {
+		if m.ID != messageID {
+			continue
+		}
+		for i := range m.Attachments {
+			if m.Attachments[i].ID == attachmentID {
+				a := m.Attachments[i]
+				return &a, nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}

@@ -1,0 +1,230 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/permissions"
+)
+
+func TestCreateRoleRules(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	modRole, err := p.CreateRole(owner.ID, g.ID, "mod", permissions.ManageRoles|permissions.KickMembers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Rule ii: mod can create a role below itself with perms it holds…
+	if _, err := p.CreateRole(mod.ID, g.ID, "junior", permissions.KickMembers, 2); err != nil {
+		t.Errorf("held-perm role create err = %v", err)
+	}
+	// …but not with perms it lacks, not at/above its position, not at 0.
+	if _, err := p.CreateRole(mod.ID, g.ID, "x", permissions.BanMembers, 2); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("unheld-perm create err = %v", err)
+	}
+	if _, err := p.CreateRole(mod.ID, g.ID, "x", permissions.KickMembers, 5); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("same-position create err = %v", err)
+	}
+	if _, err := p.CreateRole(owner.ID, g.ID, "x", permissions.KickMembers, 0); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("position-0 create err = %v", err)
+	}
+	if _, err := p.CreateRole(owner.ID, g.ID, "x", permissions.Permission(1<<55), 1); !errors.Is(err, ErrUndefinedPerms) {
+		t.Errorf("undefined perms err = %v", err)
+	}
+	pleb := addUser(t, p, g, "pleb")
+	if _, err := p.CreateRole(pleb.ID, g.ID, "x", permissions.SendMessages, 1); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("pleb create err = %v", err)
+	}
+}
+
+func TestEditRoleRules(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	modRole, _ := p.CreateRole(owner.ID, g.ID, "mod", permissions.ManageRoles|permissions.KickMembers, 5)
+	low, _ := p.CreateRole(owner.ID, g.ID, "low", permissions.None, 2)
+	p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID)
+
+	if err := p.EditRole(mod.ID, g.ID, low.ID, permissions.KickMembers); err != nil {
+		t.Errorf("edit lower role with held perm: %v", err)
+	}
+	if err := p.EditRole(mod.ID, g.ID, low.ID, permissions.BanMembers); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("rule ii violation err = %v", err)
+	}
+	if err := p.EditRole(mod.ID, g.ID, modRole.ID, permissions.None); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("edit own-position role err = %v", err)
+	}
+	if err := p.EditRole(owner.ID, g.ID, 999, permissions.None); !errors.Is(err, ErrNotFound) {
+		t.Errorf("edit ghost role err = %v", err)
+	}
+	// Managed bot roles are immutable through EditRole.
+	bot, _ := p.RegisterBot(owner.ID, "b")
+	br, _ := p.InstallBot(owner.ID, g.ID, bot.ID, permissions.SendMessages|permissions.ViewChannel)
+	if err := p.EditRole(owner.ID, g.ID, br.ID, permissions.All); !errors.Is(err, ErrRoleManaged) {
+		t.Errorf("edit managed role err = %v", err)
+	}
+}
+
+func TestMoveRoleRules(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	modRole, _ := p.CreateRole(owner.ID, g.ID, "mod", permissions.ManageRoles, 5)
+	low, _ := p.CreateRole(owner.ID, g.ID, "low", permissions.None, 2)
+	p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID)
+
+	if err := p.MoveRole(mod.ID, g.ID, low.ID, 3); err != nil {
+		t.Errorf("move lower role: %v", err)
+	}
+	if err := p.MoveRole(mod.ID, g.ID, low.ID, 5); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("move to own position err = %v", err)
+	}
+	if err := p.MoveRole(mod.ID, g.ID, modRole.ID, 1); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("move own role err = %v", err)
+	}
+	if err := p.MoveRole(owner.ID, g.ID, g.EveryoneRoleID(), 1); !errors.Is(err, ErrEveryoneImmutable) {
+		t.Errorf("move @everyone err = %v", err)
+	}
+}
+
+func TestGrantRevokeRoleRules(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	pleb := addUser(t, p, g, "pleb")
+	modRole, _ := p.CreateRole(owner.ID, g.ID, "mod", permissions.ManageRoles, 5)
+	high, _ := p.CreateRole(owner.ID, g.ID, "high", permissions.None, 7)
+	low, _ := p.CreateRole(owner.ID, g.ID, "low", permissions.None, 2)
+	p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID)
+
+	if err := p.GrantRole(mod.ID, g.ID, pleb.ID, low.ID); err != nil {
+		t.Errorf("grant lower role: %v", err)
+	}
+	if err := p.GrantRole(mod.ID, g.ID, pleb.ID, low.ID); err != nil {
+		t.Errorf("regrant should be idempotent: %v", err)
+	}
+	if err := p.GrantRole(mod.ID, g.ID, pleb.ID, high.ID); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("rule i violation err = %v", err)
+	}
+	if err := p.GrantRole(pleb.ID, g.ID, mod.ID, low.ID); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("grant without manage-roles err = %v", err)
+	}
+	if err := p.RevokeRole(mod.ID, g.ID, pleb.ID, low.ID); err != nil {
+		t.Errorf("revoke lower role: %v", err)
+	}
+	if err := p.RevokeRole(mod.ID, g.ID, pleb.ID, high.ID); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("revoke higher role err = %v", err)
+	}
+	stranger := p.CreateUser("stranger")
+	if err := p.GrantRole(mod.ID, g.ID, stranger.ID, low.ID); !errors.Is(err, ErrNotMember) {
+		t.Errorf("grant to non-member err = %v", err)
+	}
+}
+
+func TestKickBanHierarchy(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	pleb := addUser(t, p, g, "pleb")
+	peer := addUser(t, p, g, "peer")
+	modRole, _ := p.CreateRole(owner.ID, g.ID, "mod", permissions.KickMembers|permissions.BanMembers, 5)
+	p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID)
+	p.GrantRole(owner.ID, g.ID, peer.ID, modRole.ID)
+
+	if err := p.KickMember(mod.ID, g.ID, peer.ID); !errors.Is(err, ErrHierarchy) {
+		t.Errorf("kick equal-position member err = %v", err)
+	}
+	if err := p.KickMember(mod.ID, g.ID, owner.ID); !errors.Is(err, ErrOwnerImmune) {
+		t.Errorf("kick owner err = %v", err)
+	}
+	if err := p.KickMember(mod.ID, g.ID, mod.ID); !errors.Is(err, ErrSelfModeration) {
+		t.Errorf("self kick err = %v", err)
+	}
+	if err := p.KickMember(pleb.ID, g.ID, mod.ID); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("permless kick err = %v", err)
+	}
+	if err := p.KickMember(mod.ID, g.ID, pleb.ID); err != nil {
+		t.Fatalf("valid kick: %v", err)
+	}
+	if _, ok := g.Members[pleb.ID]; ok {
+		t.Error("kicked member still present")
+	}
+	// Kicked users may rejoin; banned users may not.
+	if err := p.JoinGuild(pleb.ID, g.ID); err != nil {
+		t.Fatalf("rejoin after kick: %v", err)
+	}
+	if err := p.BanMember(mod.ID, g.ID, pleb.ID); err != nil {
+		t.Fatalf("ban: %v", err)
+	}
+	if err := p.JoinGuild(pleb.ID, g.ID); !errors.Is(err, ErrBanned) {
+		t.Errorf("rejoin after ban err = %v", err)
+	}
+	if err := p.BanMember(mod.ID, g.ID, pleb.ID); !errors.Is(err, ErrAlreadyBanned) {
+		t.Errorf("double ban err = %v", err)
+	}
+	if err := p.UnbanMember(mod.ID, g.ID, pleb.ID); err != nil {
+		t.Fatalf("unban: %v", err)
+	}
+	if err := p.JoinGuild(pleb.ID, g.ID); err != nil {
+		t.Errorf("rejoin after unban: %v", err)
+	}
+	if err := p.UnbanMember(mod.ID, g.ID, pleb.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unban non-banned err = %v", err)
+	}
+}
+
+func TestEditNickname(t *testing.T) {
+	p, owner, g, _ := fixture(t)
+	mod := addUser(t, p, g, "mod")
+	pleb := addUser(t, p, g, "pleb")
+	modRole, _ := p.CreateRole(owner.ID, g.ID, "mod", permissions.ManageNicknames, 5)
+	p.GrantRole(owner.ID, g.ID, mod.ID, modRole.ID)
+
+	if err := p.EditNickname(mod.ID, g.ID, pleb.ID, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Members[pleb.ID].Nick != "renamed" {
+		t.Error("nickname not applied")
+	}
+	if err := p.EditNickname(pleb.ID, g.ID, mod.ID, "revenge"); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("permless rename err = %v", err)
+	}
+	// Self-rename uses change-nickname, held by @everyone.
+	if err := p.EditNickname(pleb.ID, g.ID, pleb.ID, "myself"); err != nil {
+		t.Errorf("self rename err = %v", err)
+	}
+	if err := p.EditNickname(mod.ID, g.ID, owner.ID, "boss"); !errors.Is(err, ErrOwnerImmune) {
+		t.Errorf("rename owner err = %v", err)
+	}
+}
+
+func TestBotRedelegationScenario(t *testing.T) {
+	// The paper's §5 scenario: a bot holding kick-members acts on behalf
+	// of a commanding user who lacks it. The PLATFORM allows the bot's
+	// action — the check is the developer's job.
+	p, owner, g, _ := fixture(t)
+	victim := addUser(t, p, g, "victim")
+	_ = addUser(t, p, g, "attacker")
+	bot, _ := p.RegisterBot(owner.ID, "modbot")
+	role, err := p.InstallBot(owner.ID, g.ID, bot.ID, permissions.KickMembers|permissions.ViewChannel|permissions.SendMessages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MoveRole(owner.ID, g.ID, role.ID, 10); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker cannot kick directly…
+	attackerID := ID(0)
+	for id, m := range g.Members {
+		if u, _ := p.UserByID(m.UserID); u != nil && u.Name == "attacker" {
+			attackerID = id
+		}
+	}
+	if err := p.KickMember(attackerID, g.ID, victim.ID); !errors.Is(err, ErrPermissionDenied) {
+		t.Fatalf("attacker direct kick err = %v", err)
+	}
+	// …but the bot, acting on the attacker's command, can: nothing on
+	// the platform ties the bot's action to the commanding user.
+	if err := p.KickMember(bot.ID, g.ID, victim.ID); err != nil {
+		t.Fatalf("bot kick (re-delegation) err = %v", err)
+	}
+}

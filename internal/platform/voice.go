@@ -1,0 +1,132 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/permissions"
+)
+
+// VoiceState records a member's presence in a voice channel — the
+// "voice metadata" Discord's privacy policy says bots can access, and
+// one of the data types the paper's traceability ontology covers.
+type VoiceState struct {
+	UserID    ID
+	ChannelID ID
+	Muted     bool // server-muted
+	Deafened  bool // server-deafened
+	Since     time.Time
+}
+
+// EventVoiceStateUpdate is dispatched on joins, leaves, mutes and
+// deafens.
+const EventVoiceStateUpdate EventType = "VOICE_STATE_UPDATE"
+
+// voiceStatesLocked lazily initializes the guild's voice map.
+func (g *Guild) voiceStatesLocked() map[ID]*VoiceState {
+	if g.voice == nil {
+		g.voice = make(map[ID]*VoiceState)
+	}
+	return g.voice
+}
+
+// JoinVoice puts a member into a voice channel. Requires the
+// view-channel and connect permissions in that channel; joining another
+// channel moves the member.
+func (p *Platform) JoinVoice(actorID, channelID ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch, g, err := p.channelLocked(channelID)
+	if err != nil {
+		return err
+	}
+	if ch.Kind != ChannelVoice {
+		return ErrWrongChannelKind
+	}
+	need := permissions.ViewChannel | permissions.Connect
+	if err := p.requireChannelLocked(g, ch, actorID, need); err != nil {
+		return err
+	}
+	states := g.voiceStatesLocked()
+	st, ok := states[actorID]
+	if !ok {
+		st = &VoiceState{UserID: actorID}
+		states[actorID] = st
+	}
+	st.ChannelID = channelID
+	st.Since = p.now()
+	p.publishLocked(Event{Type: EventVoiceStateUpdate, GuildID: g.ID, ChannelID: channelID, UserID: actorID, At: p.now()})
+	return nil
+}
+
+// LeaveVoice removes a member from voice.
+func (p *Platform) LeaveVoice(actorID, guildID ID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.guilds[guildID]
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := g.voiceStatesLocked()[actorID]; !ok {
+		return ErrNotFound
+	}
+	delete(g.voice, actorID)
+	p.publishLocked(Event{Type: EventVoiceStateUpdate, GuildID: guildID, UserID: actorID, At: p.now()})
+	return nil
+}
+
+// SetVoiceMute server-mutes or unmutes a member in voice. Requires
+// mute-members; per hierarchy rule v this permission does not consult
+// role positions.
+func (p *Platform) SetVoiceMute(actorID, guildID, targetID ID, muted bool) error {
+	return p.setVoiceFlag(actorID, guildID, targetID, permissions.MuteMembers, func(st *VoiceState) {
+		st.Muted = muted
+	})
+}
+
+// SetVoiceDeafen server-deafens or undeafens a member in voice.
+// Requires deafen-members (again hierarchy-exempt, rule v).
+func (p *Platform) SetVoiceDeafen(actorID, guildID, targetID ID, deafened bool) error {
+	return p.setVoiceFlag(actorID, guildID, targetID, permissions.DeafenMembers, func(st *VoiceState) {
+		st.Deafened = deafened
+	})
+}
+
+func (p *Platform) setVoiceFlag(actorID, guildID, targetID ID, need permissions.Permission, apply func(*VoiceState)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.guilds[guildID]
+	if !ok {
+		return ErrNotFound
+	}
+	if err := p.requireLocked(g, actorID, need); err != nil {
+		return err
+	}
+	st, ok := g.voiceStatesLocked()[targetID]
+	if !ok {
+		return ErrNotFound
+	}
+	apply(st)
+	p.auditLocked(guildID, actorID, "voice.flag", targetID.String(), need.String())
+	p.publishLocked(Event{Type: EventVoiceStateUpdate, GuildID: guildID, ChannelID: st.ChannelID, UserID: targetID, At: p.now()})
+	return nil
+}
+
+// VoiceStates returns the guild's voice metadata, visible to any member
+// holding view-channel — which is precisely why over-permissioned bots
+// can harvest it.
+func (p *Platform) VoiceStates(actorID, guildID ID) ([]VoiceState, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	g, ok := p.guilds[guildID]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if err := p.requireLocked(g, actorID, permissions.ViewChannel); err != nil {
+		return nil, err
+	}
+	out := make([]VoiceState, 0, len(g.voice))
+	for _, st := range g.voice {
+		out = append(out, *st)
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+// Package policygen generates synthetic chatbot privacy policies with a
+// controlled ground-truth disclosure class, so the traceability analyzer
+// (which must rediscover that class from the text alone) can be
+// validated exactly — the offline analogue of the paper's 100-policy
+// manual review.
+//
+// The four data-practice categories come from the paper's §3: Collect,
+// Use, Retain, Disclose. A policy that describes all four is "complete",
+// some of them "partial", and none (or no policy at all) "broken".
+package policygen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Category is one of the four data-practice categories.
+type Category int
+
+// The categories, in the paper's order.
+const (
+	Collect Category = iota
+	Use
+	Retain
+	Disclose
+)
+
+// AllCategories lists every category.
+var AllCategories = []Category{Collect, Use, Retain, Disclose}
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case Collect:
+		return "collect"
+	case Use:
+		return "use"
+	case Retain:
+		return "retain"
+	case Disclose:
+		return "disclose"
+	default:
+		return "unknown"
+	}
+}
+
+// Keywords returns the synonym set for a category — the same sets the
+// traceability analyzer searches for. Phrases are matched on word
+// boundaries, lower-case.
+func (c Category) Keywords() []string {
+	switch c {
+	case Collect:
+		return []string{"collect", "collects", "collected", "gather", "gathers",
+			"gathered", "acquire", "acquires", "acquired", "obtain", "obtains",
+			"obtained", "receive", "receives", "received", "record", "records", "recorded"}
+	case Use:
+		return []string{"use", "uses", "used", "process", "processes", "processed",
+			"analyze", "analyzes", "analyse", "utilize", "utilizes"}
+	case Retain:
+		return []string{"retain", "retains", "retained", "store", "stores", "stored",
+			"keep", "keeps", "kept", "save", "saves", "saved", "remember", "remembers"}
+	case Disclose:
+		return []string{"disclose", "discloses", "disclosed", "share", "shares",
+			"shared", "transfer", "transfers", "sell", "sells", "sold",
+			"third party", "third parties", "third-party"}
+	default:
+		return nil
+	}
+}
+
+// DataType is a user-data type a chatbot can touch; the generator ties
+// sentences to the data the bot's permissions expose.
+type DataType string
+
+// Data types seen in the chatbot ecosystem.
+const (
+	DataMessageContent  DataType = "message content"
+	DataMessageMetadata DataType = "message metadata"
+	DataVoiceMetadata   DataType = "voice metadata"
+	DataEmail           DataType = "email address"
+	DataUsername        DataType = "username and discriminator"
+	DataGuildInfo       DataType = "server configuration"
+	DataCommandUsage    DataType = "command usage statistics"
+	DataAttachments     DataType = "uploaded files"
+)
+
+// Spec controls generation of one policy document.
+type Spec struct {
+	BotName string
+	// Covered lists the categories the policy actually describes.
+	// Empty means the text is privacy-free boilerplate: the analyzer
+	// should classify it broken.
+	Covered []Category
+	// DataTypes mentioned by the policy; defaults to message content +
+	// command usage when empty.
+	DataTypes []DataType
+	// Generic, when true, yields one of a small pool of boilerplate
+	// templates with only the bot name substituted — modelling the
+	// verbatim policy reuse the paper observed across bots.
+	Generic bool
+	// GenericTemplate selects the boilerplate variant (mod pool size).
+	GenericTemplate int
+}
+
+// sentence fragments per category. Each template consumes a data type
+// and embeds at least one keyword of its category.
+var categorySentences = map[Category][]string{
+	Collect: {
+		"We collect your %s when you interact with the bot.",
+		"The bot gathers %s to operate its features.",
+		"%s is obtained from the channels the bot is present in.",
+		"Our service receives %s through the platform API.",
+		"The application records %s during normal operation.",
+	},
+	Use: {
+		"We use your %s to provide bot functionality.",
+		"Your %s is processed to respond to commands.",
+		"The service analyzes %s to improve response quality.",
+		"We utilize %s for feature personalization.",
+	},
+	Retain: {
+		"We retain %s for up to thirty days.",
+		"Your %s is stored on our servers.",
+		"The bot keeps %s only as long as needed.",
+		"%s is saved in encrypted form.",
+	},
+	Disclose: {
+		"We do not sell your %s, but we may share it with service providers.",
+		"Your %s is never disclosed except as required by law.",
+		"We may transfer %s to third parties that host our infrastructure.",
+		"%s is shared with no one outside our team.",
+	},
+}
+
+// filler paragraphs deliberately free of every category keyword, so a
+// policy covering no categories classifies as broken despite having a
+// document.
+var filler = []string{
+	"Welcome to the official policy page of %s.",
+	"This document explains our approach to your privacy.",
+	"Questions about this policy can be sent to our support channel.",
+	"This policy may be updated from time to time; the latest version is always available here.",
+	"By adding the bot to your server you agree to the terms described on this page.",
+	"Our team is committed to the security of the service.",
+	"For terms of service, see the companion page.",
+}
+
+var genericPool = []string{
+	"This privacy policy applies to %s. We collect basic account data and message content needed for commands. We use this data to operate the service. Contact support with any concerns.",
+	"%s respects your privacy. Information such as usernames and message content is collected and used solely for bot features. Data may be shared with infrastructure providers.",
+	"Privacy Policy for %s: the service stores command usage statistics and uses them for analytics. No information is sold.",
+}
+
+// Generator produces deterministic policies.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New creates a generator; equal seeds yield equal documents.
+func New(seed int64) *Generator { return &Generator{rng: rand.New(rand.NewSource(seed))} }
+
+// Generate renders the policy text for a spec.
+func (g *Generator) Generate(spec Spec) string {
+	if spec.Generic {
+		tmpl := genericPool[((spec.GenericTemplate%len(genericPool))+len(genericPool))%len(genericPool)]
+		return fmt.Sprintf(tmpl, spec.BotName)
+	}
+	types := spec.DataTypes
+	if len(types) == 0 {
+		types = []DataType{DataMessageContent, DataCommandUsage}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Privacy Policy — %s\n\n", spec.BotName)
+	b.WriteString(fmt.Sprintf(filler[0], spec.BotName))
+	b.WriteByte(' ')
+	b.WriteString(filler[1])
+	b.WriteString("\n\n")
+	for _, c := range spec.Covered {
+		tmpl := categorySentences[c][g.rng.Intn(len(categorySentences[c]))]
+		dt := types[g.rng.Intn(len(types))]
+		fmt.Fprintf(&b, tmpl+"\n", dt)
+	}
+	// Trailing keyword-free boilerplate.
+	for i := 2; i < len(filler); i++ {
+		if g.rng.Intn(2) == 0 {
+			b.WriteString(fmt.Sprintf(filler[i], spec.BotName))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(filler[3] + "\n")
+	return b.String()
+}
+
+// Class is a disclosure classification.
+type Class int
+
+// Disclosure classes, per the paper's §3 definitions.
+const (
+	Broken Class = iota
+	Partial
+	Complete
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Complete:
+		return "complete"
+	case Partial:
+		return "partial"
+	default:
+		return "broken"
+	}
+}
+
+// TruthClass returns the ground-truth class a spec's document should be
+// assigned by a correct analyzer.
+func (s Spec) TruthClass() Class {
+	if s.Generic {
+		// Generic templates cover whatever their boilerplate mentions;
+		// every pool entry covers Collect and Use (template 0/1) or
+		// Retain and Use (template 2) — all partial.
+		return Partial
+	}
+	seen := map[Category]bool{}
+	for _, c := range s.Covered {
+		seen[c] = true
+	}
+	switch len(seen) {
+	case 0:
+		return Broken
+	case len(AllCategories):
+		return Complete
+	default:
+		return Partial
+	}
+}

@@ -1,0 +1,151 @@
+package policygen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoryNamesAndKeywords(t *testing.T) {
+	for _, c := range AllCategories {
+		if c.String() == "unknown" {
+			t.Errorf("category %d unnamed", c)
+		}
+		if len(c.Keywords()) == 0 {
+			t.Errorf("category %s has no keywords", c)
+		}
+	}
+	if Category(99).String() != "unknown" || Category(99).Keywords() != nil {
+		t.Error("unknown category should be inert")
+	}
+}
+
+func TestKeywordsDistinctAcrossCategories(t *testing.T) {
+	seen := make(map[string]Category)
+	for _, c := range AllCategories {
+		for _, kw := range c.Keywords() {
+			if prev, dup := seen[kw]; dup {
+				t.Errorf("keyword %q in both %s and %s", kw, prev, c)
+			}
+			seen[kw] = c
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{BotName: "TestBot", Covered: []Category{Collect, Use}}
+	a := New(5).Generate(spec)
+	b := New(5).Generate(spec)
+	if a != b {
+		t.Error("same seed, different documents")
+	}
+	c := New(6).Generate(spec)
+	if a == c {
+		t.Error("different seed, identical documents")
+	}
+}
+
+func TestGenerateCoversRequestedCategories(t *testing.T) {
+	g := New(9)
+	for _, covered := range [][]Category{
+		{Collect}, {Use}, {Retain}, {Disclose},
+		{Collect, Disclose}, AllCategories,
+	} {
+		text := strings.ToLower(g.Generate(Spec{BotName: "B", Covered: covered}))
+		for _, c := range covered {
+			found := false
+			for _, kw := range c.Keywords() {
+				if keywordInText(text, kw) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("covered category %s has no keyword in:\n%s", c, text)
+			}
+		}
+	}
+}
+
+// keywordInText does simple boundary-ish matching for the test.
+func keywordInText(text, kw string) bool {
+	if strings.ContainsRune(kw, ' ') || strings.ContainsRune(kw, '-') {
+		return strings.Contains(text, kw)
+	}
+	for _, w := range strings.FieldsFunc(text, func(r rune) bool {
+		return !('a' <= r && r <= 'z') && !('0' <= r && r <= '9') && r != '-'
+	}) {
+		if w == kw {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUncoveredPolicyAvoidsAllKeywords(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 20; i++ {
+		text := strings.ToLower(g.Generate(Spec{BotName: "Clean"}))
+		for _, c := range AllCategories {
+			for _, kw := range c.Keywords() {
+				if keywordInText(text, kw) {
+					t.Fatalf("keyword-free policy contains %q (%s):\n%s", kw, c, text)
+				}
+			}
+		}
+	}
+}
+
+func TestGenericTemplatesStableAndPartial(t *testing.T) {
+	g := New(1)
+	a := g.Generate(Spec{BotName: "X", Generic: true, GenericTemplate: 0})
+	b := g.Generate(Spec{BotName: "Y", Generic: true, GenericTemplate: 0})
+	// Verbatim reuse apart from the substituted name (§4.2).
+	if strings.ReplaceAll(a, "X", "NAME") != strings.ReplaceAll(b, "Y", "NAME") {
+		t.Error("generic template not reused verbatim")
+	}
+	// Negative template indexes must not panic.
+	_ = g.Generate(Spec{BotName: "Z", Generic: true, GenericTemplate: -7})
+	for k := 0; k < 3; k++ {
+		spec := Spec{BotName: "G", Generic: true, GenericTemplate: k}
+		if spec.TruthClass() != Partial {
+			t.Errorf("generic template %d truth = %s", k, spec.TruthClass())
+		}
+	}
+}
+
+func TestTruthClass(t *testing.T) {
+	cases := []struct {
+		covered []Category
+		want    Class
+	}{
+		{nil, Broken},
+		{[]Category{Use}, Partial},
+		{[]Category{Use, Use, Use}, Partial}, // duplicates don't inflate
+		{[]Category{Collect, Use, Retain}, Partial},
+		{AllCategories, Complete},
+	}
+	for _, c := range cases {
+		got := Spec{Covered: c.covered}.TruthClass()
+		if got != c.want {
+			t.Errorf("TruthClass(%v) = %s, want %s", c.covered, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Broken.String() != "broken" || Partial.String() != "partial" || Complete.String() != "complete" {
+		t.Error("class labels wrong")
+	}
+}
+
+func TestDataTypesAppearInPolicy(t *testing.T) {
+	g := New(12)
+	text := g.Generate(Spec{
+		BotName:   "DT",
+		Covered:   []Category{Collect},
+		DataTypes: []DataType{DataVoiceMetadata},
+	})
+	if !strings.Contains(text, string(DataVoiceMetadata)) {
+		t.Errorf("specified data type missing:\n%s", text)
+	}
+}

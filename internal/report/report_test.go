@@ -1,0 +1,160 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/codeanalysis"
+	"repro/internal/honeypot"
+	"repro/internal/permissions"
+	"repro/internal/scraper"
+	"repro/internal/traceability"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"a", "longer-header"},
+	}
+	tb.AddRow("wide-cell-content", "x")
+	tb.AddRow("y", "z")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	// All table rows have equal width.
+	w := len(lines[1])
+	for _, ln := range lines[2:] {
+		if len(ln) != w {
+			t.Errorf("misaligned row %q (want width %d)", ln, w)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "T") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	dist := []scraper.PermissionShare{
+		{Perm: permissions.SendMessages, Count: 59, Pct: 59.18},
+		{Perm: permissions.Administrator, Count: 54, Pct: 54.86},
+	}
+	var buf bytes.Buffer
+	Figure3(&buf, dist)
+	out := buf.String()
+	if !strings.Contains(out, "send messages") || !strings.Contains(out, "59.18%") {
+		t.Errorf("figure missing series:\n%s", out)
+	}
+	// Bars scale with percentage: send messages bar longer than admin's.
+	var sendBar, adminBar int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "#")
+		if strings.Contains(line, "send messages") {
+			sendBar = n
+		}
+		if strings.Contains(line, "administrator") {
+			adminBar = n
+		}
+	}
+	if sendBar <= adminBar {
+		t.Errorf("bar lengths wrong: send=%d admin=%d", sendBar, adminBar)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf, map[string]int{"a#1": 1, "b#2": 1, "c#3": 2})
+	out := buf.String()
+	if !strings.Contains(out, "66.67%") {
+		t.Errorf("one-bot developer share missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| 2") {
+		t.Errorf("two-bot row missing:\n%s", out)
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	var buf bytes.Buffer
+	d := Table2Data{ActiveBots: 200, WebsiteLink: 74, PolicyLink: 9, PolicyValid: 8}
+	d.Traceability = traceability.Result{Total: 200, Broken: 192, Partial: 8}
+	Table2(&buf, d)
+	out := buf.String()
+	for _, want := range []string{"Unique active chatbots", "37.00%", "4.50%", "4.00%", "broken 192 (96.00%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-division safety.
+	var empty bytes.Buffer
+	Table2(&empty, Table2Data{})
+	if !strings.Contains(empty.String(), "0%") {
+		t.Error("empty Table 2 should render 0%")
+	}
+}
+
+func TestTable3AndTaxonomyRendering(t *testing.T) {
+	res := &codeanalysis.Result{
+		ActiveBots: 100, WithLink: 20,
+		Outcomes:   map[codeanalysis.LinkOutcome]int{codeanalysis.OutcomeValidRepo: 12, codeanalysis.OutcomeDead: 8},
+		ByLanguage: map[string]int{"JavaScript": 6, "Python": 4, "": 2},
+		JSAnalyzed: 6, JSChecked: 4, PyAnalyzed: 4, PyChecked: 0,
+		PatternHits: map[string]int{".has(": 3, "userPermissions": 1},
+	}
+	var buf bytes.Buffer
+	Table3(&buf, res)
+	CodeTaxonomy(&buf, res)
+	out := buf.String()
+	for _, want := range []string{
+		".hasPermission(", "userPermissions", "66.67%", "0.00%",
+		"valid repositories: 12 (60.00% of links)",
+		"no identifiable code: 2",
+		"language JavaScript",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("code report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScrapeYieldRendering(t *testing.T) {
+	records := []*scraper.Record{
+		{ID: 1, PermsValid: true},
+		{ID: 2, InvalidReason: scraper.InvalidRemoved},
+		{ID: 3, InvalidReason: scraper.InvalidTimeout},
+		nil,
+	}
+	var buf bytes.Buffer
+	ScrapeYield(&buf, records)
+	out := buf.String()
+	if !strings.Contains(out, "3 bots collected") {
+		t.Errorf("yield header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "removed") || !strings.Contains(out, "slow-redirect-timeout") {
+		t.Errorf("invalid causes missing:\n%s", out)
+	}
+}
+
+func TestHoneypotRendering(t *testing.T) {
+	res := &honeypot.CampaignResult{
+		Tested: 10,
+		GiveawayMessages: map[string][]string{
+			"Melonian": {"wtf is this bro"},
+		},
+	}
+	v := &honeypot.Verdict{
+		Subject:  honeypot.Subject{Name: "Melonian"},
+		GuildTag: "hp-Melonian", Triggered: true,
+	}
+	res.Triggered = append(res.Triggered, v)
+	var buf bytes.Buffer
+	Honeypot(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"10 bots tested", "Melonian", "wtf is this bro"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("honeypot report missing %q:\n%s", want, out)
+		}
+	}
+}

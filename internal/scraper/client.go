@@ -1,0 +1,264 @@
+package scraper
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/htmlparse"
+)
+
+// Client is a polite, captcha-capable HTTP fetcher for one target site.
+// It self-limits its request rate (§3: "we limit the rate at which we
+// generate our requests"), mimics a browser user agent, and reacts to
+// challenge pages by calling the solver and retrying.
+type Client struct {
+	base    *url.URL
+	http    *http.Client
+	solver  Solver
+	session string
+
+	// MinInterval between requests; zero disables self-limiting.
+	minInterval time.Duration
+
+	mu      sync.Mutex
+	lastReq time.Time
+	pass    string
+	stats   Stats
+}
+
+// Stats counts crawler-side events, the operational numbers a
+// measurement paper reports.
+type Stats struct {
+	Requests       int
+	Throttled      int
+	CaptchasSolved int
+	Timeouts       int
+	Retries        int
+}
+
+// ErrTimeout marks a fetch that exceeded the client deadline — the
+// scraper's TimeoutException.
+var ErrTimeout = errors.New("scraper: request timed out")
+
+// ErrGone marks 404/410 responses.
+var ErrGone = errors.New("scraper: resource gone")
+
+// errStaleChallenge marks a captcha answer for a challenge another
+// worker already cleared; the request is simply retried.
+var errStaleChallenge = errors.New("scraper: stale captcha challenge")
+
+// NewClient builds a client for a base URL. timeout bounds each fetch;
+// minInterval spaces requests; solver may be nil to fail on captchas.
+func NewClient(baseURL string, timeout, minInterval time.Duration, solver Solver) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("scraper: bad base url: %w", err)
+	}
+	return &Client{
+		base:        u,
+		http:        &http.Client{Timeout: timeout},
+		solver:      solver,
+		minInterval: minInterval,
+		session:     fmt.Sprintf("s%d", time.Now().UnixNano()),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) pace() {
+	c.mu.Lock()
+	interval := c.minInterval
+	if interval <= 0 {
+		c.mu.Unlock()
+		return
+	}
+	wait := interval - time.Since(c.lastReq)
+	if wait > 0 {
+		c.lastReq = c.lastReq.Add(interval)
+	} else {
+		c.lastReq = time.Now()
+	}
+	c.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Get fetches a path (or absolute URL) and parses the response body as
+// HTML, transparently solving captchas and backing off on rate limits.
+func (c *Client) Get(ref string) (*htmlparse.Node, error) {
+	body, err := c.GetRaw(ref)
+	if err != nil {
+		return nil, err
+	}
+	return htmlparse.Parse(body), nil
+}
+
+// GetRaw fetches a path (or absolute URL) and returns the body
+// verbatim — for raw source files, which must not round-trip through
+// the HTML parser.
+func (c *Client) GetRaw(ref string) (string, error) {
+	const maxAttempts = 8 // non-throttle retries (captcha races etc.)
+	throttleBackoff := 40 * time.Millisecond
+	throttleBudget := 60 // separate, generous: 429s are the site pacing us
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		c.pace()
+		req, err := c.newRequest(ref)
+		if err != nil {
+			return "", err
+		}
+		c.mu.Lock()
+		c.stats.Requests++
+		if c.pass != "" {
+			req.Header.Set("X-Captcha-Pass", c.pass)
+			c.pass = ""
+		}
+		c.mu.Unlock()
+
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if isTimeout(err) {
+				c.count(func(s *Stats) { s.Timeouts++ })
+				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
+			}
+			return "", fmt.Errorf("scraper: get %s: %w", ref, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if isTimeout(err) {
+				c.count(func(s *Stats) { s.Timeouts++ })
+				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
+			}
+			return "", fmt.Errorf("scraper: read %s: %w", ref, err)
+		}
+
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			c.count(func(s *Stats) { s.Throttled++ })
+			throttleBudget--
+			if throttleBudget <= 0 {
+				return "", fmt.Errorf("scraper: %s: persistent rate limiting", ref)
+			}
+			time.Sleep(throttleBackoff)
+			if throttleBackoff < 800*time.Millisecond {
+				throttleBackoff *= 2
+			}
+			attempt-- // throttling does not consume a retry
+			continue
+		case http.StatusForbidden:
+			doc := htmlparse.Parse(string(body))
+			if ch := doc.ByID("captcha"); ch != nil {
+				err := c.solveCaptcha(ch)
+				if errors.Is(err, errStaleChallenge) {
+					// A concurrent worker already cleared this gate;
+					// just retry the request.
+					continue
+				}
+				if err != nil {
+					return "", err
+				}
+				continue
+			}
+			return "", fmt.Errorf("scraper: forbidden: %s", ref)
+		case http.StatusNotFound, http.StatusGone:
+			return "", fmt.Errorf("%w: %s (%d)", ErrGone, ref, resp.StatusCode)
+		case http.StatusBadRequest:
+			return "", fmt.Errorf("%w: %s (400)", ErrGone, ref)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("scraper: %s: unexpected status %d", ref, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+	return "", fmt.Errorf("scraper: %s: gave up after repeated throttling", ref)
+}
+
+func (c *Client) newRequest(ref string) (*http.Request, error) {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return nil, fmt.Errorf("scraper: bad ref %q: %w", ref, err)
+	}
+	full := c.base.ResolveReference(u).String()
+	req, err := http.NewRequest(http.MethodGet, full, nil)
+	if err != nil {
+		return nil, fmt.Errorf("scraper: build request: %w", err)
+	}
+	// Mimic human/browser traffic (§3 iii).
+	req.Header.Set("User-Agent", "Mozilla/5.0 (X11; Linux x86_64) ReproCrawler/1.0")
+	req.Header.Set("X-Session", c.session)
+	return req, nil
+}
+
+func (c *Client) solveCaptcha(ch *htmlparse.Node) error {
+	if c.solver == nil {
+		return fmt.Errorf("scraper: captcha encountered with no solver configured")
+	}
+	challengeID, _ := ch.Attr("data-challenge-id")
+	prompt := ""
+	if p := ch.SelectFirst("p.challenge-text"); p != nil {
+		prompt = p.Text()
+	}
+	answer, err := c.solver.Solve(prompt)
+	if err != nil {
+		return fmt.Errorf("scraper: solve captcha: %w", err)
+	}
+	form := url.Values{"challenge_id": {challengeID}, "answer": {answer}}
+	req, err := http.NewRequest(http.MethodPost, c.base.ResolveReference(&url.URL{Path: "/captcha"}).String(),
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return fmt.Errorf("scraper: build captcha post: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.Header.Set("X-Session", c.session)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("scraper: post captcha: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusForbidden {
+		// The answer was right for a challenge that no longer exists —
+		// typical when concurrent workers race one gate.
+		return errStaleChallenge
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraper: captcha rejected (%d)", resp.StatusCode)
+	}
+	doc := htmlparse.Parse(string(body))
+	passNode := doc.ByID("captcha-pass")
+	if passNode == nil {
+		return fmt.Errorf("scraper: captcha response missing pass token")
+	}
+	pass, _ := passNode.Attr("data-pass")
+	c.mu.Lock()
+	c.pass = pass
+	c.stats.CaptchasSolved++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+func isTimeout(err error) bool {
+	var ne interface{ Timeout() bool }
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return strings.Contains(err.Error(), "Client.Timeout")
+}

@@ -1,0 +1,308 @@
+package scraper
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/htmlparse"
+	"repro/internal/permissions"
+)
+
+// InvalidReason classifies why a bot's permissions could not be read —
+// the paper's three causes for the 26% invalid share.
+type InvalidReason string
+
+// Invalid reasons.
+const (
+	InvalidNone        InvalidReason = ""
+	InvalidBrokenLink  InvalidReason = "invalid-invite-link"
+	InvalidRemoved     InvalidReason = "removed"
+	InvalidTimeout     InvalidReason = "slow-redirect-timeout"
+	InvalidMissingLink InvalidReason = "no-invite-link"
+	InvalidBadValue    InvalidReason = "undecodable-permissions"
+)
+
+// Record is the scraper's output for one listed bot: the full attribute
+// set §4.2 extracts.
+type Record struct {
+	ID          int
+	Name        string
+	Tags        []string
+	Description string
+	GuildCount  int
+	Votes       int
+	Prefix      string
+	Commands    []string
+	Developers  []string
+
+	HasWebsite bool
+	GitHubURL  string
+
+	PermsValid    bool
+	Perms         permissions.Permission
+	InvalidReason InvalidReason
+
+	PolicyLinkFound bool
+	PolicyLinkDead  bool
+	PolicyText      string
+}
+
+// Config tunes a crawl.
+type Config struct {
+	// Workers is the fetch parallelism (default 4).
+	Workers int
+	// Retries re-attempts detail pages whose expected elements are
+	// missing (§3 iv: react to NoSuchElementException). Default 2.
+	Retries int
+	// MaxPages bounds listing pagination; 0 means all pages.
+	MaxPages int
+}
+
+// Crawl walks the whole listing and returns one record per bot,
+// ordered as listed.
+func Crawl(c *Client, cfg Config) ([]*Record, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	ids, err := ListBotIDs(c, cfg.MaxPages)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]*Record, len(ids))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	var firstErr error
+	var errMu sync.Mutex
+	for i, id := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec, err := ScrapeBot(c, id, cfg.Retries)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bot %d: %w", id, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			records[i] = rec
+		}(i, id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return records, nil
+}
+
+// ListBotIDs pages through the "top chatbot" list collecting bot IDs in
+// listing order.
+func ListBotIDs(c *Client, maxPages int) ([]int, error) {
+	var ids []int
+	for page := 1; ; page++ {
+		if maxPages > 0 && page > maxPages {
+			break
+		}
+		doc, err := c.Get(fmt.Sprintf("/bots?page=%d", page))
+		if err != nil {
+			return nil, fmt.Errorf("scraper: list page %d: %w", page, err)
+		}
+		cards := doc.Select("li.bot-card")
+		if len(cards) == 0 {
+			break
+		}
+		for _, card := range cards {
+			raw, _ := card.Attr("data-bot-id")
+			id, err := strconv.Atoi(raw)
+			if err != nil {
+				continue // malformed card; skip like a robust crawler
+			}
+			ids = append(ids, id)
+		}
+		if doc.ByID("next-page") == nil {
+			break
+		}
+	}
+	return ids, nil
+}
+
+// ScrapeBot fetches one bot's detail page, its invite consent page, and
+// its website policy, assembling the full record.
+func ScrapeBot(c *Client, id, retries int) (*Record, error) {
+	var doc *htmlparse.Node
+	var inviteHref string
+	var err error
+	// Detail pages are occasionally flaky: the invite element vanishes
+	// on a render. Retry, as §3 prescribes.
+	for attempt := 0; attempt <= retries; attempt++ {
+		doc, err = c.Get(fmt.Sprintf("/bot/%d", id))
+		if err != nil {
+			return nil, err
+		}
+		if a := doc.SelectFirst("a.invite"); a != nil {
+			inviteHref, _ = a.Attr("href")
+			break
+		}
+		if attempt < retries {
+			c.count(func(s *Stats) { s.Retries++ })
+		}
+	}
+
+	rec := &Record{ID: id}
+	if n := doc.SelectFirst("h1.bot-name"); n != nil {
+		rec.Name = n.Text()
+	}
+	if n := doc.SelectFirst("p.description"); n != nil {
+		rec.Description = n.Text()
+	}
+	if n := doc.SelectFirst("span.guild-count"); n != nil {
+		rec.GuildCount, _ = strconv.Atoi(n.Text())
+	}
+	if n := doc.SelectFirst("span.vote-count"); n != nil {
+		rec.Votes, _ = strconv.Atoi(n.Text())
+	}
+	if n := doc.SelectFirst("span.prefix"); n != nil {
+		rec.Prefix = n.Text()
+	}
+	for _, n := range doc.Select("li.tag") {
+		rec.Tags = append(rec.Tags, n.Text())
+	}
+	for _, n := range doc.Select("li.developer") {
+		rec.Developers = append(rec.Developers, n.Text())
+	}
+	for _, n := range doc.Select("li.command") {
+		rec.Commands = append(rec.Commands, n.Text())
+	}
+	if n := doc.SelectFirst("a.github"); n != nil {
+		rec.GitHubURL, _ = n.Attr("href")
+	}
+	rec.HasWebsite = doc.SelectFirst("a.website") != nil
+
+	scrapeInvite(c, rec, inviteHref)
+	if rec.HasWebsite {
+		scrapePolicy(c, rec, id)
+	}
+	return rec, nil
+}
+
+// scrapeInvite resolves the consent page and decodes the permission
+// value, mapping each failure mode to its invalid reason.
+func scrapeInvite(c *Client, rec *Record, href string) {
+	if href == "" {
+		rec.InvalidReason = InvalidMissingLink
+		return
+	}
+	doc, err := c.Get(href)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrTimeout):
+		rec.InvalidReason = InvalidTimeout
+		return
+	case errors.Is(err, ErrGone):
+		// 410 means removed; 404/400 means a mangled invite URL.
+		if strings.Contains(err.Error(), "(410)") {
+			rec.InvalidReason = InvalidRemoved
+		} else {
+			rec.InvalidReason = InvalidBrokenLink
+		}
+		return
+	default:
+		rec.InvalidReason = InvalidBrokenLink
+		return
+	}
+	val := doc.ByID("perm-value")
+	if val == nil {
+		rec.InvalidReason = InvalidBadValue
+		return
+	}
+	perms, err := permissions.ParseValue(val.Text())
+	if err != nil || !perms.Defined() {
+		rec.InvalidReason = InvalidBadValue
+		return
+	}
+	rec.Perms = perms
+	rec.PermsValid = true
+}
+
+// scrapePolicy visits the bot's website, follows its privacy-policy
+// link when present, and captures the policy text.
+func scrapePolicy(c *Client, rec *Record, id int) {
+	site, err := c.Get(fmt.Sprintf("/site/%d", id))
+	if err != nil {
+		return // website advertised but unreachable: no policy found
+	}
+	link := site.ByID("privacy-link")
+	if link == nil {
+		return
+	}
+	rec.PolicyLinkFound = true
+	href, _ := link.Attr("href")
+	policy, err := c.Get(href)
+	if err != nil {
+		rec.PolicyLinkDead = true
+		return
+	}
+	if pre := policy.SelectFirst("#privacy-policy pre"); pre != nil {
+		rec.PolicyText = pre.Text()
+	} else if div := policy.ByID("privacy-policy"); div != nil {
+		rec.PolicyText = div.Text()
+	} else {
+		rec.PolicyLinkDead = true
+	}
+}
+
+// PermissionDistribution tallies, over the valid records, what fraction
+// requests each permission — the Figure 3 series, descending.
+type PermissionShare struct {
+	Perm  permissions.Permission
+	Count int
+	Pct   float64
+}
+
+// PermissionDistribution computes Figure 3 from scraped records.
+func PermissionDistribution(records []*Record) []PermissionShare {
+	valid := 0
+	counts := make(map[permissions.Permission]int)
+	for _, r := range records {
+		if r == nil || !r.PermsValid {
+			continue
+		}
+		valid++
+		for _, bit := range r.Perms.Split() {
+			counts[bit]++
+		}
+	}
+	out := make([]PermissionShare, 0, len(counts))
+	for p, n := range counts {
+		out = append(out, PermissionShare{Perm: p, Count: n, Pct: 100 * float64(n) / float64(valid)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Perm < out[j].Perm
+	})
+	return out
+}
+
+// resolveRef joins a possibly-relative href against a base — exported
+// via helper for the code-analysis stage, which receives host-relative
+// GitHub links.
+func resolveRef(base *url.URL, ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(u).String()
+}

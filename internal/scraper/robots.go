@@ -1,0 +1,152 @@
+package scraper
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// robots.txt support. The paper's ethics statement commits to crawling
+// "at a rate that does not create any disruption to other service
+// users"; honouring the site's published crawl policy is the standard
+// mechanism for that commitment. The parser implements the common
+// subset: User-agent groups, Disallow/Allow prefixes, and the
+// Crawl-delay extension.
+
+// RobotsPolicy is a parsed robots.txt, resolved for one user agent.
+type RobotsPolicy struct {
+	disallow   []string
+	allow      []string
+	CrawlDelay time.Duration
+	// Exists is false when the site serves no robots.txt; everything
+	// is then allowed.
+	Exists bool
+}
+
+// ParseRobots parses robots.txt content, keeping the most specific
+// matching group for userAgent (exact token match or "*").
+func ParseRobots(content, userAgent string) RobotsPolicy {
+	userAgent = strings.ToLower(userAgent)
+	type group struct {
+		agents []string
+		policy RobotsPolicy
+	}
+	var groups []group
+	var cur *group
+	inAgents := false
+
+	sc := bufio.NewScanner(strings.NewReader(content))
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "user-agent":
+			if cur == nil || !inAgents {
+				groups = append(groups, group{})
+				cur = &groups[len(groups)-1]
+				inAgents = true
+			}
+			cur.agents = append(cur.agents, strings.ToLower(val))
+		case "disallow":
+			if cur != nil {
+				inAgents = false
+				if val != "" {
+					cur.policy.disallow = append(cur.policy.disallow, val)
+				}
+			}
+		case "allow":
+			if cur != nil {
+				inAgents = false
+				if val != "" {
+					cur.policy.allow = append(cur.policy.allow, val)
+				}
+			}
+		case "crawl-delay":
+			if cur != nil {
+				inAgents = false
+				if secs, err := strconv.ParseFloat(val, 64); err == nil && secs >= 0 {
+					cur.policy.CrawlDelay = time.Duration(secs * float64(time.Second))
+				}
+			}
+		}
+	}
+
+	// Prefer an exact agent group over the wildcard group.
+	var wildcard, exact *RobotsPolicy
+	for i := range groups {
+		for _, a := range groups[i].agents {
+			if a == "*" && wildcard == nil {
+				wildcard = &groups[i].policy
+			}
+			if a != "*" && strings.Contains(userAgent, a) && exact == nil {
+				exact = &groups[i].policy
+			}
+		}
+	}
+	chosen := wildcard
+	if exact != nil {
+		chosen = exact
+	}
+	if chosen == nil {
+		return RobotsPolicy{Exists: true}
+	}
+	out := *chosen
+	out.Exists = true
+	return out
+}
+
+// Allowed reports whether a path may be fetched. Longest-prefix match
+// wins between Allow and Disallow, Google-style; ties favour Allow.
+func (p RobotsPolicy) Allowed(path string) bool {
+	if !p.Exists {
+		return true
+	}
+	best := 0
+	allowed := true
+	for _, a := range p.allow {
+		if strings.HasPrefix(path, a) && len(a) >= best {
+			best = len(a)
+			allowed = true
+		}
+	}
+	for _, d := range p.disallow {
+		if strings.HasPrefix(path, d) && len(d) > best {
+			best = len(d)
+			allowed = false
+		}
+	}
+	return allowed
+}
+
+// LoadRobots fetches and parses the site's robots.txt for this client's
+// user agent, and — when the policy requests a crawl delay larger than
+// the client's current pacing — slows the client down to comply.
+func (c *Client) LoadRobots() (RobotsPolicy, error) {
+	body, err := c.GetRaw("/robots.txt")
+	if err != nil {
+		// No robots.txt: everything allowed, no delay mandated.
+		return RobotsPolicy{}, nil
+	}
+	pol := ParseRobots(body, "ReproCrawler")
+	if pol.CrawlDelay > 0 {
+		c.mu.Lock()
+		if pol.CrawlDelay > c.minInterval {
+			c.minInterval = pol.CrawlDelay
+		}
+		c.mu.Unlock()
+	}
+	return pol, nil
+}

@@ -1,0 +1,124 @@
+package scraper
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/listing"
+	"repro/internal/synth"
+)
+
+const sampleRobots = `# listing crawl policy
+User-agent: *
+Disallow: /oauth/
+Allow: /oauth/authorize
+Crawl-delay: 0.05
+
+User-agent: EvilScraper
+Disallow: /
+`
+
+func TestParseRobotsGroups(t *testing.T) {
+	pol := ParseRobots(sampleRobots, "ReproCrawler")
+	if !pol.Exists {
+		t.Fatal("policy should exist")
+	}
+	if pol.CrawlDelay != 50*time.Millisecond {
+		t.Errorf("crawl delay = %v", pol.CrawlDelay)
+	}
+	cases := map[string]bool{
+		"/bots":             true,
+		"/bot/5":            true,
+		"/oauth/slow/3":     false, // Disallow /oauth/
+		"/oauth/authorize":  true,  // longer Allow wins
+		"/oauth/authorizeX": true,
+	}
+	for path, want := range cases {
+		if got := pol.Allowed(path); got != want {
+			t.Errorf("Allowed(%q) = %v, want %v", path, got, want)
+		}
+	}
+	// The exact-agent group fully blocks EvilScraper.
+	evil := ParseRobots(sampleRobots, "EvilScraper/2.0")
+	if evil.Allowed("/bots") {
+		t.Error("exact-agent disallow ignored")
+	}
+}
+
+func TestParseRobotsEdgeCases(t *testing.T) {
+	empty := ParseRobots("", "X")
+	if !empty.Exists || !empty.Allowed("/anything") {
+		t.Error("empty robots should allow everything")
+	}
+	noise := ParseRobots("random text\nDisallow: /orphan\nnot-a-directive\n", "X")
+	if !noise.Allowed("/orphan") {
+		t.Error("disallow outside a user-agent group should be ignored")
+	}
+	multi := ParseRobots("User-agent: a\nUser-agent: b\nDisallow: /x\n", "agent-b")
+	if multi.Allowed("/x/path") {
+		t.Error("stacked user-agent lines should share the group")
+	}
+	badDelay := ParseRobots("User-agent: *\nCrawl-delay: banana\n", "X")
+	if badDelay.CrawlDelay != 0 {
+		t.Error("unparsable crawl delay should be ignored")
+	}
+	missing := RobotsPolicy{}
+	if !missing.Allowed("/whatever") {
+		t.Error("absent robots.txt should allow everything")
+	}
+}
+
+func TestLoadRobotsAdoptsCrawlDelay(t *testing.T) {
+	eco := synth.Generate(synth.Config{Seed: 42, NumBots: 3})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{
+		RobotsTxt: "User-agent: *\nCrawl-delay: 0.04\nDisallow: /site/\n",
+	}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := NewClient(srv.BaseURL(), time.Second, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := c.LoadRobots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pol.Exists || pol.CrawlDelay != 40*time.Millisecond {
+		t.Fatalf("policy = %+v", pol)
+	}
+	if pol.Allowed("/site/1") {
+		t.Error("disallowed prefix reported allowed")
+	}
+	// The client slowed itself to the mandated delay.
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("/bots?page=1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 2*40*time.Millisecond {
+		t.Errorf("3 requests took %v, crawl delay not honoured", elapsed)
+	}
+}
+
+func TestLoadRobotsAbsent(t *testing.T) {
+	eco := synth.Generate(synth.Config{Seed: 42, NumBots: 3})
+	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, _ := NewClient(srv.BaseURL(), time.Second, 0, nil)
+	pol, err := c.LoadRobots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Exists {
+		t.Error("absent robots.txt reported as existing")
+	}
+	if !pol.Allowed("/anything") {
+		t.Error("no policy should mean no restrictions")
+	}
+}

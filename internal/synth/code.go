@@ -1,0 +1,213 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/codehost"
+	"repro/internal/listing"
+)
+
+// GitHub link kinds. Listed GitHubURL values are host-relative paths
+// ("/owner/repo", "/owner", dead paths); the code-analysis stage joins
+// them with the code-host base URL, the way the paper's scraper visited
+// absolute github.com links.
+const deadLinkPath = "/gone/repository-404"
+
+// jsCheckSnippets are the Table 3 permission-check APIs as they appear
+// in discord.js-style code.
+var jsCheckSnippets = []string{
+	`  if (!message.member.hasPermission('KICK_MEMBERS')) {
+    return message.reply('you lack permission to do that');
+  }`,
+	`  if (!message.member.permissions.has('BAN_MEMBERS')) {
+    return message.reply('missing ban permission');
+  }`,
+	`  const staff = message.member.roles.cache.some(r => r.name === 'staff');
+  if (!staff) return message.reply('staff only');`,
+}
+
+// pyCheckSnippet is the Table 3 `userPermissions` pattern in
+// discord.py-style code.
+const pyCheckSnippet = `    userPermissions = ctx.author.guild_permissions
+    if not userPermissions.kick_members:
+        await ctx.send("you lack permission to do that")
+        return`
+
+// populateCodeHost assigns GitHub links to bots and creates the hosted
+// repositories, following the §4.2 taxonomy.
+func populateCodeHost(rng *rand.Rand, cal *Calibration, eco *Ecosystem) {
+	for _, b := range eco.Bots {
+		if b.ID == eco.MaliciousID {
+			continue // malicious bots don't post source (§5)
+		}
+		if rng.Float64() >= cal.GitHubLinkRate {
+			continue
+		}
+		owner := devSlug(b.Developers[0])
+		if rng.Float64() < cal.LinkIsValidRepoRate {
+			repo := buildRepo(rng, cal, owner, b)
+			eco.Host.AddRepo(repo)
+			b.GitHubURL = "/" + repo.FullName()
+			continue
+		}
+		// Invalid link: profile, empty profile, or dead path.
+		r := rng.Float64() * (cal.InvalidLinkSplit[0] + cal.InvalidLinkSplit[1] + cal.InvalidLinkSplit[2])
+		switch {
+		case r < cal.InvalidLinkSplit[0]:
+			// Link to the developer's profile page (with an unrelated
+			// repo so the profile renders a repo list).
+			if _, exists := eco.Host.Repo(owner + "/dotfiles"); !exists {
+				eco.Host.AddRepo(&codehost.Repo{
+					Owner: owner, Name: "dotfiles",
+					Files: []codehost.File{{Path: "README.md", Content: "# dotfiles\npersonal configs\n"}},
+				})
+			}
+			b.GitHubURL = "/" + owner
+		case r < cal.InvalidLinkSplit[0]+cal.InvalidLinkSplit[1]:
+			eco.Host.AddProfile(owner)
+			b.GitHubURL = "/" + owner
+		default:
+			b.GitHubURL = deadLinkPath
+		}
+	}
+}
+
+// buildRepo creates the repository for one bot: README-only, JS,
+// Python, or another language.
+func buildRepo(rng *rand.Rand, cal *Calibration, owner string, b *listing.Bot) *codehost.Repo {
+	repo := &codehost.Repo{Owner: owner, Name: repoSlug(b.Name)}
+	repo.Files = append(repo.Files, codehost.File{
+		Path: "README.md",
+		Content: fmt.Sprintf("# %s\n\nA %s bot. Commands: %s\n",
+			b.Name, strings.Join(b.Tags, ", "), strings.Join(b.Commands, " ")),
+	})
+	if rng.Float64() < cal.ReadmeOnlyRate {
+		// "Many only have READ.ME files with chatbot descriptions or
+		// commands, or just information on licensing and changelogs."
+		repo.Files = append(repo.Files,
+			codehost.File{Path: "LICENSE", Content: mitLicense},
+			codehost.File{Path: "CHANGELOG.md", Content: "## 1.0.0\n- initial listing\n"},
+		)
+		return repo
+	}
+	r := rng.Float64()
+	switch {
+	case r < cal.LangSplit.JS:
+		checked := rng.Float64() < cal.JSCheckRate
+		repo.Files = append(repo.Files,
+			codehost.File{Path: "index.js", Content: jsIndex(b, checked, rng)},
+			codehost.File{Path: "package.json", Content: packageJSON(b)},
+		)
+	case r < cal.LangSplit.JS+cal.LangSplit.Py:
+		checked := rng.Float64() < cal.PyCheckRate
+		repo.Files = append(repo.Files,
+			codehost.File{Path: "bot.py", Content: pyBot(b, checked)},
+			codehost.File{Path: "requirements.txt", Content: "discord.py>=1.7\n"},
+		)
+	default:
+		repo.Files = append(repo.Files, otherLanguageFile(rng, b))
+	}
+	return repo
+}
+
+func jsIndex(b *listing.Bot, checked bool, rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString(`const Discord = require('discord.js');
+const client = new Discord.Client();
+
+client.on('ready', () => {
+  console.log('logged in as ' + client.user.tag);
+});
+
+client.on('message', message => {
+  if (message.author.bot) return;
+`)
+	fmt.Fprintf(&sb, "  if (!message.content.startsWith('%s')) return;\n", b.Prefix)
+	fmt.Fprintf(&sb, "  const cmd = message.content.slice(%d).split(' ')[0];\n\n", len(b.Prefix))
+	fmt.Fprintf(&sb, "  if (cmd === 'help') {\n    return message.channel.send('%s commands: %s');\n  }\n",
+		b.Name, strings.Join(b.Commands, " "))
+	sb.WriteString("  if (cmd === 'kick') {\n")
+	if checked {
+		sb.WriteString(jsCheckSnippets[rng.Intn(len(jsCheckSnippets))])
+		sb.WriteString("\n")
+	}
+	sb.WriteString(`    const target = message.mentions.members.first();
+    if (target) target.kick();
+    return;
+  }
+});
+
+client.login(process.env.TOKEN);
+`)
+	return sb.String()
+}
+
+func packageJSON(b *listing.Bot) string {
+	return fmt.Sprintf(`{
+  "name": "%s",
+  "version": "1.0.0",
+  "main": "index.js",
+  "dependencies": { "discord.js": "^12.5.3" }
+}
+`, repoSlug(b.Name))
+}
+
+func pyBot(b *listing.Bot, checked bool) string {
+	var sb strings.Builder
+	sb.WriteString(`import discord
+from discord.ext import commands
+
+`)
+	fmt.Fprintf(&sb, "bot = commands.Bot(command_prefix=%q)\n\n", b.Prefix)
+	sb.WriteString(`@bot.event
+async def on_ready():
+    print(f"logged in as {bot.user}")
+
+@bot.command()
+async def help_cmd(ctx):
+`)
+	fmt.Fprintf(&sb, "    await ctx.send(%q)\n\n", b.Name+" at your service")
+	sb.WriteString("@bot.command()\nasync def kick(ctx, member: discord.Member):\n")
+	if checked {
+		sb.WriteString(pyCheckSnippet + "\n")
+	}
+	sb.WriteString(`    await member.kick()
+    await ctx.send("done")
+
+bot.run("TOKEN")
+`)
+	return sb.String()
+}
+
+func otherLanguageFile(rng *rand.Rand, b *listing.Bot) codehost.File {
+	switch rng.Intn(3) {
+	case 0:
+		return codehost.File{Path: "main.go", Content: fmt.Sprintf(
+			"package main\n\nimport \"fmt\"\n\nfunc main() {\n\tfmt.Println(%q)\n}\n", b.Name+" starting")}
+	case 1:
+		return codehost.File{Path: "bot.rb", Content: fmt.Sprintf(
+			"require 'discordrb'\n\nbot = Discordrb::Bot.new token: ENV['TOKEN']\nbot.message(start_with: '%s') do |event|\n  event.respond 'hi from %s'\nend\nbot.run\n", b.Prefix, b.Name)}
+	default:
+		return codehost.File{Path: "Main.java", Content: fmt.Sprintf(
+			"public class Main {\n  public static void main(String[] args) {\n    System.out.println(\"%s online\");\n  }\n}\n", b.Name)}
+	}
+}
+
+const mitLicense = `MIT License
+
+Permission is hereby granted, free of charge, to any person obtaining a
+copy of this software, to deal in the Software without restriction.
+`
+
+func devSlug(tag string) string {
+	if i := strings.IndexByte(tag, '#'); i > 0 {
+		tag = tag[:i]
+	}
+	return strings.ToLower(tag)
+}
+
+func repoSlug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}

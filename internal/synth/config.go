@@ -1,0 +1,159 @@
+// Package synth generates the synthetic Discord-like chatbot ecosystem
+// the pipeline measures: a listing population whose marginals are
+// calibrated to the paper's reported numbers (Figure 3, Tables 1–3 and
+// the §4.2 text statistics), matching privacy policies, a code-host
+// population with the paper's link-validity taxonomy, and behaviour
+// profiles for the dynamic analysis.
+//
+// Everything is seeded: the same Config yields byte-identical
+// ecosystems, which is what lets the benchmark harness regenerate the
+// paper's tables deterministically.
+package synth
+
+import "repro/internal/permissions"
+
+// Config drives ecosystem generation.
+type Config struct {
+	Seed int64
+	// NumBots is the listing population; the paper scraped 20,915.
+	NumBots int
+	// Calibration defaults to PaperCalibration when zero-valued.
+	Cal *Calibration
+}
+
+// Calibration holds every measured marginal the generator reproduces.
+type Calibration struct {
+	// ValidPermissionRate is the fraction of listed bots whose invite
+	// link yields a readable permission set (paper: 74%, 15,525 of
+	// 20,915).
+	ValidPermissionRate float64
+	// InvalidSplit apportions the invalid remainder among broken
+	// links, removed bots, and slow redirects (paper lists the three
+	// causes without counts).
+	InvalidSplit [3]float64
+
+	// PermissionRates is the per-permission request probability among
+	// valid bots — Figure 3. The two text anchors are exact (send
+	// messages 59.18%, administrator 54.86%); the remaining bars are
+	// read off the figure.
+	PermissionRates []PermRate
+
+	// WebsiteRate is the fraction of active bots with a website link
+	// (Table 2: 37.27%).
+	WebsiteRate float64
+	// PolicyLinkRateGivenWebsite is the fraction of bot websites that
+	// link a privacy policy (Table 2: 676/5,786).
+	PolicyLinkRateGivenWebsite float64
+	// PolicyDeadRate is the fraction of policy links that 404 (Table
+	// 2: 3 of 676).
+	PolicyDeadRate float64
+	// GenericPolicyRate is the fraction of live policies that are
+	// verbatim boilerplate (§4.2 observes verbatim reuse).
+	GenericPolicyRate float64
+
+	// DeveloperDist is Table 1: fraction of developers owning k bots.
+	DeveloperDist []DevBucket
+
+	// GitHubLinkRate is the fraction of active bots with a GitHub link
+	// (§4.2: 23.86%).
+	GitHubLinkRate float64
+	// LinkIsValidRepoRate is the fraction of GitHub links that lead to
+	// a valid repository (§4.2: 60.46%).
+	LinkIsValidRepoRate float64
+	// InvalidLinkSplit apportions non-repo links among user profiles,
+	// profiles with no public repos, and dead links.
+	InvalidLinkSplit [3]float64
+	// ReadmeOnlyRate is the fraction of valid repositories holding no
+	// source code (§4.2: 6 of 2,240).
+	ReadmeOnlyRate float64
+	// LangSplit apportions source-bearing repositories among
+	// JavaScript, Python and other languages (§4.2: 41% JS, 32% Py).
+	LangSplit struct{ JS, Py float64 }
+	// JSCheckRate / PyCheckRate are the fractions of JS / Python repos
+	// containing a permission-check API (§4.2: 72.97% and 2.65%).
+	JSCheckRate float64
+	PyCheckRate float64
+
+	// MaliciousName is the bot planted with snooping behaviour for the
+	// dynamic analysis (§4.2: "Melonian").
+	MaliciousName string
+	// MaliciousGuildCount keeps the malicious bot "present in a few
+	// guilds" while voted enough to enter the most-voted sample.
+	MaliciousGuildCount int
+}
+
+// PermRate pairs a permission with its Figure 3 request probability.
+type PermRate struct {
+	Perm permissions.Permission
+	Rate float64
+}
+
+// DevBucket is one Table 1 row: the fraction of developers who own
+// Bots bots.
+type DevBucket struct {
+	Bots int
+	Frac float64
+}
+
+// PaperCalibration returns the calibration matching the paper's
+// reported measurements. Figure 3 bars without a number in the text are
+// estimated from the plot; EXPERIMENTS.md records which values are
+// anchors and which are estimates.
+func PaperCalibration() *Calibration {
+	c := &Calibration{
+		ValidPermissionRate:        0.7423, // 15,525 / 20,915
+		InvalidSplit:               [3]float64{0.45, 0.35, 0.20},
+		WebsiteRate:                0.3727, // Table 2
+		PolicyLinkRateGivenWebsite: 676.0 / 5786.0,
+		PolicyDeadRate:             3.0 / 676.0,
+		GenericPolicyRate:          0.60,
+		GitHubLinkRate:             0.2386, // §4.2
+		LinkIsValidRepoRate:        0.6046, // §4.2
+		InvalidLinkSplit:           [3]float64{0.5, 0.25, 0.25},
+		ReadmeOnlyRate:             6.0 / 2240.0,
+		JSCheckRate:                0.7297, // §4.2
+		PyCheckRate:                0.0265, // §4.2
+		MaliciousName:              "Melonian",
+		MaliciousGuildCount:        25,
+	}
+	c.LangSplit.JS = 925.0 / 2240.0 // 41.3%
+	c.LangSplit.Py = 718.0 / 2240.0 // 32.1%
+
+	c.PermissionRates = []PermRate{
+		{permissions.SendMessages, 0.5918},  // text anchor
+		{permissions.Administrator, 0.5486}, // text anchor
+		{permissions.ViewChannel, 0.48},     // "read messages"
+		{permissions.EmbedLinks, 0.45},
+		{permissions.AttachFiles, 0.42},
+		{permissions.ReadMessageHistory, 0.38},
+		{permissions.AddReactions, 0.35},
+		{permissions.ManageMessages, 0.33},
+		{permissions.UseExternalEmojis, 0.28},
+		{permissions.Connect, 0.25},
+		{permissions.Speak, 0.25},
+		{permissions.ManageRoles, 0.23},
+		{permissions.KickMembers, 0.21},
+		{permissions.BanMembers, 0.20},
+		{permissions.ManageChannels, 0.18},
+		{permissions.MentionEveryone, 0.17},
+		{permissions.ManageGuild, 0.15},
+		{permissions.ChangeNickname, 0.14},
+		{permissions.ManageNicknames, 0.13},
+		{permissions.CreateInstantInvite, 0.12},
+		{permissions.SendTTSMessages, 0.11},
+		{permissions.UseVAD, 0.10},
+		{permissions.ManageWebhooks, 0.09},
+		{permissions.ManageEmojis, 0.08},
+		{permissions.ViewAuditLog, 0.07},
+	}
+
+	// Table 1, exact fractions.
+	c.DeveloperDist = []DevBucket{
+		{1, 0.8908}, {2, 0.0876}, {3, 0.0149}, {4, 0.0040}, {5, 0.0015},
+		{6, 0.0005}, {7, 0.0003}, {8, 0.0002}, {11, 0.0001}, {12, 0.0001},
+	}
+	return c
+}
+
+// PaperPopulation is the full-scale bot count.
+const PaperPopulation = 20915

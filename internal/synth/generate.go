@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/codehost"
+	"repro/internal/listing"
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+)
+
+// Behavior is a bot's runtime profile for the dynamic analysis.
+type Behavior int
+
+// Behaviors.
+const (
+	// BehaviorIdle bots connect and do nothing beyond heartbeats.
+	BehaviorIdle Behavior = iota
+	// BehaviorResponder bots answer their prefix commands.
+	BehaviorResponder
+	// BehaviorSnoop bots read channel history, open posted documents,
+	// visit posted URLs and mail posted addresses — the Melonian case.
+	BehaviorSnoop
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorResponder:
+		return "responder"
+	case BehaviorSnoop:
+		return "snoop"
+	default:
+		return "idle"
+	}
+}
+
+// Ecosystem is a fully generated measurement target.
+type Ecosystem struct {
+	Bots []*listing.Bot
+	Host *codehost.Host
+	// Behaviors maps listing bot IDs to runtime profiles.
+	Behaviors map[int]Behavior
+	// MaliciousID is the listing ID of the planted snooping bot.
+	MaliciousID int
+	// Developers maps developer tags to the listing IDs they own.
+	Developers map[string][]int
+}
+
+var botAdjectives = []string{
+	"Mega", "Hyper", "Lunar", "Pixel", "Turbo", "Astro", "Neon", "Echo",
+	"Prime", "Nova", "Quantum", "Shadow", "Crystal", "Vortex", "Zen",
+	"Rapid", "Silver", "Crimson", "Frost", "Ember",
+}
+
+var botNouns = []string{
+	"Moderator", "DJ", "Helper", "Guard", "Quizzer", "Meme", "Tracker",
+	"Scheduler", "Translator", "Greeter", "Logger", "Poller", "Ranker",
+	"Notifier", "Companion", "Butler", "Scribe", "Warden", "Oracle", "Clerk",
+}
+
+var tagPool = []string{
+	"moderation", "music", "fun", "social", "gaming", "meme", "utility",
+	"economy", "leveling", "anime", "roleplay", "logging",
+}
+
+var devFirst = []string{
+	"editid", "lukas", "aisha", "marco", "tomoko", "devon", "priya",
+	"sergio", "nina", "felix", "amara", "johan", "keiko", "omar", "lena",
+}
+
+// Generate builds an ecosystem from a config.
+func Generate(cfg Config) *Ecosystem {
+	if cfg.NumBots <= 0 {
+		cfg.NumBots = PaperPopulation
+	}
+	cal := cfg.Cal
+	if cal == nil {
+		cal = PaperCalibration()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pg := policygen.New(cfg.Seed ^ 0x5eed)
+
+	eco := &Ecosystem{
+		Host:       codehost.NewHost(),
+		Behaviors:  make(map[int]Behavior),
+		Developers: make(map[string][]int),
+	}
+
+	devTags := assignDevelopers(rng, cal, cfg.NumBots)
+
+	for i := 0; i < cfg.NumBots; i++ {
+		id := i + 1
+		b := &listing.Bot{
+			ID:         id,
+			Name:       botName(rng, id),
+			Developers: []string{devTags[i]},
+			Prefix:     pick(rng, []string{"!", "?", ".", "~", "$", ">"}),
+		}
+		eco.Developers[devTags[i]] = append(eco.Developers[devTags[i]], id)
+		nTags := 1 + rng.Intn(3)
+		for len(b.Tags) < nTags {
+			tg := pick(rng, tagPool)
+			if !contains(b.Tags, tg) {
+				b.Tags = append(b.Tags, tg)
+			}
+		}
+		b.Description = fmt.Sprintf("%s is a %s bot for your server. Try %shelp to get started.",
+			b.Name, strings.Join(b.Tags, "/"), b.Prefix)
+		b.Commands = []string{b.Prefix + "help", b.Prefix + "info", b.Prefix + strings.ToLower(b.Tags[0])}
+
+		// Long-tailed popularity: a few bots in millions of guilds,
+		// most in a handful (paper's sample spanned 3M..25 guilds and
+		// 876K..6 votes).
+		b.GuildCount = longTail(rng, 3_000_000)
+		b.Votes = longTail(rng, 876_000)
+
+		// Permission marginals (Figure 3), independent per permission.
+		for _, pr := range cal.PermissionRates {
+			if rng.Float64() < pr.Rate {
+				b.Perms |= pr.Perm
+			}
+		}
+		// A bot that requests nothing still carries the implicit bot
+		// scope; give it send-messages so the listing stays plausible.
+		if b.Perms == permissions.None {
+			b.Perms = permissions.SendMessages
+		}
+
+		// Invite health (valid 74%).
+		if rng.Float64() >= cal.ValidPermissionRate {
+			b.InviteHealth = pickSplit(rng, cal.InvalidSplit,
+				listing.InviteBroken, listing.InviteRemoved, listing.InviteSlow)
+		}
+
+		// Website + policy (Table 2 marginals).
+		if rng.Float64() < cal.WebsiteRate {
+			b.HasWebsite = true
+			if rng.Float64() < cal.PolicyLinkRateGivenWebsite {
+				b.HasPolicyLink = true
+				if rng.Float64() < cal.PolicyDeadRate {
+					b.PolicyDead = true
+				} else {
+					b.PolicyText = makePolicy(rng, pg, cal, b)
+				}
+			}
+		}
+
+		// Behavior profile for dynamic analysis.
+		if rng.Float64() < 0.5 {
+			eco.Behaviors[id] = BehaviorResponder
+		} else {
+			eco.Behaviors[id] = BehaviorIdle
+		}
+
+		eco.Bots = append(eco.Bots, b)
+	}
+
+	plantMalicious(rng, cal, eco)
+	populateCodeHost(rng, cal, eco)
+	return eco
+}
+
+// assignDevelopers deals developer tags to bots following Table 1's
+// per-developer bot-count distribution.
+func assignDevelopers(rng *rand.Rand, cal *Calibration, n int) []string {
+	tags := make([]string, 0, n)
+	devIdx := 0
+	for len(tags) < n {
+		devIdx++
+		tag := fmt.Sprintf("%s%d#%04d", pick(rng, devFirst), devIdx, rng.Intn(10000))
+		k := sampleDevBucket(rng, cal.DeveloperDist)
+		for j := 0; j < k && len(tags) < n; j++ {
+			tags = append(tags, tag)
+		}
+	}
+	// Shuffle so a developer's bots are scattered through the listing.
+	rng.Shuffle(len(tags), func(i, j int) { tags[i], tags[j] = tags[j], tags[i] })
+	return tags
+}
+
+func sampleDevBucket(rng *rand.Rand, dist []DevBucket) int {
+	r := rng.Float64()
+	var cum float64
+	for _, b := range dist {
+		cum += b.Frac
+		if r < cum {
+			return b.Bots
+		}
+	}
+	return dist[len(dist)-1].Bots
+}
+
+// makePolicy generates the policy text: generic boilerplate or a
+// tailored partial policy. Matching §4.2, no generated policy is
+// complete.
+func makePolicy(rng *rand.Rand, pg *policygen.Generator, cal *Calibration, b *listing.Bot) string {
+	if rng.Float64() < cal.GenericPolicyRate {
+		return pg.Generate(policygen.Spec{
+			BotName: b.Name, Generic: true, GenericTemplate: rng.Intn(3),
+		})
+	}
+	// 1–3 covered categories out of four: always partial.
+	cats := append([]policygen.Category(nil), policygen.AllCategories...)
+	rng.Shuffle(len(cats), func(i, j int) { cats[i], cats[j] = cats[j], cats[i] })
+	covered := cats[:1+rng.Intn(3)]
+	return pg.Generate(policygen.Spec{BotName: b.Name, Covered: covered})
+}
+
+// plantMalicious designates (or creates) the Melonian-style bot: voted
+// into the most-voted sample, present in few guilds, snooping at
+// runtime.
+func plantMalicious(rng *rand.Rand, cal *Calibration, eco *Ecosystem) {
+	idx := rng.Intn(len(eco.Bots))
+	b := eco.Bots[idx]
+	b.Name = cal.MaliciousName
+	b.Description = fmt.Sprintf("%s is a %s bot for your server. Try %shelp to get started.",
+		b.Name, strings.Join(b.Tags, "/"), b.Prefix)
+	b.GuildCount = cal.MaliciousGuildCount
+	// High enough to enter any most-voted sample of the population.
+	b.Votes = 900_000
+	b.InviteHealth = listing.InviteOK
+	b.Perms |= permissions.ViewChannel | permissions.ReadMessageHistory |
+		permissions.SendMessages | permissions.AttachFiles
+	b.HasWebsite = false
+	b.HasPolicyLink = false
+	b.GitHubURL = "" // malicious bots don't volunteer source (§5)
+	eco.Behaviors[b.ID] = BehaviorSnoop
+	eco.MaliciousID = b.ID
+}
+
+func botName(rng *rand.Rand, id int) string {
+	return fmt.Sprintf("%s%s%d", pick(rng, botAdjectives), pick(rng, botNouns), id)
+}
+
+// longTail draws a Zipf-ish count in [low, max]: most draws are tiny,
+// rare ones huge.
+func longTail(rng *rand.Rand, max int) int {
+	// x = max * u^16 gives a heavy concentration near zero.
+	u := rng.Float64()
+	v := u * u * u * u
+	v = v * v // u^8
+	v = v * v // u^16
+	n := int(v * float64(max))
+	if n < 6 {
+		n = 6 + rng.Intn(30)
+	}
+	return n
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func pickSplit(rng *rand.Rand, split [3]float64, a, b, c listing.InviteHealth) listing.InviteHealth {
+	r := rng.Float64() * (split[0] + split[1] + split[2])
+	switch {
+	case r < split[0]:
+		return a
+	case r < split[0]+split[1]:
+		return b
+	default:
+		return c
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

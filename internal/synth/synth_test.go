@@ -1,0 +1,281 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/listing"
+	"repro/internal/permissions"
+)
+
+func genTest(t *testing.T, n int) *Ecosystem {
+	t.Helper()
+	return Generate(Config{Seed: 2022, NumBots: n})
+}
+
+func pctWithin(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.2f%%, want %.2f%% ± %.2f", name, got, want, tol)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7, NumBots: 500})
+	b := Generate(Config{Seed: 7, NumBots: 500})
+	if len(a.Bots) != len(b.Bots) {
+		t.Fatal("population size differs")
+	}
+	for i := range a.Bots {
+		x, y := a.Bots[i], b.Bots[i]
+		if x.Name != y.Name || x.Perms != y.Perms || x.Votes != y.Votes ||
+			x.GitHubURL != y.GitHubURL || x.PolicyText != y.PolicyText {
+			t.Fatalf("bot %d differs between runs", i)
+		}
+	}
+	if a.MaliciousID != b.MaliciousID {
+		t.Error("malicious bot placement differs")
+	}
+	c := Generate(Config{Seed: 8, NumBots: 500})
+	if a.Bots[0].Perms == c.Bots[0].Perms && a.Bots[1].Perms == c.Bots[1].Perms &&
+		a.Bots[2].Perms == c.Bots[2].Perms && a.Bots[3].Perms == c.Bots[3].Perms {
+		t.Error("different seeds look identical")
+	}
+}
+
+func TestValidPermissionRate(t *testing.T) {
+	eco := genTest(t, 10000)
+	valid := 0
+	for _, b := range eco.Bots {
+		if b.InviteHealth == listing.InviteOK {
+			valid++
+		}
+	}
+	pctWithin(t, "valid-invite rate", 100*float64(valid)/float64(len(eco.Bots)), 74.23, 2.0)
+}
+
+func TestFigure3Anchors(t *testing.T) {
+	eco := genTest(t, 10000)
+	var valid, send, admin int
+	for _, b := range eco.Bots {
+		if b.InviteHealth != listing.InviteOK {
+			continue
+		}
+		valid++
+		if b.Perms.Has(permissions.SendMessages) {
+			send++
+		}
+		if b.Perms.Has(permissions.Administrator) {
+			admin++
+		}
+	}
+	pctWithin(t, "send messages", 100*float64(send)/float64(valid), 59.18, 2.5)
+	pctWithin(t, "administrator", 100*float64(admin)/float64(valid), 54.86, 2.5)
+}
+
+func TestTable2Marginals(t *testing.T) {
+	eco := genTest(t, 20000)
+	var website, policyLink, livePolicy, total int
+	for _, b := range eco.Bots {
+		if b.InviteHealth != listing.InviteOK {
+			continue
+		}
+		total++
+		if b.HasWebsite {
+			website++
+		}
+		if b.HasPolicyLink {
+			policyLink++
+			if !b.PolicyDead {
+				livePolicy++
+			}
+		}
+	}
+	pctWithin(t, "website link", 100*float64(website)/float64(total), 37.27, 2.0)
+	pctWithin(t, "policy link", 100*float64(policyLink)/float64(total), 4.35, 1.0)
+	pctWithin(t, "live policy", 100*float64(livePolicy)/float64(total), 4.33, 1.0)
+	if livePolicy == policyLink {
+		t.Error("expected a few dead policy links at this population size")
+	}
+}
+
+func TestDeveloperDistribution(t *testing.T) {
+	eco := genTest(t, 20000)
+	counts := make(map[int]int) // bots-per-dev -> developers
+	for _, ids := range eco.Developers {
+		counts[len(ids)]++
+	}
+	devs := 0
+	for _, c := range counts {
+		devs += c
+	}
+	onePct := 100 * float64(counts[1]) / float64(devs)
+	pctWithin(t, "single-bot developers", onePct, 89.08, 2.0)
+	if counts[2] == 0 || counts[3] == 0 {
+		t.Error("multi-bot developers missing")
+	}
+	// The long tail must be bounded by Table 1's maximum of 12.
+	for k := range counts {
+		if k > 12 {
+			t.Errorf("developer with %d bots exceeds Table 1 max", k)
+		}
+	}
+}
+
+func TestGitHubTaxonomy(t *testing.T) {
+	eco := genTest(t, 20000)
+	var active, linked, validRepo, sourceRepos, jsRepos, pyRepos int
+	var jsChecked, pyChecked int
+	for _, b := range eco.Bots {
+		if b.InviteHealth != listing.InviteOK {
+			continue
+		}
+		active++
+		if b.GitHubURL == "" {
+			continue
+		}
+		linked++
+		repo, ok := eco.Host.Repo(strings.TrimPrefix(b.GitHubURL, "/"))
+		if !ok {
+			continue
+		}
+		validRepo++
+		lang := repo.MainLanguage()
+		if lang == "" {
+			continue
+		}
+		sourceRepos++
+		joined := ""
+		for _, f := range repo.SourceFiles("") {
+			joined += f.Content
+		}
+		switch lang {
+		case "JavaScript":
+			jsRepos++
+			if strings.Contains(joined, ".hasPermission(") || strings.Contains(joined, ".has(") ||
+				strings.Contains(joined, "member.roles.cache") || strings.Contains(joined, "userPermissions") {
+				jsChecked++
+			}
+		case "Python":
+			pyRepos++
+			if strings.Contains(joined, "userPermissions") {
+				pyChecked++
+			}
+		}
+	}
+	pctWithin(t, "github link rate", 100*float64(linked)/float64(active), 23.86, 1.5)
+	pctWithin(t, "valid repo rate", 100*float64(validRepo)/float64(linked), 60.46, 3.0)
+	pctWithin(t, "JS share", 100*float64(jsRepos)/float64(validRepo), 41.3, 3.5)
+	pctWithin(t, "Py share", 100*float64(pyRepos)/float64(validRepo), 32.1, 3.5)
+	pctWithin(t, "JS check rate", 100*float64(jsChecked)/float64(jsRepos), 72.97, 4.0)
+	pctWithin(t, "Py check rate", 100*float64(pyChecked)/float64(pyRepos), 2.65, 2.0)
+	if sourceRepos >= validRepo {
+		t.Error("expected some README-only repositories")
+	}
+}
+
+func TestMaliciousBotPlanted(t *testing.T) {
+	eco := genTest(t, 2000)
+	b := findBot(eco, eco.MaliciousID)
+	if b == nil {
+		t.Fatal("malicious bot missing")
+	}
+	if b.Name != "Melonian" {
+		t.Errorf("malicious name = %q", b.Name)
+	}
+	if eco.Behaviors[b.ID] != BehaviorSnoop {
+		t.Error("malicious bot lacks snoop behavior")
+	}
+	if b.GuildCount != 25 {
+		t.Errorf("malicious guild count = %d", b.GuildCount)
+	}
+	if b.GitHubURL != "" {
+		t.Error("malicious bot should not volunteer source")
+	}
+	if !b.Perms.Has(permissions.ReadMessageHistory) {
+		t.Error("snoop bot needs read-message-history")
+	}
+	// Votes must put it inside a most-voted 500 sample.
+	rank := 0
+	for _, other := range eco.Bots {
+		if other.Votes > b.Votes {
+			rank++
+		}
+	}
+	if rank >= 500 {
+		t.Errorf("malicious bot vote rank %d, want < 500", rank)
+	}
+}
+
+func TestBehaviorsAssigned(t *testing.T) {
+	eco := genTest(t, 1000)
+	counts := make(map[Behavior]int)
+	for _, b := range eco.Behaviors {
+		counts[b]++
+	}
+	if counts[BehaviorSnoop] != 1 {
+		t.Errorf("snoop count = %d, want exactly 1", counts[BehaviorSnoop])
+	}
+	if counts[BehaviorIdle] == 0 || counts[BehaviorResponder] == 0 {
+		t.Errorf("behavior mix degenerate: %v", counts)
+	}
+	for _, b := range []Behavior{BehaviorIdle, BehaviorResponder, BehaviorSnoop} {
+		if b.String() == "" {
+			t.Error("behavior missing a name")
+		}
+	}
+}
+
+func TestPoliciesAreNeverComplete(t *testing.T) {
+	eco := genTest(t, 20000)
+	for _, b := range eco.Bots {
+		if b.PolicyText == "" {
+			continue
+		}
+		// No generated policy may cover all four categories — the paper
+		// found zero complete policies.
+		hasAll := strings.Contains(strings.ToLower(b.PolicyText), "collect") &&
+			strings.Contains(strings.ToLower(b.PolicyText), "use") &&
+			strings.Contains(strings.ToLower(b.PolicyText), "retain") &&
+			strings.Contains(strings.ToLower(b.PolicyText), "disclose")
+		if hasAll {
+			t.Fatalf("bot %s policy covers all four categories:\n%s", b.Name, b.PolicyText)
+		}
+	}
+}
+
+func TestDefaultPopulationSize(t *testing.T) {
+	eco := Generate(Config{Seed: 1, NumBots: 0})
+	if len(eco.Bots) != PaperPopulation {
+		t.Errorf("default population = %d, want %d", len(eco.Bots), PaperPopulation)
+	}
+}
+
+func TestLongTailPopularity(t *testing.T) {
+	eco := genTest(t, 5000)
+	big, small := 0, 0
+	for _, b := range eco.Bots {
+		if b.GuildCount > 100000 {
+			big++
+		}
+		if b.GuildCount < 1000 {
+			small++
+		}
+	}
+	if big == 0 {
+		t.Error("no mega-popular bots in the long tail")
+	}
+	if small < len(eco.Bots)/2 {
+		t.Errorf("tail not heavy enough: %d small of %d", small, len(eco.Bots))
+	}
+}
+
+func findBot(eco *Ecosystem, id int) *listing.Bot {
+	for _, b := range eco.Bots {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package traceability
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+)
+
+// The paper's §5 notes that existing NLP policy tools could not be
+// reused "because their ontologies do not cover all the data types in
+// this new ecosystem". This file contributes that missing piece: a
+// small ontology mapping chatbot permissions to the user-data types
+// they expose, with surface forms for matching policy text, enabling a
+// finer-grained audit than the four-category keyword classes — does the
+// policy account for each specific data type the bot can reach?
+
+// DataTypeEntry is one ontology row.
+type DataTypeEntry struct {
+	Type permissions.Permission
+	// Data is the canonical data type exposed.
+	Data policygen.DataType
+	// Surface lists phrases a policy may use to refer to the data.
+	Surface []string
+}
+
+// Ontology maps data-exposing permissions to data types and their
+// textual surface forms in this ecosystem's policies.
+var Ontology = []DataTypeEntry{
+	{permissions.ViewChannel, policygen.DataMessageContent,
+		[]string{"message content", "messages", "chat content", "conversations"}},
+	{permissions.ReadMessageHistory, policygen.DataMessageMetadata,
+		[]string{"message metadata", "message history", "chat history", "timestamps"}},
+	{permissions.Connect, policygen.DataVoiceMetadata,
+		[]string{"voice metadata", "voice activity", "voice channel"}},
+	{permissions.AttachFiles, policygen.DataAttachments,
+		[]string{"uploaded files", "attachments", "files you share", "documents"}},
+	{permissions.ManageGuild, policygen.DataGuildInfo,
+		[]string{"server configuration", "server settings", "guild settings"}},
+	{permissions.ViewAuditLog, policygen.DataCommandUsage,
+		[]string{"command usage", "usage statistics", "usage data", "audit log"}},
+}
+
+// DataTypeFinding is one per-data-type verdict.
+type DataTypeFinding struct {
+	Perm      permissions.Permission
+	Data      policygen.DataType
+	Exposed   bool // the bot's permission set reaches this data
+	Mentioned bool // the policy text refers to it
+}
+
+// Gap reports whether the data is exposed but never mentioned — the
+// specific disclosure failure the ontology audit surfaces.
+func (f DataTypeFinding) Gap() bool { return f.Exposed && !f.Mentioned }
+
+// AuditDataTypes cross-references a bot's permission set with its
+// policy text through the ontology. Findings are ordered by permission
+// bit for determinism. Administrator (which reaches everything) marks
+// every data type exposed, mirroring Effective().
+func AuditDataTypes(policy string, requested permissions.Permission) []DataTypeFinding {
+	lower := strings.ToLower(policy)
+	eff := requested.Effective()
+	out := make([]DataTypeFinding, 0, len(Ontology))
+	for _, row := range Ontology {
+		f := DataTypeFinding{Perm: row.Type, Data: row.Data}
+		f.Exposed = eff.Has(row.Type)
+		for _, s := range row.Surface {
+			if strings.Contains(lower, s) {
+				f.Mentioned = true
+				break
+			}
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Perm < out[j].Perm })
+	return out
+}
+
+// DataTypeGapCount summarizes AuditDataTypes: how many exposed data
+// types the policy never mentions.
+func DataTypeGapCount(policy string, requested permissions.Permission) int {
+	n := 0
+	for _, f := range AuditDataTypes(policy, requested) {
+		if f.Gap() {
+			n++
+		}
+	}
+	return n
+}
+
+// DataTypeResult aggregates the ontology audit over a population.
+type DataTypeResult struct {
+	Bots int
+	// GapsPerBot histograms gap counts: index = number of unmentioned
+	// exposed data types.
+	GapsPerBot map[int]int
+	// ByData counts, per data type, bots exposing it vs mentioning it.
+	ExposedByData   map[policygen.DataType]int
+	MentionedByData map[policygen.DataType]int
+}
+
+// NewDataTypeResult creates an empty aggregate.
+func NewDataTypeResult() *DataTypeResult {
+	return &DataTypeResult{
+		GapsPerBot:      make(map[int]int),
+		ExposedByData:   make(map[policygen.DataType]int),
+		MentionedByData: make(map[policygen.DataType]int),
+	}
+}
+
+// Add folds one bot into the aggregate.
+func (r *DataTypeResult) Add(policy string, requested permissions.Permission) {
+	r.Bots++
+	gaps := 0
+	for _, f := range AuditDataTypes(policy, requested) {
+		if f.Exposed {
+			r.ExposedByData[f.Data]++
+		}
+		if f.Mentioned {
+			r.MentionedByData[f.Data]++
+		}
+		if f.Gap() {
+			gaps++
+		}
+	}
+	r.GapsPerBot[gaps]++
+}
+
+// FullyAccounted returns how many bots mention every data type they
+// expose (gap count zero).
+func (r *DataTypeResult) FullyAccounted() int { return r.GapsPerBot[0] }

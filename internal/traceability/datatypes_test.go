@@ -1,0 +1,112 @@
+package traceability
+
+import (
+	"testing"
+
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+)
+
+func TestAuditDataTypesExposureAndMentions(t *testing.T) {
+	policy := "We collect message content and your uploaded files for features."
+	perms := permissions.ViewChannel | permissions.AttachFiles | permissions.Connect
+	findings := AuditDataTypes(policy, perms)
+	if len(findings) != len(Ontology) {
+		t.Fatalf("findings = %d, want %d", len(findings), len(Ontology))
+	}
+	byData := make(map[policygen.DataType]DataTypeFinding)
+	for _, f := range findings {
+		byData[f.Data] = f
+	}
+	mc := byData[policygen.DataMessageContent]
+	if !mc.Exposed || !mc.Mentioned || mc.Gap() {
+		t.Errorf("message content finding = %+v", mc)
+	}
+	att := byData[policygen.DataAttachments]
+	if !att.Exposed || !att.Mentioned {
+		t.Errorf("attachments finding = %+v", att)
+	}
+	voice := byData[policygen.DataVoiceMetadata]
+	if !voice.Exposed || voice.Mentioned || !voice.Gap() {
+		t.Errorf("voice finding should be an unmentioned exposure: %+v", voice)
+	}
+	guild := byData[policygen.DataGuildInfo]
+	if guild.Exposed {
+		t.Errorf("guild info not reachable without manage-server: %+v", guild)
+	}
+}
+
+func TestAuditDataTypesAdminExposesEverything(t *testing.T) {
+	findings := AuditDataTypes("", permissions.Administrator)
+	for _, f := range findings {
+		if !f.Exposed {
+			t.Errorf("admin should expose %s", f.Data)
+		}
+		if !f.Gap() {
+			t.Errorf("empty policy should gap on %s", f.Data)
+		}
+	}
+	if got := DataTypeGapCount("", permissions.Administrator); got != len(Ontology) {
+		t.Errorf("gap count = %d, want %d", got, len(Ontology))
+	}
+}
+
+func TestDataTypeGapCountZeroForFullDisclosure(t *testing.T) {
+	policy := `We process message content, message metadata, voice metadata,
+uploaded files, server configuration, and command usage statistics.`
+	if got := DataTypeGapCount(policy, permissions.Administrator); got != 0 {
+		t.Errorf("full-disclosure gap count = %d", got)
+	}
+	// A bot with no data-exposing permissions has nothing to gap.
+	if got := DataTypeGapCount("", permissions.SendMessages); got != 0 {
+		t.Errorf("send-only gap count = %d", got)
+	}
+}
+
+func TestDataTypeResultAggregation(t *testing.T) {
+	r := NewDataTypeResult()
+	r.Add("we collect message content", permissions.ViewChannel) // 0 gaps
+	r.Add("", permissions.ViewChannel)                           // 1 gap
+	r.Add("", permissions.ViewChannel|permissions.AttachFiles)   // 2 gaps
+	r.Add("", permissions.SendMessages)                          // 0 gaps (nothing exposed)
+	if r.Bots != 4 {
+		t.Fatalf("bots = %d", r.Bots)
+	}
+	if r.FullyAccounted() != 2 {
+		t.Errorf("fully accounted = %d, want 2", r.FullyAccounted())
+	}
+	if r.GapsPerBot[1] != 1 || r.GapsPerBot[2] != 1 {
+		t.Errorf("histogram = %v", r.GapsPerBot)
+	}
+	if r.ExposedByData[policygen.DataMessageContent] != 3 {
+		t.Errorf("exposed message content = %d", r.ExposedByData[policygen.DataMessageContent])
+	}
+	if r.MentionedByData[policygen.DataMessageContent] != 1 {
+		t.Errorf("mentioned message content = %d", r.MentionedByData[policygen.DataMessageContent])
+	}
+}
+
+func TestOntologyCoversAllGeneratorDataTypes(t *testing.T) {
+	// Every data type the policy generator can emit (except the purely
+	// account-level ones) must be reachable through the ontology, so
+	// the audit can in principle find full disclosure.
+	covered := make(map[policygen.DataType]bool)
+	for _, row := range Ontology {
+		covered[row.Data] = true
+		if len(row.Surface) == 0 {
+			t.Errorf("ontology row %s has no surface forms", row.Data)
+		}
+		if row.Type.Count() != 1 {
+			t.Errorf("ontology row %s maps a multi-bit permission", row.Data)
+		}
+	}
+	for _, dt := range []policygen.DataType{
+		policygen.DataMessageContent, policygen.DataMessageMetadata,
+		policygen.DataVoiceMetadata, policygen.DataAttachments,
+		policygen.DataGuildInfo, policygen.DataCommandUsage,
+	} {
+		if !covered[dt] {
+			t.Errorf("ontology missing %s", dt)
+		}
+	}
+}

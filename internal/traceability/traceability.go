@@ -1,0 +1,173 @@
+// Package traceability implements the paper's keyword-based
+// traceability analysis (§3): it compares the data permissions a
+// chatbot requests with the data practices its privacy policy
+// describes, and classifies disclosure as complete, partial, or broken.
+//
+// A policy "describes" a category (Collect, Use, Retain, Disclose) when
+// the text contains one of the category's keywords or synonyms on a
+// word boundary. A policy covering all four categories is complete; at
+// least one, partial; none — or no policy at all — broken.
+package traceability
+
+import (
+	"strings"
+	"unicode"
+
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+)
+
+// Verdict is the analyzer's output for one chatbot.
+type Verdict struct {
+	// Class is the paper's three-way classification.
+	Class policygen.Class
+	// HasPolicy is false when no policy document was reachable — the
+	// broken-by-absence case that dominates the paper's Table 2.
+	HasPolicy bool
+	// Covered lists the categories whose keywords appeared.
+	Covered []policygen.Category
+	// Hits maps each covered category to the keywords that matched.
+	Hits map[policygen.Category][]string
+	// UndisclosedPerms lists requested permissions that expose user
+	// data while the policy describes no collection at all.
+	UndisclosedPerms []permissions.Permission
+}
+
+// dataExposing is the subset of permissions whose grant gives the bot
+// access to user data that a policy ought to account for.
+var dataExposing = []permissions.Permission{
+	permissions.Administrator,
+	permissions.ViewChannel,
+	permissions.ReadMessageHistory,
+	permissions.ViewAuditLog,
+	permissions.ManageMessages,
+	permissions.AttachFiles,
+	permissions.Connect,
+}
+
+// Analyzer performs keyword-based traceability analysis. The zero value
+// uses the paper's category keyword sets; tests can install custom
+// matchers for the ablation benchmarks.
+type Analyzer struct {
+	// Substring, when true, degrades matching to naive
+	// strings.Contains — the ablation baseline showing why
+	// word-boundary matching matters ("used" inside "caused", etc.).
+	Substring bool
+}
+
+// tokenize lower-cases and splits text into words, stripping
+// punctuation, so keyword matching is boundary-exact.
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '-'
+	})
+}
+
+// matchCategory returns the keywords of category c found in text.
+func (a *Analyzer) matchCategory(c policygen.Category, lower string, words map[string]bool) []string {
+	var hits []string
+	for _, kw := range c.Keywords() {
+		if strings.ContainsRune(kw, ' ') || strings.ContainsRune(kw, '-') {
+			// Phrase keywords match as substrings of the lower-cased
+			// text (word-internal hyphens normalized).
+			if strings.Contains(lower, kw) {
+				hits = append(hits, kw)
+			}
+			continue
+		}
+		if a.Substring {
+			if strings.Contains(lower, kw) {
+				hits = append(hits, kw)
+			}
+			continue
+		}
+		if words[kw] {
+			hits = append(hits, kw)
+		}
+	}
+	return hits
+}
+
+// AnalyzePolicy classifies one policy document against the permissions
+// its chatbot requests. An empty policy string means the document was
+// missing or unreachable.
+func (a *Analyzer) AnalyzePolicy(policy string, requested permissions.Permission) Verdict {
+	v := Verdict{Hits: make(map[policygen.Category][]string)}
+	if strings.TrimSpace(policy) == "" {
+		v.Class = policygen.Broken
+		v.UndisclosedPerms = exposedBy(requested)
+		return v
+	}
+	v.HasPolicy = true
+	lower := strings.ToLower(policy)
+	words := make(map[string]bool)
+	for _, w := range tokenize(policy) {
+		words[w] = true
+	}
+	for _, c := range policygen.AllCategories {
+		if hits := a.matchCategory(c, lower, words); len(hits) > 0 {
+			v.Covered = append(v.Covered, c)
+			v.Hits[c] = hits
+		}
+	}
+	switch len(v.Covered) {
+	case 0:
+		v.Class = policygen.Broken
+	case len(policygen.AllCategories):
+		v.Class = policygen.Complete
+	default:
+		v.Class = policygen.Partial
+	}
+	collectCovered := len(v.Hits[policygen.Collect]) > 0
+	if !collectCovered {
+		v.UndisclosedPerms = exposedBy(requested)
+	}
+	return v
+}
+
+func exposedBy(requested permissions.Permission) []permissions.Permission {
+	var out []permissions.Permission
+	eff := requested.Effective()
+	for _, p := range dataExposing {
+		if eff.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Result aggregates a population of verdicts into the shape of the
+// paper's Table 2 discussion.
+type Result struct {
+	Total    int
+	Broken   int
+	Partial  int
+	Complete int
+	// WithPolicy counts bots whose policy document was reachable.
+	WithPolicy int
+}
+
+// Add folds one verdict into the aggregate.
+func (r *Result) Add(v Verdict) {
+	r.Total++
+	if v.HasPolicy {
+		r.WithPolicy++
+	}
+	switch v.Class {
+	case policygen.Broken:
+		r.Broken++
+	case policygen.Partial:
+		r.Partial++
+	case policygen.Complete:
+		r.Complete++
+	}
+}
+
+// BrokenPct returns the percentage of bots with broken traceability —
+// the paper's headline 95.67%.
+func (r *Result) BrokenPct() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Broken) / float64(r.Total)
+}

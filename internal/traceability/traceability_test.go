@@ -1,0 +1,196 @@
+package traceability
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/permissions"
+	"repro/internal/policygen"
+)
+
+func TestMissingPolicyIsBroken(t *testing.T) {
+	var a Analyzer
+	v := a.AnalyzePolicy("", permissions.Administrator)
+	if v.Class != policygen.Broken || v.HasPolicy {
+		t.Fatalf("missing policy verdict = %+v", v)
+	}
+	if len(v.UndisclosedPerms) == 0 {
+		t.Error("admin bot without a policy should flag undisclosed data access")
+	}
+	v2 := a.AnalyzePolicy("   \n\t ", permissions.SendMessages)
+	if v2.Class != policygen.Broken || v2.HasPolicy {
+		t.Errorf("whitespace policy verdict = %+v", v2)
+	}
+}
+
+func TestCompletePolicy(t *testing.T) {
+	var a Analyzer
+	policy := `We collect message content from your channels.
+We use this data to answer commands.
+Data is stored for 30 days.
+We never share information with third parties.`
+	v := a.AnalyzePolicy(policy, permissions.ViewChannel)
+	if v.Class != policygen.Complete {
+		t.Fatalf("class = %s, covered = %v", v.Class, v.Covered)
+	}
+	if len(v.Covered) != 4 {
+		t.Errorf("covered = %v", v.Covered)
+	}
+	if len(v.UndisclosedPerms) != 0 {
+		t.Errorf("complete policy flagged undisclosed perms: %v", v.UndisclosedPerms)
+	}
+}
+
+func TestPartialPolicy(t *testing.T) {
+	var a Analyzer
+	v := a.AnalyzePolicy("We collect usernames. We process them for commands.", permissions.ViewChannel)
+	if v.Class != policygen.Partial {
+		t.Fatalf("class = %s", v.Class)
+	}
+	want := map[policygen.Category]bool{policygen.Collect: true, policygen.Use: true}
+	for _, c := range v.Covered {
+		if !want[c] {
+			t.Errorf("unexpected covered category %s", c)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing categories: %v", want)
+	}
+}
+
+func TestBrokenDocumentWithoutKeywords(t *testing.T) {
+	var a Analyzer
+	policy := "Welcome! This page talks about our awesome bot. Contact support any time."
+	v := a.AnalyzePolicy(policy, permissions.ReadMessageHistory)
+	if v.Class != policygen.Broken || !v.HasPolicy {
+		t.Fatalf("keyword-free doc verdict = %+v", v)
+	}
+	if len(v.UndisclosedPerms) == 0 {
+		t.Error("history-reading bot with no collection disclosure should be flagged")
+	}
+}
+
+func TestWordBoundaryMatching(t *testing.T) {
+	var a Analyzer
+	// "museum" contains "use"; "recordings" contains "record";
+	// "bookkeeping" contains "keep". None should match on boundaries.
+	policy := "Our museum of bookkeeping recordings is carefully housed."
+	v := a.AnalyzePolicy(policy, permissions.None)
+	if v.Class != policygen.Broken {
+		t.Fatalf("boundary matcher produced false positives: %+v", v.Hits)
+	}
+	// The substring ablation mode DOES false-positive here.
+	sub := Analyzer{Substring: true}
+	v2 := sub.AnalyzePolicy(policy, permissions.None)
+	if v2.Class == policygen.Broken {
+		t.Error("substring mode unexpectedly clean — ablation baseline lost its point")
+	}
+}
+
+func TestPhraseKeywords(t *testing.T) {
+	var a Analyzer
+	v := a.AnalyzePolicy("Data may go to a third party for hosting.", permissions.None)
+	found := false
+	for _, c := range v.Covered {
+		if c == policygen.Disclose {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phrase keyword 'third party' missed: %+v", v.Hits)
+	}
+	v2 := a.AnalyzePolicy("We work with third-party processors.", permissions.None)
+	if len(v2.Hits[policygen.Disclose]) == 0 {
+		t.Errorf("hyphenated phrase missed: %+v", v2.Hits)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	var a Analyzer
+	v := a.AnalyzePolicy("WE COLLECT DATA. We Store it. we SHARE nothing. It is USED well.", permissions.None)
+	if v.Class != policygen.Complete {
+		t.Errorf("case-insensitive matching failed: %s %v", v.Class, v.Covered)
+	}
+}
+
+func TestGeneratedPoliciesClassifiedCorrectly(t *testing.T) {
+	// The validation loop the paper ran manually on 100 policies: every
+	// generated policy's analyzer class must equal its ground truth.
+	g := policygen.New(42)
+	var a Analyzer
+	specs := []policygen.Spec{
+		{BotName: "A", Covered: nil},
+		{BotName: "B", Covered: []policygen.Category{policygen.Collect}},
+		{BotName: "C", Covered: []policygen.Category{policygen.Use, policygen.Retain}},
+		{BotName: "D", Covered: policygen.AllCategories},
+		{BotName: "E", Generic: true, GenericTemplate: 0},
+		{BotName: "F", Generic: true, GenericTemplate: 1},
+		{BotName: "G", Generic: true, GenericTemplate: 2},
+		{BotName: "H", Covered: []policygen.Category{policygen.Disclose}},
+	}
+	for _, spec := range specs {
+		text := g.Generate(spec)
+		v := a.AnalyzePolicy(text, permissions.ViewChannel)
+		if v.Class != spec.TruthClass() {
+			t.Errorf("bot %s: analyzer says %s, truth is %s\npolicy:\n%s\nhits: %v",
+				spec.BotName, v.Class, spec.TruthClass(), text, v.Hits)
+		}
+	}
+}
+
+func TestHundredPolicyValidation(t *testing.T) {
+	// Random 100-policy sample, zero misclassifications — matching the
+	// paper's §4.2 manual validation outcome.
+	g := policygen.New(2022)
+	var a Analyzer
+	mis := 0
+	for i := 0; i < 100; i++ {
+		var covered []policygen.Category
+		for _, c := range policygen.AllCategories {
+			if (i>>uint(c))&1 == 1 {
+				covered = append(covered, c)
+			}
+		}
+		spec := policygen.Spec{BotName: fmt.Sprintf("bot%d", i), Covered: covered, Generic: i%7 == 6}
+		spec.GenericTemplate = i
+		v := a.AnalyzePolicy(g.Generate(spec), permissions.ViewChannel)
+		if v.Class != spec.TruthClass() {
+			mis++
+		}
+	}
+	if mis != 0 {
+		t.Errorf("misclassified %d/100 policies, paper's validation found 0", mis)
+	}
+}
+
+func TestResultAggregation(t *testing.T) {
+	var a Analyzer
+	var r Result
+	r.Add(a.AnalyzePolicy("", permissions.None))
+	r.Add(a.AnalyzePolicy("we collect data", permissions.None))
+	r.Add(a.AnalyzePolicy("we collect, use, store, and share data", permissions.None))
+	if r.Total != 3 || r.Broken != 1 || r.Partial != 1 || r.Complete != 1 || r.WithPolicy != 2 {
+		t.Errorf("aggregate = %+v", r)
+	}
+	if pct := r.BrokenPct(); pct < 33.2 || pct > 33.4 {
+		t.Errorf("BrokenPct = %f", pct)
+	}
+	var empty Result
+	if empty.BrokenPct() != 0 {
+		t.Error("empty BrokenPct should be 0")
+	}
+}
+
+func TestUndisclosedPermsExpansion(t *testing.T) {
+	var a Analyzer
+	v := a.AnalyzePolicy("", permissions.Administrator)
+	// Administrator implies every data-exposing permission.
+	if len(v.UndisclosedPerms) < 5 {
+		t.Errorf("admin undisclosed perms = %v", v.UndisclosedPerms)
+	}
+	v2 := a.AnalyzePolicy("", permissions.SendMessages)
+	if len(v2.UndisclosedPerms) != 0 {
+		t.Errorf("send-only bot should expose nothing: %v", v2.UndisclosedPerms)
+	}
+}

@@ -1,0 +1,258 @@
+// Package vetting operationalizes the paper's mitigation
+// recommendation (§7): "Adopting stricter scrutiny when developers
+// collect data and a continuous rigorous vetting process by the
+// platform's provider could help mitigate risks." It scores each
+// listed bot against rules derived directly from the paper's findings —
+// administrator redundancy (§5), undisclosed data collection (Table 2),
+// ontology gaps, boilerplate policy reuse (§4.2), and unverifiable
+// high-privilege bots — and issues approve/flag/reject verdicts a
+// marketplace could enforce at listing time and on every update.
+package vetting
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/permissions"
+	"repro/internal/scraper"
+	"repro/internal/traceability"
+)
+
+// Verdict is the vetting outcome for one bot.
+type Verdict int
+
+// Verdicts, from best to worst.
+const (
+	Approve Verdict = iota
+	Flag
+	Reject
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Reject:
+		return "reject"
+	case Flag:
+		return "flag"
+	default:
+		return "approve"
+	}
+}
+
+// Severity grades a finding.
+type Severity int
+
+// Severities.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevCritical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevCritical:
+		return "critical"
+	case SevWarn:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one rule hit.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Detail   string
+}
+
+// Report is the vetting result for one bot.
+type Report struct {
+	BotID    int
+	Name     string
+	Verdict  Verdict
+	Findings []Finding
+}
+
+// Vetter holds population-level context (needed for boilerplate-reuse
+// detection) and the rule thresholds.
+type Vetter struct {
+	// RejectRiskScore is the risk score at or above which a bot with
+	// broken traceability is rejected outright.
+	RejectRiskScore int
+	// BoilerplateMinShare is how many bots must share a normalized
+	// policy before it counts as reused boilerplate.
+	BoilerplateMinShare int
+
+	policyUses map[string]int
+}
+
+// New creates a vetter with the default thresholds.
+func New() *Vetter {
+	return &Vetter{
+		RejectRiskScore:     80,
+		BoilerplateMinShare: 3,
+		policyUses:          make(map[string]int),
+	}
+}
+
+// normalizePolicy strips the bot's own name so verbatim-reused
+// boilerplate hashes identically across bots (§4.2's observation).
+func normalizePolicy(name, policy string) string {
+	return strings.ToLower(strings.ReplaceAll(policy, name, "{bot}"))
+}
+
+// Observe ingests the population before vetting so population-level
+// rules (policy reuse) have context. Call once per record set.
+func (v *Vetter) Observe(records []*scraper.Record) {
+	for _, r := range records {
+		if r == nil || r.PolicyText == "" {
+			continue
+		}
+		v.policyUses[normalizePolicy(r.Name, r.PolicyText)]++
+	}
+}
+
+// Vet evaluates one bot.
+func (v *Vetter) Vet(r *scraper.Record) *Report {
+	rep := &Report{BotID: r.ID, Name: r.Name}
+	if !r.PermsValid {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "unreadable-permissions", Severity: SevCritical,
+			Detail: fmt.Sprintf("invite link does not disclose permissions (%s)", r.InvalidReason),
+		})
+		rep.Verdict = Reject
+		return rep
+	}
+	var an traceability.Analyzer
+	tv := an.AnalyzePolicy(r.PolicyText, r.Perms)
+	risk := r.Perms.RiskScore()
+
+	// §5: admin plus extras is redundant and signals a developer who
+	// does not understand the permission model.
+	if r.Perms.RedundantWithAdmin() {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "admin-redundancy", Severity: SevWarn,
+			Detail: fmt.Sprintf("administrator plus %d redundant extra permissions", r.Perms.Count()-1),
+		})
+	}
+	// Table 2: data access without any disclosure.
+	if len(tv.UndisclosedPerms) > 0 {
+		sev := SevWarn
+		if !tv.HasPolicy {
+			sev = SevCritical
+		}
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "undisclosed-data-access", Severity: sev,
+			Detail: fmt.Sprintf("%d data-exposing permissions with no collection disclosure", len(tv.UndisclosedPerms)),
+		})
+	}
+	// Ontology refinement: specific exposed-but-unmentioned data types.
+	if gaps := traceability.DataTypeGapCount(r.PolicyText, r.Perms); gaps > 0 && tv.HasPolicy {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "data-type-gaps", Severity: SevWarn,
+			Detail: fmt.Sprintf("policy silent on %d exposed data types", gaps),
+		})
+	}
+	// §4.2: verbatim policy reuse across bots.
+	if r.PolicyText != "" && v.policyUses[normalizePolicy(r.Name, r.PolicyText)] >= v.BoilerplateMinShare {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "boilerplate-policy", Severity: SevInfo,
+			Detail: "privacy policy is generic boilerplate shared by other bots",
+		})
+	}
+	// High privilege with nothing to audit.
+	if risk >= v.RejectRiskScore && r.GitHubURL == "" && !tv.HasPolicy {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "unauditable-high-privilege", Severity: SevCritical,
+			Detail: fmt.Sprintf("risk score %d with no policy and no public source", risk),
+		})
+	}
+	if r.Perms.Level() == permissions.RiskCritical && !tv.HasPolicy {
+		rep.Findings = append(rep.Findings, Finding{
+			Rule: "critical-risk-no-policy", Severity: SevCritical,
+			Detail: "critical-risk permission set without a privacy policy",
+		})
+	}
+
+	rep.Verdict = verdictFor(rep.Findings)
+	return rep
+}
+
+func verdictFor(fs []Finding) Verdict {
+	criticals, warns := 0, 0
+	for _, f := range fs {
+		switch f.Severity {
+		case SevCritical:
+			criticals++
+		case SevWarn:
+			warns++
+		}
+	}
+	switch {
+	case criticals > 0:
+		return Reject
+	case warns > 0:
+		return Flag
+	default:
+		return Approve
+	}
+}
+
+// Summary aggregates a vetting pass.
+type Summary struct {
+	Total    int
+	Approved int
+	Flagged  int
+	Rejected int
+	// ByRule counts how many bots each rule hit.
+	ByRule map[string]int
+}
+
+// VetAll observes and vets the whole record set, returning per-bot
+// reports (in input order, nil records skipped) and the aggregate.
+func VetAll(records []*scraper.Record) ([]*Report, Summary) {
+	v := New()
+	v.Observe(records)
+	sum := Summary{ByRule: make(map[string]int)}
+	var reports []*Report
+	for _, r := range records {
+		if r == nil {
+			continue
+		}
+		rep := v.Vet(r)
+		reports = append(reports, rep)
+		sum.Total++
+		switch rep.Verdict {
+		case Approve:
+			sum.Approved++
+		case Flag:
+			sum.Flagged++
+		case Reject:
+			sum.Rejected++
+		}
+		for _, f := range rep.Findings {
+			sum.ByRule[f.Rule]++
+		}
+	}
+	return reports, sum
+}
+
+// TopRules returns rule names ordered by hit count descending.
+func (s Summary) TopRules() []string {
+	rules := make([]string, 0, len(s.ByRule))
+	for r := range s.ByRule {
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if s.ByRule[rules[i]] != s.ByRule[rules[j]] {
+			return s.ByRule[rules[i]] > s.ByRule[rules[j]]
+		}
+		return rules[i] < rules[j]
+	})
+	return rules
+}

@@ -1,0 +1,166 @@
+package vetting
+
+import (
+	"testing"
+
+	"repro/internal/permissions"
+	"repro/internal/scraper"
+)
+
+func record(id int, name string, perms permissions.Permission, policy string) *scraper.Record {
+	return &scraper.Record{
+		ID: id, Name: name, PermsValid: true, Perms: perms, PolicyText: policy,
+	}
+}
+
+const goodPolicy = `We collect message content, message metadata, voice metadata,
+uploaded files, server configuration and command usage statistics.
+We use them for features, store them briefly, and never share them with third parties.`
+
+func TestCleanBotApproved(t *testing.T) {
+	v := New()
+	r := record(1, "Clean", permissions.SendMessages|permissions.ViewChannel|permissions.ReadMessageHistory, goodPolicy)
+	rep := v.Vet(r)
+	if rep.Verdict != Approve {
+		t.Fatalf("verdict = %s, findings = %+v", rep.Verdict, rep.Findings)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("clean bot has findings: %+v", rep.Findings)
+	}
+}
+
+func TestAdminRedundancyFlagged(t *testing.T) {
+	v := New()
+	r := record(2, "Greedy", permissions.Administrator|permissions.SendMessages, goodPolicy)
+	rep := v.Vet(r)
+	if rep.Verdict != Flag {
+		t.Fatalf("verdict = %s, findings = %+v", rep.Verdict, rep.Findings)
+	}
+	if !hasRule(rep, "admin-redundancy") {
+		t.Errorf("missing admin-redundancy: %+v", rep.Findings)
+	}
+}
+
+func TestNoPolicyDataAccessRejected(t *testing.T) {
+	v := New()
+	r := record(3, "Silent", permissions.ViewChannel|permissions.ReadMessageHistory, "")
+	rep := v.Vet(r)
+	if rep.Verdict != Reject {
+		t.Fatalf("verdict = %s", rep.Verdict)
+	}
+	if !hasRule(rep, "undisclosed-data-access") {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestCriticalRiskNoPolicyRejected(t *testing.T) {
+	v := New()
+	r := record(4, "Admin", permissions.Administrator, "")
+	rep := v.Vet(r)
+	if rep.Verdict != Reject {
+		t.Fatalf("verdict = %s", rep.Verdict)
+	}
+	if !hasRule(rep, "critical-risk-no-policy") || !hasRule(rep, "unauditable-high-privilege") {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+}
+
+func TestAuditableHighPrivilegeNotUnauditable(t *testing.T) {
+	v := New()
+	r := record(5, "OpenSource", permissions.Administrator, "")
+	r.GitHubURL = "/dev/opensource"
+	rep := v.Vet(r)
+	if hasRule(rep, "unauditable-high-privilege") {
+		t.Errorf("public-source bot marked unauditable: %+v", rep.Findings)
+	}
+}
+
+func TestUnreadablePermissionsRejected(t *testing.T) {
+	v := New()
+	r := &scraper.Record{ID: 6, Name: "Broken", InvalidReason: scraper.InvalidTimeout}
+	rep := v.Vet(r)
+	if rep.Verdict != Reject || !hasRule(rep, "unreadable-permissions") {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestDataTypeGapsFlagged(t *testing.T) {
+	v := New()
+	// Policy discloses collection generally but not the voice metadata
+	// the connect permission exposes.
+	policy := "We collect message content. We use it, store it, and never share it."
+	r := record(7, "Voicey", permissions.ViewChannel|permissions.Connect, policy)
+	rep := v.Vet(r)
+	if !hasRule(rep, "data-type-gaps") {
+		t.Errorf("findings = %+v", rep.Findings)
+	}
+	if rep.Verdict != Flag {
+		t.Errorf("verdict = %s", rep.Verdict)
+	}
+}
+
+func TestBoilerplateDetectionAcrossPopulation(t *testing.T) {
+	tpl := func(name string) string {
+		return "Privacy Policy for " + name + ": we collect and use basic data for features."
+	}
+	records := []*scraper.Record{
+		record(1, "A", permissions.ViewChannel, tpl("A")),
+		record(2, "B", permissions.ViewChannel, tpl("B")),
+		record(3, "C", permissions.ViewChannel, tpl("C")),
+		record(4, "D", permissions.ViewChannel, "A bespoke policy: we collect message content, use, store, share nothing."),
+	}
+	reports, _ := VetAll(records)
+	for _, rep := range reports[:3] {
+		if !hasRuleR(rep, "boilerplate-policy") {
+			t.Errorf("bot %s: boilerplate not detected: %+v", rep.Name, rep.Findings)
+		}
+	}
+	if hasRuleR(reports[3], "boilerplate-policy") {
+		t.Errorf("bespoke policy misdetected: %+v", reports[3].Findings)
+	}
+}
+
+func TestVetAllSummary(t *testing.T) {
+	records := []*scraper.Record{
+		record(1, "Clean", permissions.SendMessages|permissions.ViewChannel|permissions.ReadMessageHistory, goodPolicy),
+		record(2, "Greedy", permissions.Administrator|permissions.SendMessages, goodPolicy),
+		record(3, "Silent", permissions.Administrator, ""),
+		nil,
+	}
+	reports, sum := VetAll(records)
+	if len(reports) != 3 || sum.Total != 3 {
+		t.Fatalf("reports = %d, total = %d", len(reports), sum.Total)
+	}
+	if sum.Approved != 1 || sum.Flagged != 1 || sum.Rejected != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	top := sum.TopRules()
+	if len(top) == 0 {
+		t.Fatal("no rules in summary")
+	}
+	for i := 1; i < len(top); i++ {
+		if sum.ByRule[top[i-1]] < sum.ByRule[top[i]] {
+			t.Errorf("TopRules not sorted: %v", top)
+		}
+	}
+}
+
+func TestVerdictAndSeverityStrings(t *testing.T) {
+	if Approve.String() != "approve" || Flag.String() != "flag" || Reject.String() != "reject" {
+		t.Error("verdict labels wrong")
+	}
+	if SevInfo.String() != "info" || SevWarn.String() != "warn" || SevCritical.String() != "critical" {
+		t.Error("severity labels wrong")
+	}
+}
+
+func hasRule(rep *Report, rule string) bool { return hasRuleR(rep, rule) }
+
+func hasRuleR(rep *Report, rule string) bool {
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

@@ -130,7 +130,7 @@ func BenchmarkTable2Traceability(b *testing.B) {
 	b.ResetTimer()
 	var data report.Table2Data
 	for i := 0; i < b.N; i++ {
-		data = a.Traceability(records)
+		data, _ = a.Traceability(records)
 	}
 	b.StopTimer()
 	report.Table2(io.Discard, data)
@@ -192,7 +192,7 @@ func BenchmarkScrapeYield(b *testing.B) {
 	b.ResetTimer()
 	var records []*scraper.Record
 	for i := 0; i < b.N; i++ {
-		c, err := scraper.NewClient(srv.BaseURL(), 500*time.Millisecond, 0, nil)
+		c, err := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: 500 * time.Millisecond})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +333,7 @@ func BenchmarkAblationLocators(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+	c, err := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func BenchmarkAblationScrapeConcurrency(b *testing.B) {
 	for _, workers := range []int{1, 4, 16} {
 		b.Run(benchName(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				c, err := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+				c, err := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -596,7 +596,7 @@ func BenchmarkHTMLParseListingPage(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	c, _ := scraper.NewClient(srv.BaseURL(), time.Second, 0, nil)
+	c, _ := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
 	raw, err := c.GetRaw("/bots?page=1")
 	if err != nil {
 		b.Fatal(err)

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/listing"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,14 +30,15 @@ func main() {
 	log.SetPrefix("botscan: ")
 
 	var (
-		seed      = flag.Int64("seed", 2022, "ecosystem generation seed")
-		bots      = flag.Int("bots", 2000, "listing population size (paper: 20915)")
-		sample    = flag.Int("sample", 100, "honeypot sample size (paper: 500)")
-		workers   = flag.Int("workers", 8, "scraper parallelism")
-		settle    = flag.Duration("settle", 500*time.Millisecond, "honeypot trigger-watch window per bot")
-		defences  = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
-		fullScale = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
-		exportDir = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
+		seed        = flag.Int64("seed", 2022, "ecosystem generation seed")
+		bots        = flag.Int("bots", 2000, "listing population size (paper: 20915)")
+		sample      = flag.Int("sample", 100, "honeypot sample size (paper: 500)")
+		workers     = flag.Int("workers", 8, "scraper parallelism")
+		settle      = flag.Duration("settle", 500*time.Millisecond, "honeypot trigger-watch window per bot")
+		defences    = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
+		fullScale   = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
+		exportDir   = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
+		metricsAddr = flag.String("metrics-addr", "", "also serve the observability registry on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
 
@@ -58,13 +62,27 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	opts.Obs = reg
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go http.Serve(ln, mux)
+		log.Printf("metrics at http://%s/metrics", ln.Addr())
+	}
+
 	start := time.Now()
 	a, err := core.NewAuditor(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer a.Close()
-	log.Printf("ecosystem of %d bots generated; listing at %s", len(a.Ecosystem().Bots), a.ListingURL())
+	log.Printf("ecosystem of %d bots generated; listing at %s (metrics at %s)", len(a.Ecosystem().Bots), a.ListingURL(), a.MetricsURL())
 
 	res, err := a.RunAll()
 	if err != nil {

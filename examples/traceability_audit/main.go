@@ -29,8 +29,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data := auditor.Traceability(records)
+	data, dataTypes := auditor.Traceability(records)
 	report.Table2(os.Stdout, data)
+	fmt.Println()
+	report.DataTypes(os.Stdout, dataTypes)
 
 	// Drill-down: the most dangerous broken-traceability bots — admin
 	// permission, not a word of disclosure.

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Trigger records one phone-home against a minted token.
@@ -32,8 +34,17 @@ type Service struct {
 	registry map[string]Token
 	triggers []Trigger
 	waiters  []chan Trigger
+	obs      *obs.Registry
 
 	now func() time.Time
+}
+
+// SetObs points the service's trigger counters at a registry; by
+// default they go to the process-wide one.
+func (s *Service) SetObs(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = obs.Or(r)
 }
 
 // NewService starts a trigger service on addr ("127.0.0.1:0" for an
@@ -46,7 +57,7 @@ func NewService(addr string, now func() time.Time) (*Service, error) {
 	if err != nil {
 		return nil, fmt.Errorf("canary: listen: %w", err)
 	}
-	s := &Service{ln: ln, registry: make(map[string]Token), now: now}
+	s := &Service{ln: ln, registry: make(map[string]Token), now: now, obs: obs.Default()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/t/", s.handleHTTP)
 	mux.HandleFunc("/email/", s.handleEmail)
@@ -124,6 +135,8 @@ func (s *Service) record(id, via string, r *http.Request) {
 		At: s.now(), RemoteIP: host, UserAgent: r.UserAgent(), Via: via,
 	}
 	s.triggers = append(s.triggers, trg)
+	s.obs.Counter("canary_triggers_total").Inc()
+	s.obs.Counter(fmt.Sprintf("canary_triggers_total{kind=%q}", tok.Kind.String())).Inc()
 	for _, ch := range s.waiters {
 		select {
 		case ch <- trg:

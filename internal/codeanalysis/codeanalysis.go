@@ -8,6 +8,7 @@
 package codeanalysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/htmlparse"
+	"repro/internal/obs"
 	"repro/internal/scraper"
 )
 
@@ -80,8 +82,14 @@ func ScanSource(src string) []string {
 // AnalyzeLink resolves one GitHub link against the code host and
 // produces the per-bot analysis.
 func AnalyzeLink(c *scraper.Client, botID int, link string) (*RepoAnalysis, error) {
+	return AnalyzeLinkContext(context.Background(), c, botID, link)
+}
+
+// AnalyzeLinkContext is AnalyzeLink with cancellation: fetches abort as
+// soon as ctx is done.
+func AnalyzeLinkContext(ctx context.Context, c *scraper.Client, botID int, link string) (*RepoAnalysis, error) {
 	ra := &RepoAnalysis{BotID: botID, Link: link}
-	doc, err := c.Get(link)
+	doc, err := c.GetContext(ctx, link)
 	if err != nil {
 		if errors.Is(err, scraper.ErrGone) {
 			ra.Outcome = OutcomeDead
@@ -98,7 +106,7 @@ func AnalyzeLink(c *scraper.Client, botID int, link string) (*RepoAnalysis, erro
 			ra.MainLanguage, _ = lang.Attr("data-lang")
 		}
 		if ra.MainLanguage == "JavaScript" || ra.MainLanguage == "Python" {
-			if err := scanRepoSources(c, doc, ra); err != nil {
+			if err := scanRepoSources(ctx, c, doc, ra); err != nil {
 				return nil, err
 			}
 		}
@@ -118,7 +126,7 @@ func AnalyzeLink(c *scraper.Client, botID int, link string) (*RepoAnalysis, erro
 
 // scanRepoSources downloads the repository's files and scans those of
 // the main language for check APIs.
-func scanRepoSources(c *scraper.Client, repoPage *htmlparse.Node, ra *RepoAnalysis) error {
+func scanRepoSources(ctx context.Context, c *scraper.Client, repoPage *htmlparse.Node, ra *RepoAnalysis) error {
 	ra.Analyzed = true
 	wantExt := ".js"
 	if ra.MainLanguage == "Python" {
@@ -130,7 +138,7 @@ func scanRepoSources(c *scraper.Client, repoPage *htmlparse.Node, ra *RepoAnalys
 		if !strings.HasSuffix(href, wantExt) {
 			continue
 		}
-		src, err := c.GetRaw(href)
+		src, err := c.GetRawContext(ctx, href)
 		if err != nil {
 			return fmt.Errorf("codeanalysis: raw %s: %w", href, err)
 		}
@@ -165,6 +173,13 @@ type Result struct {
 // Analyze runs the code-analysis stage over scraped records. Records
 // without GitHub links are skipped; workers controls fetch parallelism.
 func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result, []*RepoAnalysis, error) {
+	return AnalyzeContext(context.Background(), c, records, workers)
+}
+
+// AnalyzeContext is Analyze with cancellation: no new link fetches
+// start after ctx is done, and in-flight fetches abort. Each analyzed
+// link runs under its own child span of any span carried by ctx.
+func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.Record, workers int) (*Result, []*RepoAnalysis, error) {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -195,19 +210,28 @@ func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result
 	sem := make(chan struct{}, workers)
 	var firstErr error
 	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, j job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ra, err := AnalyzeLink(c, j.botID, j.link)
+			linkCtx, span := obs.StartChild(ctx, fmt.Sprintf("repo-%d", j.botID))
+			ra, err := AnalyzeLinkContext(linkCtx, c, j.botID, j.link)
+			span.End()
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				fail(err)
 				return
 			}
 			analyses[i] = ra

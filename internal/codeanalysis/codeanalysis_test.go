@@ -17,7 +17,7 @@ func startHost(t *testing.T, h *codehost.Host) *scraper.Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	c, err := scraper.NewClient(srv.BaseURL(), 2*time.Second, 0, nil)
+	c, err := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/honeypot"
 	"repro/internal/listing"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/scraper"
@@ -63,12 +65,18 @@ type Options struct {
 	HoneypotConcurrency int
 	// HoneypotSettle is the per-bot trigger-watch window.
 	HoneypotSettle time.Duration
+
+	// Obs receives every stage's counters, histograms, and pipeline
+	// traces; nil uses the process-default registry. Its text exposition
+	// is also mounted at /metrics on the listing server.
+	Obs *obs.Registry
 }
 
 // Auditor owns the simulated ecosystem and its services.
 type Auditor struct {
 	opts Options
 	eco  *synth.Ecosystem
+	obs  *obs.Registry
 
 	listingSrv *listing.Server
 	hostSrv    *codehost.Server
@@ -106,6 +114,10 @@ type Results struct {
 
 	// Developer attribution (Table 1).
 	BotsPerDeveloper map[string]int
+
+	// Trace is the pipeline's stage-span tree; Report renders it as a
+	// per-stage timing table.
+	Trace *obs.Trace
 }
 
 // NewAuditor generates the ecosystem and starts all services.
@@ -133,36 +145,56 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	if eco == nil {
 		eco = synth.Generate(synth.Config{Seed: opts.Seed, NumBots: opts.NumBots})
 	}
-	a := &Auditor{opts: opts, eco: eco}
+	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs)}
 
 	var err error
 	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.AntiScrape, "127.0.0.1:0"); err != nil {
 		return nil, fmt.Errorf("core: listing server: %w", err)
 	}
+	a.listingSrv.Mount("/metrics", a.obs.Handler())
 	if a.hostSrv, err = codehost.NewServer(eco.Host, "127.0.0.1:0"); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: code host: %w", err)
 	}
-	a.plat = platform.New(platform.Options{})
+	a.plat = platform.New(platform.Options{Obs: a.obs})
 	if a.gw, err = gateway.NewServer(a.plat, "127.0.0.1:0"); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: gateway: %w", err)
 	}
+	a.gw.SetObs(a.obs)
 	if a.canarySvc, err = canary.NewService("127.0.0.1:0", nil); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: canary service: %w", err)
 	}
-	if a.listClient, err = scraper.NewClient(a.listingSrv.BaseURL(), opts.ScrapeTimeout, 0, opts.Solver); err != nil {
+	a.canarySvc.SetObs(a.obs)
+	if a.listClient, err = scraper.NewClient(scraper.ClientConfig{
+		BaseURL: a.listingSrv.BaseURL(),
+		Timeout: opts.ScrapeTimeout,
+		Solver:  opts.Solver,
+		Obs:     a.obs,
+	}); err != nil {
 		a.Close()
 		return nil, err
 	}
 	// The code host imposes no defences; give it a generous timeout.
-	if a.codeClient, err = scraper.NewClient(a.hostSrv.BaseURL(), 5*time.Second, 0, opts.Solver); err != nil {
+	if a.codeClient, err = scraper.NewClient(scraper.ClientConfig{
+		BaseURL: a.hostSrv.BaseURL(),
+		Timeout: 5 * time.Second,
+		Solver:  opts.Solver,
+		Obs:     a.obs,
+	}); err != nil {
 		a.Close()
 		return nil, err
 	}
 	return a, nil
 }
+
+// Obs returns the auditor's observability registry.
+func (a *Auditor) Obs() *obs.Registry { return a.obs }
+
+// MetricsURL returns the Prometheus-style text exposition endpoint
+// mounted on the listing server.
+func (a *Auditor) MetricsURL() string { return a.listingSrv.BaseURL() + "/metrics" }
 
 // Ecosystem exposes the generated ground truth (for validation and
 // examples).
@@ -195,20 +227,24 @@ func (a *Auditor) Close() {
 
 // Collect runs stage 1: crawl the listing and decode permissions.
 func (a *Auditor) Collect() ([]*scraper.Record, error) {
-	records, err := scraper.Crawl(a.listClient, scraper.Config{Workers: a.opts.ScrapeWorkers})
+	return a.CollectContext(context.Background())
+}
+
+// CollectContext is Collect with cancellation.
+func (a *Auditor) CollectContext(ctx context.Context) ([]*scraper.Record, error) {
+	records, err := scraper.CrawlContext(ctx, a.listClient, scraper.Config{Workers: a.opts.ScrapeWorkers})
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("core: collect: %w", err)
 	}
 	return records, nil
 }
 
-// Traceability runs stage 2 over collected records.
-func (a *Auditor) Traceability(records []*scraper.Record) report.Table2Data {
-	d, _ := a.traceabilityFull(records)
-	return d
-}
-
-func (a *Auditor) traceabilityFull(records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
+// Traceability runs stage 2 over collected records: the Table 2
+// counts plus the ontology-based per-data-type refinement.
+func (a *Auditor) Traceability(records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
 	var d report.Table2Data
 	var an traceability.Analyzer
 	dt := traceability.NewDataTypeResult()
@@ -234,23 +270,34 @@ func (a *Auditor) traceabilityFull(records []*scraper.Record) (report.Table2Data
 
 // CodeAnalysis runs stage 3 over collected records.
 func (a *Auditor) CodeAnalysis(records []*scraper.Record) (*codeanalysis.Result, []*codeanalysis.RepoAnalysis, error) {
-	return codeanalysis.Analyze(a.codeClient, records, a.opts.ScrapeWorkers)
+	return a.CodeAnalysisContext(context.Background(), records)
+}
+
+// CodeAnalysisContext is CodeAnalysis with cancellation.
+func (a *Auditor) CodeAnalysisContext(ctx context.Context, records []*scraper.Record) (*codeanalysis.Result, []*codeanalysis.RepoAnalysis, error) {
+	return codeanalysis.AnalyzeContext(ctx, a.codeClient, records, a.opts.ScrapeWorkers)
 }
 
 // DynamicAnalysis runs stage 4: the honeypot campaign over the
 // most-voted sample.
 func (a *Auditor) DynamicAnalysis() (*honeypot.CampaignResult, error) {
+	return a.DynamicAnalysisContext(context.Background())
+}
+
+// DynamicAnalysisContext is DynamicAnalysis with cancellation.
+func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.CampaignResult, error) {
 	env := honeypot.Env{
 		Platform: a.plat,
 		Gateway:  a.gw.Addr(),
 		Canary:   a.canarySvc,
 		Minter:   a.canarySvc.NewMinter("canary.invalid", nil),
 		Feed:     corpus.New(a.opts.Seed ^ 0xfeed),
+		Obs:      a.obs,
 	}
 	expCfg := honeypot.DefaultConfig()
 	expCfg.Settle = a.opts.HoneypotSettle
 	expCfg.Solver = a.opts.Solver
-	return honeypot.Campaign(env, a.eco, honeypot.CampaignConfig{
+	return honeypot.CampaignContext(ctx, env, a.eco, honeypot.CampaignConfig{
 		SampleSize:  a.opts.HoneypotSample,
 		Concurrency: a.opts.HoneypotConcurrency,
 		Experiment:  expCfg,
@@ -259,21 +306,52 @@ func (a *Auditor) DynamicAnalysis() (*honeypot.CampaignResult, error) {
 
 // RunAll executes the full Figure 1 pipeline.
 func (a *Auditor) RunAll() (*Results, error) {
-	res := &Results{}
+	return a.RunAllContext(context.Background())
+}
+
+// RunAllContext is RunAll with cancellation: cancelling ctx aborts the
+// pipeline at its next wait point and returns the context's error. The
+// run is recorded as a "pipeline" trace with one span per stage.
+func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
+	trace := a.obs.StartTrace("pipeline")
+	res := &Results{Trace: trace}
+	stage := func(name string) (context.Context, *obs.Span) {
+		sp := trace.StartSpan(name)
+		return obs.ContextWithSpan(ctx, sp), sp
+	}
+
 	var err error
-	if res.Records, err = a.Collect(); err != nil {
+	collectCtx, collectSpan := stage("collect")
+	res.Records, err = a.CollectContext(collectCtx)
+	collectSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	res.PermDist = scraper.PermissionDistribution(res.Records)
 	res.Scraper = a.listClient.Stats()
-	res.Table2, res.DataTypes = a.traceabilityFull(res.Records)
-	if res.Code, res.Analyses, err = a.CodeAnalysis(res.Records); err != nil {
+
+	_, traceSpan := stage("traceability")
+	res.Table2, res.DataTypes = a.Traceability(res.Records)
+	traceSpan.End()
+
+	codeCtx, codeSpan := stage("codeanalysis")
+	res.Code, res.Analyses, err = a.CodeAnalysisContext(codeCtx, res.Records)
+	codeSpan.End()
+	if err != nil {
 		return nil, err
 	}
-	if res.Honeypot, err = a.DynamicAnalysis(); err != nil {
+
+	hpCtx, hpSpan := stage("honeypot")
+	res.Honeypot, err = a.DynamicAnalysisContext(hpCtx)
+	hpSpan.End()
+	if err != nil {
 		return nil, err
 	}
+
+	_, vetSpan := stage("vetting")
 	res.Vetting, res.VettingSummary = vetting.VetAll(res.Records)
+	vetSpan.End()
+
 	res.BotsPerDeveloper = make(map[string]int)
 	for dev, ids := range a.eco.Developers {
 		res.BotsPerDeveloper[dev] = len(ids)
@@ -310,4 +388,8 @@ func (r *Results) Report(w io.Writer) {
 	}
 	fmt.Fprintf(w, "\nScraper stats: %d requests, %d throttled, %d captchas solved, %d timeouts, %d retries\n",
 		r.Scraper.Requests, r.Scraper.Throttled, r.Scraper.CaptchasSolved, r.Scraper.Timeouts, r.Scraper.Retries)
+	if r.Trace != nil {
+		fmt.Fprintln(w)
+		report.StageTimings(w, r.Trace)
+	}
 }

@@ -2,11 +2,16 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/listing"
+	"repro/internal/obs"
 	"repro/internal/permissions"
 	"repro/internal/vetting"
 )
@@ -112,7 +117,7 @@ func TestStagesRunIndividually(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := a.Traceability(records)
+	d, _ := a.Traceability(records)
 	if d.ActiveBots == 0 {
 		t.Error("traceability saw no active bots")
 	}
@@ -211,5 +216,117 @@ func TestScrapedPermsMatchGroundTruth(t *testing.T) {
 		if want, ok := truth[r.ID]; !ok || want != r.Perms {
 			t.Fatalf("bot %d perms = %s, truth %s (ok=%v)", r.ID, r.Perms, want, ok)
 		}
+	}
+}
+
+func TestObservabilityAcrossPipeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	a, err := NewAuditor(Options{
+		Seed:                11,
+		NumBots:             200,
+		HoneypotSample:      10,
+		HoneypotConcurrency: 8,
+		HoneypotSettle:      400 * time.Millisecond,
+		Obs:                 reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	res, err := a.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run is recorded as a trace with one named span per stage.
+	if res.Trace == nil {
+		t.Fatal("RunAll produced no trace")
+	}
+	sum := res.Trace.Summary()
+	names := make(map[string]bool)
+	for _, s := range sum.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"collect", "traceability", "codeanalysis", "honeypot"} {
+		if !names[want] {
+			t.Errorf("trace missing stage span %q (have %v)", want, names)
+		}
+	}
+	if len(sum.Spans) < 4 {
+		t.Fatalf("trace has %d stage spans, want >= 4", len(sum.Spans))
+	}
+
+	// Instrumented services reported into the registry.
+	if v := reg.Counter("scraper_requests_total").Value(); v == 0 {
+		t.Error("scraper_requests_total = 0 after a crawl")
+	}
+	if v := reg.Counter("canary_triggers_total").Value(); v == 0 {
+		t.Error("canary_triggers_total = 0 despite the planted snoop bot")
+	}
+	if v := reg.Counter("honeypot_experiments_completed_total").Value(); v != 10 {
+		t.Errorf("honeypot_experiments_completed_total = %d, want 10", v)
+	}
+
+	// The text exposition endpoint on the listing server renders them.
+	resp, err := http.Get(a.MetricsURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(body)
+	for _, want := range []string{
+		"# TYPE scraper_requests_total counter",
+		"scraper_requests_total ",
+		"canary_triggers_total",
+		"scraper_fetch_seconds_bucket",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(exposition, "\nscraper_requests_total 0\n") {
+		t.Error("/metrics renders scraper_requests_total as 0")
+	}
+
+	// Report renders the per-stage timing table from the trace.
+	var buf bytes.Buffer
+	res.Report(&buf)
+	if out := buf.String(); !strings.Contains(out, "Stage timings") || !strings.Contains(out, "collect") {
+		t.Error("report missing stage-timings table")
+	}
+}
+
+func TestRunAllContextCancelMidCrawl(t *testing.T) {
+	a, err := NewAuditor(Options{
+		Seed:    11,
+		NumBots: 200,
+		// Throttle hard so the crawl alone would take many seconds:
+		// cancellation, not completion, must end the run.
+		AntiScrape: listing.AntiScrape{RequestsPerSecond: 20, Burst: 5},
+		Obs:        obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = a.RunAllContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAllContext error = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancelled RunAllContext took %v, want < 1s", elapsed)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -20,6 +21,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[*session]struct{}
+	seenBots map[platform.ID]bool // for distinguishing reconnects
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -29,8 +31,28 @@ type Server struct {
 	rateRPS   float64
 	rateBurst float64
 
+	// observability
+	cConnections *obs.Counter
+	cReconnects  *obs.Counter
+	cEventsOut   *obs.Counter
+	cRequests    *obs.Counter
+	gSessions    *obs.Gauge
+
 	// Logf receives connection-level diagnostics; defaults to a no-op.
 	Logf func(format string, args ...any)
+}
+
+// SetObs points the server's metrics at a registry; by default they go
+// to the process-wide one. Call it before bots connect.
+func (s *Server) SetObs(r *obs.Registry) {
+	reg := obs.Or(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cConnections = reg.Counter("gateway_connections_total")
+	s.cReconnects = reg.Counter("gateway_reconnects_total")
+	s.cEventsOut = reg.Counter("gateway_events_out_total")
+	s.cRequests = reg.Counter("gateway_requests_total")
+	s.gSessions = reg.Gauge("gateway_sessions")
 }
 
 // SetRateLimit enables per-session request throttling, like Discord's
@@ -75,8 +97,10 @@ func NewServer(p *platform.Platform, addr string) (*Server, error) {
 		p:        p,
 		ln:       ln,
 		sessions: make(map[*session]struct{}),
+		seenBots: make(map[platform.ID]bool),
 		Logf:     func(string, ...any) {},
 	}
+	s.SetObs(nil)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -220,10 +244,18 @@ func (s *Server) serve(conn net.Conn) {
 		return
 	}
 	s.sessions[sess] = struct{}{}
+	s.cConnections.Inc()
+	if s.seenBots[bot.ID] {
+		s.cReconnects.Inc()
+	}
+	s.seenBots[bot.ID] = true
+	s.gSessions.Add(1)
+	cEventsOut, cRequests := s.cEventsOut, s.cRequests
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, sess)
+		s.gSessions.Add(-1)
 		s.mu.Unlock()
 		s.p.Unsubscribe(sess.sub)
 		sess.close()
@@ -252,6 +284,7 @@ func (s *Server) serve(conn net.Conn) {
 					sess.close()
 					return
 				}
+				cEventsOut.Inc()
 			case <-done:
 				return
 			}
@@ -269,6 +302,7 @@ func (s *Server) serve(conn net.Conn) {
 				return
 			}
 		case OpRequest:
+			cRequests.Inc()
 			if wait, limited := s.throttled(sess); limited {
 				resp := Frame{Op: OpResponse, ID: f.ID, Err: ErrRateLimited,
 					RetryAfterMS: int64(wait / time.Millisecond)}

@@ -1,6 +1,8 @@
 package honeypot
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/canary"
 	"repro/internal/corpus"
 	"repro/internal/listing"
+	"repro/internal/obs"
 	"repro/internal/synth"
 )
 
@@ -107,6 +110,14 @@ func RunnerForBehavior(b synth.Behavior) BotRunner {
 // Campaign runs isolated experiments over the most-voted sample of an
 // ecosystem, mirroring the paper's 500-bot study.
 func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
+	return CampaignContext(context.Background(), env, eco, cfg)
+}
+
+// CampaignContext is Campaign with cancellation: no new experiments
+// launch after ctx is done, and in-flight experiments abort at their
+// next wait point. Each experiment runs under its own child span of
+// any span carried by ctx.
+func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.SampleSize <= 0 {
 		cfg.SampleSize = 500
 	}
@@ -124,7 +135,18 @@ func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResul
 	sem := make(chan struct{}, cfg.Concurrency)
 	var firstErr error
 	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
 	for i, b := range sample {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, b *listing.Bot) {
@@ -142,13 +164,15 @@ func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResul
 			// per-experiment determinism.
 			expEnv := env
 			expEnv.Feed = corpus.Derive(int64(cfg.SampleSize), int64(b.ID))
-			v, err := Run(expEnv, cfg.Experiment, sub)
+			expCtx, span := obs.StartChild(ctx, "experiment-"+b.Name)
+			v, err := RunContext(expCtx, expEnv, cfg.Experiment, sub)
+			span.End()
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("honeypot: bot %s: %w", b.Name, err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fail(err)
+				} else {
+					fail(fmt.Errorf("honeypot: bot %s: %w", b.Name, err))
 				}
-				mu.Unlock()
 				return
 			}
 			verdicts[i] = v

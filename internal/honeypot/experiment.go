@@ -1,6 +1,7 @@
 package honeypot
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/botsdk"
 	"repro/internal/canary"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 	"repro/internal/permissions"
 	"repro/internal/platform"
 	"repro/internal/scraper"
@@ -74,6 +76,9 @@ type Env struct {
 	Canary   *canary.Service
 	Minter   *canary.Minter
 	Feed     *corpus.Generator
+	// Obs receives experiment counters and the settle-wait histogram;
+	// nil uses the process-default registry.
+	Obs *obs.Registry
 }
 
 // Run executes one isolated honeypot experiment for a subject,
@@ -81,6 +86,12 @@ type Env struct {
 // personas, install the bot (solving the captcha), post a believable
 // conversation, plant the four tokens, and watch for triggers.
 func Run(env Env, cfg Config, sub Subject) (*Verdict, error) {
+	return RunContext(context.Background(), env, cfg, sub)
+}
+
+// RunContext is Run with cancellation: the trigger-watch settle loop
+// and the install-captcha solve abort as soon as ctx is done.
+func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict, error) {
 	if cfg.Personas <= 0 {
 		cfg.Personas = 5
 	}
@@ -90,6 +101,8 @@ func Run(env Env, cfg Config, sub Subject) (*Verdict, error) {
 	if cfg.PollEvery <= 0 {
 		cfg.PollEvery = 10 * time.Millisecond
 	}
+	reg := obs.Or(env.Obs)
+	reg.Counter("honeypot_experiments_started_total").Inc()
 	p := env.Platform
 
 	guildTag := "hp-" + sub.Name
@@ -124,7 +137,7 @@ func Run(env Env, cfg Config, sub Subject) (*Verdict, error) {
 	// "To add a chatbot to the guild, we need to solve a Google
 	// reCAPTCHA" — paid out to the solving service.
 	if cfg.Solver != nil {
-		if _, err := cfg.Solver.Solve(installChallenge(sub.Name)); err != nil {
+		if _, err := scraper.SolveContext(ctx, cfg.Solver, installChallenge(sub.Name)); err != nil {
 			return nil, fmt.Errorf("honeypot: install captcha: %w", err)
 		}
 	}
@@ -177,15 +190,35 @@ func Run(env Env, cfg Config, sub Subject) (*Verdict, error) {
 
 	// Watch for triggers until every kind fired or the settle window
 	// elapses.
-	deadline := time.Now().Add(cfg.Settle)
-	for time.Now().Before(deadline) {
-		if len(env.Canary.TriggersFor(guildTag)) >= len(tokens) {
-			break
-		}
-		time.Sleep(cfg.PollEvery)
+	settleStart := time.Now()
+	if err := watchTriggers(ctx, env, guildTag, len(tokens), cfg); err != nil {
+		return nil, err
 	}
+	reg.Histogram("honeypot_settle_seconds").Observe(time.Since(settleStart))
+	reg.Counter("honeypot_experiments_completed_total").Inc()
 
 	return verdictFor(p, env, sub, guildTag, guild.ID, general.ID, bot.ID)
+}
+
+// watchTriggers polls the canary service until every planted token
+// fired, the settle window elapsed, or ctx was cancelled.
+func watchTriggers(ctx context.Context, env Env, guildTag string, want int, cfg Config) error {
+	deadline := time.NewTimer(cfg.Settle)
+	defer deadline.Stop()
+	tick := time.NewTicker(cfg.PollEvery)
+	defer tick.Stop()
+	for {
+		if len(env.Canary.TriggersFor(guildTag)) >= want {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return nil
+		case <-tick.C:
+		}
+	}
 }
 
 // plantTokens posts the URL and email as chat and the documents as

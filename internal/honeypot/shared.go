@@ -1,6 +1,7 @@
 package honeypot
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,6 +27,12 @@ type SharedVerdict struct {
 // When a trigger fires here, the experimenter learns only that SOME bot
 // snooped.
 func RunShared(env Env, cfg Config, subs []Subject) (*SharedVerdict, error) {
+	return RunSharedContext(context.Background(), env, cfg, subs)
+}
+
+// RunSharedContext is RunShared with cancellation: the trigger-watch
+// loop aborts as soon as ctx is done.
+func RunSharedContext(ctx context.Context, env Env, cfg Config, subs []Subject) (*SharedVerdict, error) {
 	if cfg.Personas <= 0 {
 		cfg.Personas = 5
 	}
@@ -112,12 +119,8 @@ func RunShared(env Env, cfg Config, subs []Subject) (*SharedVerdict, error) {
 		return nil, err
 	}
 
-	deadline := time.Now().Add(cfg.Settle)
-	for time.Now().Before(deadline) {
-		if len(env.Canary.TriggersFor(guildTag)) >= len(tokens) {
-			break
-		}
-		time.Sleep(cfg.PollEvery)
+	if err := watchTriggers(ctx, env, guildTag, len(tokens), cfg); err != nil {
+		return nil, err
 	}
 	v.Triggered = len(env.Canary.TriggersFor(guildTag)) > 0
 	return v, nil

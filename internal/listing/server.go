@@ -18,6 +18,7 @@ type Server struct {
 	guard *guard
 	cfg   AntiScrape
 	srv   *http.Server
+	mux   *http.ServeMux
 	ln    net.Listener
 
 	mu      sync.Mutex
@@ -47,9 +48,16 @@ func NewServer(dir *Directory, cfg AntiScrape, addr string) (*Server, error) {
 	mux.HandleFunc("/captcha", s.handleCaptcha)
 	mux.HandleFunc("/site/", s.guarded(s.handleSite))
 	mux.HandleFunc("/robots.txt", s.handleRobots)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// Mount registers an extra handler on the site's mux — ungated by the
+// anti-scraping guard. The auditor uses it to expose /metrics.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // BaseURL returns the site root.

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the finite bucket count. Buckets are log-spaced powers
+// of two of a microsecond: bucket i holds observations d with
+// d <= 1µs<<i, so the range spans 1µs .. ~134s before the overflow
+// (+Inf) bucket.
+const numBuckets = 28
+
+// Histogram is a log-bucketed latency histogram, safe for concurrent
+// use without locks. A nil Histogram is a valid no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	buckets [numBuckets + 1]atomic.Int64 // last bucket is +Inf
+}
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// bucketIndex returns the index of the smallest bucket whose bound is
+// >= d, or numBuckets for the +Inf bucket.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if idx > numBuckets {
+		return numBuckets
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNano.Load())
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / time.Duration(n)
+}
+
+// snapshot copies the bucket counts (cumulative, Prometheus-style).
+func (h *Histogram) snapshot() (cum [numBuckets + 1]int64) {
+	var running int64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1) from the bucket bounds; observations past the largest
+// finite bucket report that bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.snapshot()
+	for i := 0; i <= numBuckets; i++ {
+		if cum[i] >= rank {
+			if i >= numBuckets {
+				return BucketBound(numBuckets - 1)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numBuckets - 1)
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Trace is a tree of timed spans for one pipeline run. Spans may be
+// started and ended from any goroutine.
+type Trace struct {
+	Name string
+
+	mu      sync.Mutex
+	started time.Time
+	roots   []*Span
+	now     func() time.Time
+}
+
+// NewTrace starts an empty trace.
+func NewTrace(name string) *Trace {
+	t := &Trace{Name: name, now: time.Now}
+	t.started = t.now()
+	return t
+}
+
+// StartTrace creates a trace and registers it with the registry so the
+// JSON exposition includes it.
+func (r *Registry) StartTrace(name string) *Trace {
+	t := NewTrace(name)
+	r.RegisterTrace(t)
+	return t
+}
+
+// StartSpan opens a new top-level stage span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{trace: t, Name: name, start: t.now()}
+	t.roots = append(t.roots, s)
+	return s
+}
+
+// Spans returns the top-level spans in start order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// Span is one timed region of a trace; child spans nest under it.
+// A nil *Span is a valid no-op, so instrumented code never needs to
+// check whether tracing is enabled.
+type Span struct {
+	trace *Trace
+	Name  string
+
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+// StartSpan opens a child span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	c := &Span{trace: s.trace, Name: name, start: s.trace.now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = s.trace.now()
+	}
+}
+
+// Duration reports the span length; an unfinished span measures up to
+// now.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	end := s.end
+	if end.IsZero() {
+		end = s.trace.now()
+	}
+	return end.Sub(s.start)
+}
+
+// Children returns the child spans in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// SpanSummary is the JSON shape of one span.
+type SpanSummary struct {
+	Name       string        `json:"name"`
+	StartMS    int64         `json:"start_ms"` // offset from trace start
+	DurationMS float64       `json:"duration_ms"`
+	Children   []SpanSummary `json:"children,omitempty"`
+}
+
+func (s *Span) summaryLocked(traceStart time.Time) SpanSummary {
+	out := SpanSummary{
+		Name:       s.Name,
+		StartMS:    s.start.Sub(traceStart).Milliseconds(),
+		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.summaryLocked(traceStart))
+	}
+	return out
+}
+
+// TraceSummary is the JSON shape of a whole trace.
+type TraceSummary struct {
+	Name  string        `json:"name"`
+	Spans []SpanSummary `json:"spans"`
+}
+
+// Summary snapshots the trace into its JSON shape.
+func (t *Trace) Summary() TraceSummary {
+	if t == nil {
+		return TraceSummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := TraceSummary{Name: t.Name}
+	for _, s := range t.roots {
+		out.Spans = append(out.Spans, s.summaryLocked(t.started))
+	}
+	return out
+}
+
+// WriteJSON renders the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Summary())
+}
+
+// ---- context plumbing ----
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying the span, so lower layers
+// can attach child spans without new parameters.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil — and nil is
+// safe to call StartSpan/End on.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartChild opens a child of the context's span (a no-op nil span
+// when the context carries none) and returns a context carrying the
+// child.
+func StartChild(ctx context.Context, name string) (context.Context, *Span) {
+	c := SpanFromContext(ctx).StartSpan(name)
+	if c == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, c), c
+}

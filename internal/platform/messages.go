@@ -38,6 +38,7 @@ func (p *Platform) SendMessage(actorID, channelID ID, content string, atts ...At
 		msg.Attachments = append(msg.Attachments, a)
 	}
 	ch.Messages = append(ch.Messages, msg)
+	p.cMessages.Inc()
 	p.publishLocked(Event{
 		Type: EventMessageCreate, GuildID: g.ID, ChannelID: channelID,
 		UserID: actorID, Message: msg, At: msg.Timestamp,

@@ -141,6 +141,7 @@ func (p *Platform) requireLocked(g *Guild, actorID ID, need permissions.Permissi
 		return err
 	}
 	if !perms.Has(need) {
+		p.cDenials.Inc()
 		return ErrPermissionDenied
 	}
 	return nil
@@ -153,6 +154,7 @@ func (p *Platform) requireChannelLocked(g *Guild, ch *Channel, actorID ID, need 
 		return err
 	}
 	if !perms.Has(need) {
+		p.cDenials.Inc()
 		return ErrPermissionDenied
 	}
 	return nil

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/permissions"
 )
 
@@ -51,6 +52,9 @@ type Options struct {
 	// Now supplies timestamps; defaults to time.Now. Tests inject a
 	// fake clock for deterministic message ordering.
 	Now func() time.Time
+	// Obs receives the platform's counters (messages posted, permission
+	// denials); nil uses the process-default registry.
+	Obs *obs.Registry
 }
 
 // Platform is the in-memory messaging service. All methods are safe for
@@ -69,6 +73,9 @@ type Platform struct {
 	unverifiedJoinLimit int
 	now                 func() time.Time
 
+	cMessages *obs.Counter
+	cDenials  *obs.Counter
+
 	bus *bus
 }
 
@@ -83,6 +90,7 @@ func New(opts Options) *Platform {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	reg := obs.Or(opts.Obs)
 	return &Platform{
 		ids:                 newIDSource(opts.Epoch),
 		users:               make(map[ID]*User),
@@ -92,6 +100,8 @@ func New(opts Options) *Platform {
 		normalGuildLimit:    opts.NormalGuildLimit,
 		unverifiedJoinLimit: opts.UnverifiedJoinLimit,
 		now:                 opts.Now,
+		cMessages:           reg.Counter("platform_messages_total"),
+		cDenials:            reg.Counter("platform_permission_denials_total"),
 		bus:                 newBus(),
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/codeanalysis"
 	"repro/internal/honeypot"
+	"repro/internal/obs"
 	"repro/internal/policygen"
 	"repro/internal/scraper"
 	"repro/internal/traceability"
@@ -258,6 +259,34 @@ func Vetting(w io.Writer, s vetting.Summary) {
 	for _, rule := range s.TopRules() {
 		fmt.Fprintf(w, "  rule %-28s hit %d bots\n", rule+":", s.ByRule[rule])
 	}
+}
+
+// StageTimings renders the per-stage timing table of a pipeline trace:
+// one row per top-level span, with child-span count and mean child
+// duration where the stage fanned out (per-bot crawls, per-repo
+// analyses, per-guild experiments).
+func StageTimings(w io.Writer, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	sum := tr.Summary()
+	t := &Table{
+		Title:   fmt.Sprintf("Stage timings (trace %q)", sum.Name),
+		Headers: []string{"Stage", "Duration", "Children", "Mean child"},
+	}
+	for _, s := range sum.Spans {
+		childCell, meanCell := "-", "-"
+		if n := len(s.Children); n > 0 {
+			var total float64
+			for _, c := range s.Children {
+				total += c.DurationMS
+			}
+			childCell = fmt.Sprintf("%d", n)
+			meanCell = fmt.Sprintf("%.1fms", total/float64(n))
+		}
+		t.AddRow(s.Name, fmt.Sprintf("%.1fms", s.DurationMS), childCell, meanCell)
+	}
+	t.Render(w)
 }
 
 // Honeypot renders a campaign summary.

@@ -1,6 +1,7 @@
 package scraper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,12 +12,15 @@ import (
 	"time"
 
 	"repro/internal/htmlparse"
+	"repro/internal/obs"
 )
 
 // Client is a polite, captcha-capable HTTP fetcher for one target site.
 // It self-limits its request rate (§3: "we limit the rate at which we
 // generate our requests"), mimics a browser user agent, and reacts to
-// challenge pages by calling the solver and retrying.
+// challenge pages by calling the solver and retrying. Every wait is
+// cancellation-aware: pass a context via the *Context methods to abort
+// a crawl mid-backoff.
 type Client struct {
 	base    *url.URL
 	http    *http.Client
@@ -30,6 +34,31 @@ type Client struct {
 	lastReq time.Time
 	pass    string
 	stats   Stats
+
+	// observability
+	cRequests *obs.Counter
+	cThrottle *obs.Counter
+	cCaptchas *obs.Counter
+	cTimeouts *obs.Counter
+	cRetries  *obs.Counter
+	hFetch    *obs.Histogram
+}
+
+// ClientConfig configures a Client — the one-struct replacement for the
+// old four-positional-argument constructor.
+type ClientConfig struct {
+	// BaseURL is the site root every relative ref resolves against.
+	BaseURL string
+	// Timeout bounds each fetch; zero means no client-side deadline.
+	Timeout time.Duration
+	// MinInterval spaces successive requests (politeness); zero
+	// disables self-limiting.
+	MinInterval time.Duration
+	// Solver answers captcha challenges; nil fails on captchas.
+	Solver Solver
+	// Obs receives the client's counters and fetch-latency histogram;
+	// nil uses the process-default registry.
+	Obs *obs.Registry
 }
 
 // Stats counts crawler-side events, the operational numbers a
@@ -53,20 +82,39 @@ var ErrGone = errors.New("scraper: resource gone")
 // worker already cleared; the request is simply retried.
 var errStaleChallenge = errors.New("scraper: stale captcha challenge")
 
-// NewClient builds a client for a base URL. timeout bounds each fetch;
-// minInterval spaces requests; solver may be nil to fail on captchas.
-func NewClient(baseURL string, timeout, minInterval time.Duration, solver Solver) (*Client, error) {
-	u, err := url.Parse(baseURL)
+// NewClient builds a client from a ClientConfig.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	u, err := url.Parse(cfg.BaseURL)
 	if err != nil {
 		return nil, fmt.Errorf("scraper: bad base url: %w", err)
 	}
+	reg := obs.Or(cfg.Obs)
 	return &Client{
 		base:        u,
-		http:        &http.Client{Timeout: timeout},
-		solver:      solver,
-		minInterval: minInterval,
+		http:        &http.Client{Timeout: cfg.Timeout},
+		solver:      cfg.Solver,
+		minInterval: cfg.MinInterval,
 		session:     fmt.Sprintf("s%d", time.Now().UnixNano()),
+		cRequests:   reg.Counter("scraper_requests_total"),
+		cThrottle:   reg.Counter("scraper_throttled_total"),
+		cCaptchas:   reg.Counter("scraper_captcha_solves_total"),
+		cTimeouts:   reg.Counter("scraper_timeouts_total"),
+		cRetries:    reg.Counter("scraper_retries_total"),
+		hFetch:      reg.Histogram("scraper_fetch_seconds"),
 	}, nil
+}
+
+// NewClientLegacy builds a client from the pre-ClientConfig positional
+// arguments.
+//
+// Deprecated: use NewClient with a ClientConfig.
+func NewClientLegacy(baseURL string, timeout, minInterval time.Duration, solver Solver) (*Client, error) {
+	return NewClient(ClientConfig{
+		BaseURL:     baseURL,
+		Timeout:     timeout,
+		MinInterval: minInterval,
+		Solver:      solver,
+	})
 }
 
 // Stats returns a copy of the counters.
@@ -76,12 +124,14 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
-func (c *Client) pace() {
+// pace enforces the politeness interval, aborting early when ctx is
+// cancelled.
+func (c *Client) pace(ctx context.Context) error {
 	c.mu.Lock()
 	interval := c.minInterval
 	if interval <= 0 {
 		c.mu.Unlock()
-		return
+		return ctx.Err()
 	}
 	wait := interval - time.Since(c.lastReq)
 	if wait > 0 {
@@ -91,14 +141,20 @@ func (c *Client) pace() {
 	}
 	c.mu.Unlock()
 	if wait > 0 {
-		time.Sleep(wait)
+		return obs.SleepContext(ctx, wait)
 	}
+	return ctx.Err()
 }
 
 // Get fetches a path (or absolute URL) and parses the response body as
 // HTML, transparently solving captchas and backing off on rate limits.
 func (c *Client) Get(ref string) (*htmlparse.Node, error) {
-	body, err := c.GetRaw(ref)
+	return c.GetContext(context.Background(), ref)
+}
+
+// GetContext is Get with cancellation.
+func (c *Client) GetContext(ctx context.Context, ref string) (*htmlparse.Node, error) {
+	body, err := c.GetRawContext(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -109,12 +165,20 @@ func (c *Client) Get(ref string) (*htmlparse.Node, error) {
 // verbatim — for raw source files, which must not round-trip through
 // the HTML parser.
 func (c *Client) GetRaw(ref string) (string, error) {
+	return c.GetRawContext(context.Background(), ref)
+}
+
+// GetRawContext is GetRaw with cancellation: every retry backoff and
+// the request itself abort as soon as ctx is done.
+func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) {
 	const maxAttempts = 8 // non-throttle retries (captcha races etc.)
 	throttleBackoff := 40 * time.Millisecond
 	throttleBudget := 60 // separate, generous: 429s are the site pacing us
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		c.pace()
-		req, err := c.newRequest(ref)
+		if err := c.pace(ctx); err != nil {
+			return "", err
+		}
+		req, err := c.newRequest(ctx, ref)
 		if err != nil {
 			return "", err
 		}
@@ -125,20 +189,31 @@ func (c *Client) GetRaw(ref string) (string, error) {
 			c.pass = ""
 		}
 		c.mu.Unlock()
+		c.cRequests.Inc()
 
+		fetchStart := time.Now()
 		resp, err := c.http.Do(req)
 		if err != nil {
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
 			if isTimeout(err) {
 				c.count(func(s *Stats) { s.Timeouts++ })
+				c.cTimeouts.Inc()
 				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
 			}
 			return "", fmt.Errorf("scraper: get %s: %w", ref, err)
 		}
 		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		c.hFetch.Observe(time.Since(fetchStart))
 		if err != nil {
+			if ctx.Err() != nil {
+				return "", ctx.Err()
+			}
 			if isTimeout(err) {
 				c.count(func(s *Stats) { s.Timeouts++ })
+				c.cTimeouts.Inc()
 				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
 			}
 			return "", fmt.Errorf("scraper: read %s: %w", ref, err)
@@ -147,11 +222,14 @@ func (c *Client) GetRaw(ref string) (string, error) {
 		switch resp.StatusCode {
 		case http.StatusTooManyRequests:
 			c.count(func(s *Stats) { s.Throttled++ })
+			c.cThrottle.Inc()
 			throttleBudget--
 			if throttleBudget <= 0 {
 				return "", fmt.Errorf("scraper: %s: persistent rate limiting", ref)
 			}
-			time.Sleep(throttleBackoff)
+			if err := obs.SleepContext(ctx, throttleBackoff); err != nil {
+				return "", err
+			}
 			if throttleBackoff < 800*time.Millisecond {
 				throttleBackoff *= 2
 			}
@@ -160,7 +238,7 @@ func (c *Client) GetRaw(ref string) (string, error) {
 		case http.StatusForbidden:
 			doc := htmlparse.Parse(string(body))
 			if ch := doc.ByID("captcha"); ch != nil {
-				err := c.solveCaptcha(ch)
+				err := c.solveCaptcha(ctx, ch)
 				if errors.Is(err, errStaleChallenge) {
 					// A concurrent worker already cleared this gate;
 					// just retry the request.
@@ -185,13 +263,13 @@ func (c *Client) GetRaw(ref string) (string, error) {
 	return "", fmt.Errorf("scraper: %s: gave up after repeated throttling", ref)
 }
 
-func (c *Client) newRequest(ref string) (*http.Request, error) {
+func (c *Client) newRequest(ctx context.Context, ref string) (*http.Request, error) {
 	u, err := url.Parse(ref)
 	if err != nil {
 		return nil, fmt.Errorf("scraper: bad ref %q: %w", ref, err)
 	}
 	full := c.base.ResolveReference(u).String()
-	req, err := http.NewRequest(http.MethodGet, full, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, full, nil)
 	if err != nil {
 		return nil, fmt.Errorf("scraper: build request: %w", err)
 	}
@@ -201,7 +279,7 @@ func (c *Client) newRequest(ref string) (*http.Request, error) {
 	return req, nil
 }
 
-func (c *Client) solveCaptcha(ch *htmlparse.Node) error {
+func (c *Client) solveCaptcha(ctx context.Context, ch *htmlparse.Node) error {
 	if c.solver == nil {
 		return fmt.Errorf("scraper: captcha encountered with no solver configured")
 	}
@@ -210,12 +288,13 @@ func (c *Client) solveCaptcha(ch *htmlparse.Node) error {
 	if p := ch.SelectFirst("p.challenge-text"); p != nil {
 		prompt = p.Text()
 	}
-	answer, err := c.solver.Solve(prompt)
+	answer, err := SolveContext(ctx, c.solver, prompt)
 	if err != nil {
 		return fmt.Errorf("scraper: solve captcha: %w", err)
 	}
 	form := url.Values{"challenge_id": {challengeID}, "answer": {answer}}
-	req, err := http.NewRequest(http.MethodPost, c.base.ResolveReference(&url.URL{Path: "/captcha"}).String(),
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base.ResolveReference(&url.URL{Path: "/captcha"}).String(),
 		strings.NewReader(form.Encode()))
 	if err != nil {
 		return fmt.Errorf("scraper: build captcha post: %w", err)
@@ -224,6 +303,9 @@ func (c *Client) solveCaptcha(ch *htmlparse.Node) error {
 	req.Header.Set("X-Session", c.session)
 	resp, err := c.http.Do(req)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("scraper: post captcha: %w", err)
 	}
 	body, _ := io.ReadAll(resp.Body)
@@ -246,6 +328,7 @@ func (c *Client) solveCaptcha(ch *htmlparse.Node) error {
 	c.pass = pass
 	c.stats.CaptchasSolved++
 	c.mu.Unlock()
+	c.cCaptchas.Inc()
 	return nil
 }
 
@@ -253,6 +336,12 @@ func (c *Client) count(f func(*Stats)) {
 	c.mu.Lock()
 	f(&c.stats)
 	c.mu.Unlock()
+}
+
+// countRetry records one detail-page retry in both stat systems.
+func (c *Client) countRetry() {
+	c.count(func(s *Stats) { s.Retries++ })
+	c.cRetries.Inc()
 }
 
 func isTimeout(err error) bool {

@@ -1,6 +1,7 @@
 package scraper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/url"
@@ -10,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/htmlparse"
+	"repro/internal/obs"
 	"repro/internal/permissions"
 )
 
@@ -66,13 +68,21 @@ type Config struct {
 // Crawl walks the whole listing and returns one record per bot,
 // ordered as listed.
 func Crawl(c *Client, cfg Config) ([]*Record, error) {
+	return CrawlContext(context.Background(), c, cfg)
+}
+
+// CrawlContext is Crawl with cancellation: no new bot fetches start
+// after ctx is done, and in-flight fetches abort at their next wait.
+// When ctx carries an obs span, each listing page and bot fetch records
+// a child span.
+func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
 	}
-	ids, err := ListBotIDs(c, cfg.MaxPages)
+	ids, err := ListBotIDsContext(ctx, c, cfg.MaxPages)
 	if err != nil {
 		return nil, err
 	}
@@ -81,19 +91,32 @@ func Crawl(c *Client, cfg Config) ([]*Record, error) {
 	sem := make(chan struct{}, cfg.Workers)
 	var firstErr error
 	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec, err := ScrapeBot(c, id, cfg.Retries)
+			botCtx, sp := obs.StartChild(ctx, fmt.Sprintf("bot-%d", id))
+			defer sp.End()
+			rec, err := ScrapeBotContext(botCtx, c, id, cfg.Retries)
 			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("bot %d: %w", id, err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fail(err)
+				} else {
+					fail(fmt.Errorf("bot %d: %w", id, err))
 				}
-				errMu.Unlock()
 				return
 			}
 			records[i] = rec
@@ -109,13 +132,23 @@ func Crawl(c *Client, cfg Config) ([]*Record, error) {
 // ListBotIDs pages through the "top chatbot" list collecting bot IDs in
 // listing order.
 func ListBotIDs(c *Client, maxPages int) ([]int, error) {
+	return ListBotIDsContext(context.Background(), c, maxPages)
+}
+
+// ListBotIDsContext is ListBotIDs with cancellation.
+func ListBotIDsContext(ctx context.Context, c *Client, maxPages int) ([]int, error) {
 	var ids []int
 	for page := 1; ; page++ {
 		if maxPages > 0 && page > maxPages {
 			break
 		}
-		doc, err := c.Get(fmt.Sprintf("/bots?page=%d", page))
+		pageCtx, sp := obs.StartChild(ctx, fmt.Sprintf("list-page-%d", page))
+		doc, err := c.GetContext(pageCtx, fmt.Sprintf("/bots?page=%d", page))
+		sp.End()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("scraper: list page %d: %w", page, err)
 		}
 		cards := doc.Select("li.bot-card")
@@ -140,13 +173,18 @@ func ListBotIDs(c *Client, maxPages int) ([]int, error) {
 // ScrapeBot fetches one bot's detail page, its invite consent page, and
 // its website policy, assembling the full record.
 func ScrapeBot(c *Client, id, retries int) (*Record, error) {
+	return ScrapeBotContext(context.Background(), c, id, retries)
+}
+
+// ScrapeBotContext is ScrapeBot with cancellation.
+func ScrapeBotContext(ctx context.Context, c *Client, id, retries int) (*Record, error) {
 	var doc *htmlparse.Node
 	var inviteHref string
 	var err error
 	// Detail pages are occasionally flaky: the invite element vanishes
 	// on a render. Retry, as §3 prescribes.
 	for attempt := 0; attempt <= retries; attempt++ {
-		doc, err = c.Get(fmt.Sprintf("/bot/%d", id))
+		doc, err = c.GetContext(ctx, fmt.Sprintf("/bot/%d", id))
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +193,7 @@ func ScrapeBot(c *Client, id, retries int) (*Record, error) {
 			break
 		}
 		if attempt < retries {
-			c.count(func(s *Stats) { s.Retries++ })
+			c.countRetry()
 		}
 	}
 
@@ -189,26 +227,34 @@ func ScrapeBot(c *Client, id, retries int) (*Record, error) {
 	}
 	rec.HasWebsite = doc.SelectFirst("a.website") != nil
 
-	scrapeInvite(c, rec, inviteHref)
+	if err := scrapeInvite(ctx, c, rec, inviteHref); err != nil {
+		return nil, err
+	}
 	if rec.HasWebsite {
-		scrapePolicy(c, rec, id)
+		if err := scrapePolicy(ctx, c, rec, id); err != nil {
+			return nil, err
+		}
 	}
 	return rec, nil
 }
 
 // scrapeInvite resolves the consent page and decodes the permission
-// value, mapping each failure mode to its invalid reason.
-func scrapeInvite(c *Client, rec *Record, href string) {
+// value, mapping each failure mode to its invalid reason. Only context
+// cancellation is returned as an error; site-side failures become
+// invalid reasons.
+func scrapeInvite(ctx context.Context, c *Client, rec *Record, href string) error {
 	if href == "" {
 		rec.InvalidReason = InvalidMissingLink
-		return
+		return nil
 	}
-	doc, err := c.Get(href)
+	doc, err := c.GetContext(ctx, href)
 	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return err
 	case err == nil:
 	case errors.Is(err, ErrTimeout):
 		rec.InvalidReason = InvalidTimeout
-		return
+		return nil
 	case errors.Is(err, ErrGone):
 		// 410 means removed; 404/400 means a mangled invite URL.
 		if strings.Contains(err.Error(), "(410)") {
@@ -216,42 +262,50 @@ func scrapeInvite(c *Client, rec *Record, href string) {
 		} else {
 			rec.InvalidReason = InvalidBrokenLink
 		}
-		return
+		return nil
 	default:
 		rec.InvalidReason = InvalidBrokenLink
-		return
+		return nil
 	}
 	val := doc.ByID("perm-value")
 	if val == nil {
 		rec.InvalidReason = InvalidBadValue
-		return
+		return nil
 	}
 	perms, err := permissions.ParseValue(val.Text())
 	if err != nil || !perms.Defined() {
 		rec.InvalidReason = InvalidBadValue
-		return
+		return nil
 	}
 	rec.Perms = perms
 	rec.PermsValid = true
+	return nil
 }
 
 // scrapePolicy visits the bot's website, follows its privacy-policy
-// link when present, and captures the policy text.
-func scrapePolicy(c *Client, rec *Record, id int) {
-	site, err := c.Get(fmt.Sprintf("/site/%d", id))
+// link when present, and captures the policy text. Only context
+// cancellation is returned as an error.
+func scrapePolicy(ctx context.Context, c *Client, rec *Record, id int) error {
+	site, err := c.GetContext(ctx, fmt.Sprintf("/site/%d", id))
 	if err != nil {
-		return // website advertised but unreachable: no policy found
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil // website advertised but unreachable: no policy found
 	}
 	link := site.ByID("privacy-link")
 	if link == nil {
-		return
+		return nil
 	}
 	rec.PolicyLinkFound = true
 	href, _ := link.Attr("href")
-	policy, err := c.Get(href)
+	policy, err := c.GetContext(ctx, href)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 		rec.PolicyLinkDead = true
-		return
+		return nil
 	}
 	if pre := policy.SelectFirst("#privacy-policy pre"); pre != nil {
 		rec.PolicyText = pre.Text()
@@ -260,6 +314,7 @@ func scrapePolicy(c *Client, rec *Record, id int) {
 	} else {
 		rec.PolicyLinkDead = true
 	}
+	return nil
 }
 
 // PermissionDistribution tallies, over the valid records, what fraction

@@ -77,7 +77,8 @@ func TestLoadRobotsAdoptsCrawlDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, err := NewClient(srv.BaseURL(), time.Second, 0, nil)
+	// Exercise the deprecated positional shim on purpose.
+	c, err := NewClientLegacy(srv.BaseURL(), time.Second, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestLoadRobotsAbsent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	c, _ := NewClient(srv.BaseURL(), time.Second, 0, nil)
+	c, _ := NewClient(ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
 	pol, err := c.LoadRobots()
 	if err != nil {
 		t.Fatal(err)

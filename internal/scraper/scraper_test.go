@@ -25,7 +25,7 @@ func startSite(t *testing.T, n int, cfg listing.AntiScrape) (*listing.Server, *s
 
 func newTestClient(t *testing.T, base string, solver Solver) *Client {
 	t.Helper()
-	c, err := NewClient(base, 500*time.Millisecond, 0, solver)
+	c, err := NewClient(ClientConfig{BaseURL: base, Timeout: 500 * time.Millisecond, Solver: solver})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestRateLimitBackoff(t *testing.T) {
 
 func TestSelfPacing(t *testing.T) {
 	srv, _ := startSite(t, 5, listing.AntiScrape{})
-	c, err := NewClient(srv.BaseURL(), time.Second, 30*time.Millisecond, nil)
+	c, err := NewClient(ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second, MinInterval: 30 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,12 +7,15 @@
 package scraper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"regexp"
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Solver answers captcha challenges. The paper used the paid 2Captcha
@@ -20,6 +23,27 @@ import (
 type Solver interface {
 	// Solve returns the answer text for a challenge prompt.
 	Solve(challenge string) (string, error)
+}
+
+// ContextSolver is an optional extension: solvers whose waits (network
+// round-trips, simulated solving latency) should abort on cancellation
+// implement it; SolveContext prefers it when present.
+type ContextSolver interface {
+	Solver
+	// SolveContext is Solve with cancellation.
+	SolveContext(ctx context.Context, challenge string) (string, error)
+}
+
+// SolveContext answers a challenge through s, using its context-aware
+// path when the solver provides one.
+func SolveContext(ctx context.Context, s Solver, challenge string) (string, error) {
+	if cs, ok := s.(ContextSolver); ok {
+		return cs.SolveContext(ctx, challenge)
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return s.Solve(challenge)
 }
 
 // ErrUnsolvable is returned when a solver cannot parse the challenge.
@@ -43,12 +67,18 @@ var challengePattern = regexp.MustCompile(`what is (\d+) plus (\d+)`)
 
 // Solve implements Solver.
 func (s *TwoCaptchaSim) Solve(challenge string) (string, error) {
+	return s.SolveContext(context.Background(), challenge)
+}
+
+// SolveContext implements ContextSolver: the simulated solving latency
+// aborts as soon as ctx is cancelled.
+func (s *TwoCaptchaSim) SolveContext(ctx context.Context, challenge string) (string, error) {
 	m := challengePattern.FindStringSubmatch(challenge)
 	if m == nil {
 		return "", ErrUnsolvable
 	}
-	if s.Latency > 0 {
-		time.Sleep(s.Latency)
+	if err := obs.SleepContext(ctx, s.Latency); err != nil {
+		return "", err
 	}
 	a, _ := strconv.Atoi(m[1])
 	b, _ := strconv.Atoi(m[2])

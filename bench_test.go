@@ -27,6 +27,8 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/listing"
 	"repro/internal/longitudinal"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 	"repro/internal/platform"
 	"repro/internal/policygen"
@@ -684,4 +686,72 @@ func BenchmarkSynthGenerate(b *testing.B) {
 			b.Fatal("generation failed")
 		}
 	}
+}
+
+// ---- journal hot path ----
+
+// BenchmarkJournalEmit measures the instrumented fast path: concurrent
+// emitters against a draining flusher. This is the per-event cost every
+// pipeline stage pays when a journal is configured.
+func BenchmarkJournalEmit(b *testing.B) {
+	reg := obs.NewRegistry()
+	j := journal.New(io.Discard, journal.Options{Buffer: 4096, Obs: reg})
+	ev := journal.Event{
+		Kind: journal.KindPageFetched, Component: "bench",
+		RunID: "bench-run", BotID: 7,
+		Fields: map[string]any{"ref": "/bot/7", "status": 200},
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j.Emit(ev)
+		}
+	})
+	b.StopTimer()
+	j.Close()
+	total := float64(reg.Counter("journal_events_total").Value() +
+		reg.Counter("journal_events_dropped_total").Value())
+	b.ReportMetric(100*float64(reg.Counter("journal_events_dropped_total").Value())/total, "dropped_%")
+}
+
+// stalledWriter never completes a write until released — it wedges the
+// flusher so the buffer saturates.
+type stalledWriter struct{ release chan struct{} }
+
+func (w *stalledWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return len(p), nil
+}
+
+// BenchmarkJournalEmitSaturated is the contention worst case: the
+// flusher is wedged on a stalled writer, the buffer is full, and every
+// concurrent Emit must drop instead of blocking the pipeline. The drop
+// accounting must equal the emit attempts exactly — no event may both
+// block and be lost silently.
+func BenchmarkJournalEmitSaturated(b *testing.B) {
+	reg := obs.NewRegistry()
+	w := &stalledWriter{release: make(chan struct{})}
+	j := journal.New(w, journal.Options{Buffer: 64, Obs: reg})
+	ev := journal.Event{Kind: journal.KindCanaryTriggered, Component: "bench"}
+	// Saturate before timing so the steady state is pure drop path.
+	for i := 0; i < 128; i++ {
+		j.Emit(ev)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			j.Emit(ev)
+		}
+	})
+	b.StopTimer()
+	close(w.release)
+	j.Close()
+	emitted := reg.Counter("journal_events_total").Value()
+	dropped := reg.Counter("journal_events_dropped_total").Value()
+	if emitted+dropped != int64(b.N)+128 {
+		b.Fatalf("accounting leak: emitted %d + dropped %d != %d attempts", emitted, dropped, b.N+128)
+	}
+	if dropped == 0 {
+		b.Fatal("saturated journal dropped nothing — Emit must have blocked")
+	}
+	b.ReportMetric(100*float64(dropped)/float64(emitted+dropped), "dropped_%")
 }

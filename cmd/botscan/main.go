@@ -7,12 +7,15 @@
 // Usage:
 //
 //	botscan -bots 2000 -sample 100 -seed 42
+//	botscan -bots 2000 -journal run.jsonl
+//	botscan journal -file run.jsonl             # summarize a journal
+//	botscan journal -file run.jsonl -timeline   # per-bot replay
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -23,11 +26,16 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/listing"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/ops"
+	"repro/internal/report"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("botscan: ")
+	if len(os.Args) > 1 && os.Args[1] == "journal" {
+		journalMode(os.Args[2:])
+		return
+	}
 
 	var (
 		seed        = flag.Int64("seed", 2022, "ecosystem generation seed")
@@ -38,9 +46,21 @@ func main() {
 		defences    = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
 		fullScale   = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
 		exportDir   = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
-		metricsAddr = flag.String("metrics-addr", "", "also serve the observability registry on this address (e.g. 127.0.0.1:9090)")
+		metricsAddr = flag.String("metrics-addr", "", "also serve the operational endpoints (/metrics, /healthz, /debug/pprof) on this address")
+		journalPath = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
+		verbose     = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := journal.NewLogger("botscan", os.Stderr, level)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	opts := core.Options{
 		Seed:                *seed,
@@ -64,39 +84,96 @@ func main() {
 
 	reg := obs.NewRegistry()
 	opts.Obs = reg
+	if *journalPath != "" {
+		j, err := journal.Open(*journalPath, journal.Options{Obs: reg})
+		if err != nil {
+			fatal("open journal", err)
+		}
+		defer j.Close()
+		opts.Journal = j
+		logger.Info("journal enabled", "path", *journalPath)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			log.Fatal(err)
+			fatal("listen metrics", err)
 		}
 		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		go http.Serve(ln, mux)
-		log.Printf("metrics at http://%s/metrics", ln.Addr())
+		go http.Serve(ln, ops.Mux(reg, nil))
+		logger.Info("operational endpoints up", "url", "http://"+ln.Addr().String()+"/metrics")
 	}
 
 	start := time.Now()
 	a, err := core.NewAuditor(opts)
 	if err != nil {
-		log.Fatal(err)
+		fatal("start auditor", err)
 	}
 	defer a.Close()
-	log.Printf("ecosystem of %d bots generated; listing at %s (metrics at %s)", len(a.Ecosystem().Bots), a.ListingURL(), a.MetricsURL())
+	logger.Info("ecosystem generated",
+		"bots", len(a.Ecosystem().Bots), "listing", a.ListingURL(), "metrics", a.MetricsURL())
 
 	res, err := a.RunAll()
 	if err != nil {
-		log.Fatal(err)
+		fatal("pipeline", err)
 	}
 	res.Report(os.Stdout)
 	fmt.Printf("\ntotal pipeline time: %v\n", time.Since(start).Round(time.Millisecond))
+	logger.Info("pipeline complete", "run_id", res.RunID, "elapsed", time.Since(start).Round(time.Millisecond))
 
 	if *exportDir != "" {
 		if err := exportAll(*exportDir, a, res); err != nil {
-			log.Fatal(err)
+			fatal("export", err)
 		}
-		log.Printf("datasets written to %s", *exportDir)
+		logger.Info("datasets written", "dir", *exportDir)
 	}
+}
+
+// journalMode is the inspection subcommand: decode a journal written by
+// a previous run, filter it, and render either the aggregate summary or
+// the per-bot replay timeline.
+func journalMode(args []string) {
+	fs := flag.NewFlagSet("botscan journal", flag.ExitOnError)
+	var (
+		file      = fs.String("file", "", "journal JSONL file to inspect (required)")
+		timeline  = fs.Bool("timeline", false, "render the per-bot replay timeline instead of the summary")
+		kind      = fs.String("kind", "", "only events of this kind (e.g. permission_denied)")
+		component = fs.String("component", "", "only events from this component (e.g. honeypot)")
+		botName   = fs.String("bot", "", "only events correlated to this bot name")
+		botID     = fs.Int("botid", 0, "only events correlated to this listing ID")
+		runID     = fs.String("run", "", "only events from this run ID")
+	)
+	fs.Parse(args)
+	logger := journal.NewLogger("botscan", os.Stderr, slog.LevelInfo)
+	if *file == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		logger.Error("open journal", "err", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, skipped, err := journal.Decode(f)
+	if err != nil {
+		logger.Error("decode journal", "err", err)
+		os.Exit(1)
+	}
+	if skipped > 0 {
+		logger.Warn("skipped undecodable lines", "skipped", skipped)
+	}
+	events = journal.Filter(events, journal.Query{
+		Kind:      journal.Kind(*kind),
+		Component: *component,
+		Bot:       *botName,
+		BotID:     *botID,
+		RunID:     *runID,
+	})
+	if *timeline {
+		report.JournalTimeline(os.Stdout, events)
+		return
+	}
+	report.JournalSummary(os.Stdout, journal.Summarize(events))
 }
 
 // exportAll snapshots every stage's output as JSON Lines.

@@ -12,23 +12,22 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/obs/journal"
 	"repro/internal/report"
 	"repro/internal/vetting"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("botvet: ")
-
 	var (
 		recordsPath = flag.String("records", "", "path to a records.jsonl export (required)")
 		showN       = flag.Int("show-rejected", 3, "print detailed findings for the first N rejected bots")
 	)
 	flag.Parse()
+	logger := journal.NewLogger("botvet", os.Stderr, slog.LevelInfo)
 	if *recordsPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -36,14 +35,16 @@ func main() {
 
 	f, err := os.Open(*recordsPath)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("open records", "err", err)
+		os.Exit(1)
 	}
 	defer f.Close()
 	records, err := dataset.ReadRecords(f)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("read records", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("loaded %d records from %s", len(records), *recordsPath)
+	logger.Info("records loaded", "count", len(records), "path", *recordsPath)
 
 	reports, summary := vetting.VetAll(records)
 	report.Vetting(os.Stdout, summary)

@@ -1,5 +1,8 @@
 // Command canaryd runs a standalone canary trigger service and streams
-// every trigger to stdout. Mint tokens with the printed base URL.
+// every trigger to stdout. Mint tokens with the printed base URL. The
+// operational surface (/metrics, /healthz, /readyz, /debug/pprof) is
+// mounted alongside the trigger endpoints, and -journal records every
+// attributed trigger as a canary_triggered event.
 //
 // Usage:
 //
@@ -8,49 +11,63 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
 	"repro/internal/canary"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/ops"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("canaryd: ")
-
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
 	demo := flag.Bool("demo", false, "mint a demo token set and print the artifacts' trigger URLs")
+	journalPath := flag.String("journal", "", "append canary_triggered events to this JSONL journal")
 	flag.Parse()
+	logger := journal.NewLogger("canaryd", os.Stderr, slog.LevelInfo)
 
 	svc, err := canary.NewService(*addr, nil)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start trigger service", "err", err)
+		os.Exit(1)
 	}
 	defer svc.Close()
-	log.Printf("trigger service at %s", svc.BaseURL())
+	ops.Mount(svc, nil, nil)
+	if *journalPath != "" {
+		j, err := journal.Open(*journalPath, journal.Options{})
+		if err != nil {
+			logger.Error("open journal", "err", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		svc.SetJournal(j)
+		logger.Info("journal enabled", "path", *journalPath)
+	}
+	logger.Info("trigger service up", "url", svc.BaseURL())
 
 	if *demo {
 		m := svc.NewMinter("canary.local", nil)
 		for _, tok := range m.MintSet("demo-guild") {
 			switch tok.Kind {
 			case canary.KindEmail:
-				log.Printf("minted %-5s token %s -> address %s", tok.Kind, tok.ID, tok.Address)
+				logger.Info("minted token", "kind", tok.Kind.String(), "id", tok.ID, "address", tok.Address)
 			default:
-				log.Printf("minted %-5s token %s -> %s", tok.Kind, tok.ID, tok.TriggerURL)
+				logger.Info("minted token", "kind", tok.Kind.String(), "id", tok.ID, "url", tok.TriggerURL)
 			}
 		}
 	}
 
 	go func() {
 		for trg := range svc.Watch() {
-			log.Printf("TRIGGER kind=%s guild=%s token=%s via=%s ip=%s",
-				trg.Kind, trg.GuildTag, trg.TokenID, trg.Via, trg.RemoteIP)
+			logger.Info("trigger",
+				"kind", trg.Kind.String(), "guild", trg.GuildTag,
+				"token", trg.TokenID, "via", trg.Via, "ip", trg.RemoteIP)
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Printf("%d triggers recorded", len(svc.Triggers()))
+	logger.Info("shutting down", "triggers", len(svc.Triggers()))
 }

@@ -1,6 +1,8 @@
 // Command listingd serves a standalone top.gg-style chatbot listing
 // over a synthetic population, with configurable anti-scraping
-// defences. Point a browser or the scraper at it.
+// defences. Point a browser or the scraper at it. The operational
+// surface (/metrics, /healthz, /readyz, /debug/pprof) is mounted on the
+// same listener.
 //
 // Usage:
 //
@@ -9,18 +11,17 @@ package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 
 	"repro/internal/listing"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/ops"
 	"repro/internal/synth"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("listingd: ")
-
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
 		seed         = flag.Int64("seed", 2022, "population seed")
@@ -30,6 +31,7 @@ func main() {
 		flakyEvery   = flag.Int("flaky-every", 0, "one in N detail pages is flaky on first render (0 = never)")
 	)
 	flag.Parse()
+	logger := journal.NewLogger("listingd", os.Stderr, slog.LevelInfo)
 
 	eco := synth.Generate(synth.Config{Seed: *seed, NumBots: *bots})
 	srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{
@@ -38,13 +40,16 @@ func main() {
 		FlakyEvery:        *flakyEvery,
 	}, *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("start listing server", "err", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
-	log.Printf("serving %d bots at %s (try %s/bots)", *bots, srv.BaseURL(), srv.BaseURL())
+	ops.Mount(srv, nil, nil)
+	logger.Info("serving", "bots", *bots, "url", srv.BaseURL(),
+		"catalog", srv.BaseURL()+"/bots", "health", srv.BaseURL()+"/healthz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	log.Printf("shutting down after %d requests", srv.Requests())
+	logger.Info("shutting down", "requests", srv.Requests())
 }

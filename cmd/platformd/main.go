@@ -1,60 +1,96 @@
 // Command platformd runs a standalone messaging platform with its
 // gateway, pre-seeded with a demo guild, users and a registered bot
-// whose token is printed so external bot processes can connect.
+// whose token is printed so external bot processes can connect. The
+// gateway speaks raw TCP, so the operational surface (/metrics,
+// /healthz, /readyz, /debug/pprof) gets its own HTTP listener via
+// -ops-addr, and -journal records every permission denial the platform
+// issues.
 //
 // Usage:
 //
-//	platformd -gateway 127.0.0.1:7000
+//	platformd -gateway 127.0.0.1:7000 -ops-addr 127.0.0.1:7070
 package main
 
 import (
 	"flag"
-	"log"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"repro/internal/gateway"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/ops"
 	"repro/internal/permissions"
 	"repro/internal/platform"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("platformd: ")
-
 	var (
-		gwAddr = flag.String("gateway", "127.0.0.1:7000", "gateway listen address")
+		gwAddr      = flag.String("gateway", "127.0.0.1:7000", "gateway listen address")
+		opsAddr     = flag.String("ops-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address (empty = disabled)")
+		journalPath = flag.String("journal", "", "append platform/gateway events to this JSONL journal")
 	)
 	flag.Parse()
+	logger := journal.NewLogger("platformd", os.Stderr, slog.LevelInfo)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
-	p := platform.New(platform.Options{})
+	var j *journal.Journal
+	if *journalPath != "" {
+		var err error
+		if j, err = journal.Open(*journalPath, journal.Options{}); err != nil {
+			fatal("open journal", err)
+		}
+		defer j.Close()
+		logger.Info("journal enabled", "path", *journalPath)
+	}
+
+	p := platform.New(platform.Options{Journal: j})
 	defer p.Close()
 
 	owner := p.CreateUser("admin")
 	p.VerifyUser(owner.ID)
 	guild, err := p.CreateGuild(owner.ID, "demo-guild", false)
 	if err != nil {
-		log.Fatal(err)
+		fatal("create guild", err)
 	}
 	bot, err := p.RegisterBot(owner.ID, "demo-bot")
 	if err != nil {
-		log.Fatal(err)
+		fatal("register bot", err)
 	}
 	if _, err := p.InstallBot(owner.ID, guild.ID, bot.ID,
 		permissions.ViewChannel|permissions.SendMessages|permissions.ReadMessageHistory); err != nil {
-		log.Fatal(err)
+		fatal("install bot", err)
 	}
 
 	gw, err := gateway.NewServer(p, *gwAddr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("start gateway", err)
 	}
 	defer gw.Close()
+	gw.SetJournal(j)
 
-	log.Printf("gateway listening on %s", gw.Addr())
-	log.Printf("demo guild %s created by %s", guild.ID, owner.Tag())
-	log.Printf("bot token: %s", bot.Token)
-	log.Printf("connect with botsdk.Dial(%q, token, opts)", gw.Addr())
+	// The gateway is a raw TCP protocol, so the HTTP operational surface
+	// lives on its own listener.
+	ready := func() bool { return true }
+	if *opsAddr != "" {
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fatal("listen ops", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, ops.Mux(nil, ready))
+		logger.Info("operational endpoints up", "url", "http://"+ln.Addr().String()+"/healthz")
+	}
+
+	logger.Info("gateway listening", "addr", gw.Addr())
+	logger.Info("demo guild created", "guild", guild.ID.String(), "owner", owner.Tag())
+	logger.Info("bot registered", "token", bot.Token)
+	logger.Info("connect with botsdk.Dial", "addr", gw.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

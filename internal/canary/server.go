@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // Trigger records one phone-home against a minted token.
@@ -29,12 +30,14 @@ type Trigger struct {
 type Service struct {
 	srv *http.Server
 	ln  net.Listener
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	registry map[string]Token
 	triggers []Trigger
 	waiters  []chan Trigger
 	obs      *obs.Registry
+	journal  *journal.Journal
 
 	now func() time.Time
 }
@@ -45,6 +48,22 @@ func (s *Service) SetObs(r *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.obs = obs.Or(r)
+}
+
+// SetJournal attaches an event journal: every attributed trigger is
+// recorded as a canary_triggered event correlated to its experiment
+// (guild tag). A nil journal disables event emission.
+func (s *Service) SetJournal(j *journal.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// Mount registers an extra handler on the service's mux — canaryd uses
+// it to expose the operational surface (/metrics, /healthz, pprof)
+// alongside the trigger endpoints.
+func (s *Service) Mount(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
 }
 
 // NewService starts a trigger service on addr ("127.0.0.1:0" for an
@@ -62,6 +81,7 @@ func NewService(addr string, now func() time.Time) (*Service, error) {
 	mux.HandleFunc("/t/", s.handleHTTP)
 	mux.HandleFunc("/email/", s.handleEmail)
 	mux.HandleFunc("/smtp", s.handleSMTP)
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -137,6 +157,18 @@ func (s *Service) record(id, via string, r *http.Request) {
 	s.triggers = append(s.triggers, trg)
 	s.obs.Counter("canary_triggers_total").Inc()
 	s.obs.Counter(fmt.Sprintf("canary_triggers_total{kind=%q}", tok.Kind.String())).Inc()
+	s.journal.Emit(journal.Event{
+		Kind:         journal.KindCanaryTriggered,
+		Component:    "canary",
+		ExperimentID: tok.GuildTag,
+		Fields: map[string]any{
+			"token_id": id,
+			"token":    tok.Kind.String(),
+			"via":      via,
+			"ip":       host,
+			"agent":    r.UserAgent(),
+		},
+	})
 	for _, ch := range s.waiters {
 		select {
 		case ch <- trg:

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/scraper"
 )
 
@@ -228,6 +229,7 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 			defer wg.Done()
 			defer func() { <-sem }()
 			linkCtx, span := obs.StartChild(ctx, fmt.Sprintf("repo-%d", j.botID))
+			linkCtx = journal.WithBot(linkCtx, j.botID, "")
 			ra, err := AnalyzeLinkContext(linkCtx, c, j.botID, j.link)
 			span.End()
 			if err != nil {
@@ -235,6 +237,13 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 				return
 			}
 			analyses[i] = ra
+			journal.Emit(linkCtx, "codeanalysis", journal.KindCodeFlag, map[string]any{
+				"outcome":        string(ra.Outcome),
+				"language":       ra.MainLanguage,
+				"analyzed":       ra.Analyzed,
+				"performs_check": ra.PerformsCheck,
+				"patterns":       ra.PatternsFound,
+			})
 		}(i, j)
 	}
 	wg.Wait()

@@ -29,6 +29,8 @@ import (
 	"repro/internal/honeypot"
 	"repro/internal/listing"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/obs/ops"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/scraper"
@@ -70,13 +72,19 @@ type Options struct {
 	// traces; nil uses the process-default registry. Its text exposition
 	// is also mounted at /metrics on the listing server.
 	Obs *obs.Registry
+	// Journal receives one correlated event per pipeline milestone (page
+	// fetched, bot discovered, policy audited, experiment settled, canary
+	// triggered, permission denied, ...). Nil disables the journal; every
+	// emission site is nil-safe.
+	Journal *journal.Journal
 }
 
 // Auditor owns the simulated ecosystem and its services.
 type Auditor struct {
-	opts Options
-	eco  *synth.Ecosystem
-	obs  *obs.Registry
+	opts    Options
+	eco     *synth.Ecosystem
+	obs     *obs.Registry
+	journal *journal.Journal
 
 	listingSrv *listing.Server
 	hostSrv    *codehost.Server
@@ -118,6 +126,11 @@ type Results struct {
 	// Trace is the pipeline's stage-span tree; Report renders it as a
 	// per-stage timing table.
 	Trace *obs.Trace
+
+	// RunID is the correlation identifier stamped on every journal event
+	// this run emitted (empty when no journal is configured — the ID is
+	// minted regardless so reports can cite it).
+	RunID string
 }
 
 // NewAuditor generates the ecosystem and starts all services.
@@ -145,28 +158,32 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	if eco == nil {
 		eco = synth.Generate(synth.Config{Seed: opts.Seed, NumBots: opts.NumBots})
 	}
-	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs)}
+	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs), journal: opts.Journal}
 
 	var err error
 	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.AntiScrape, "127.0.0.1:0"); err != nil {
 		return nil, fmt.Errorf("core: listing server: %w", err)
 	}
-	a.listingSrv.Mount("/metrics", a.obs.Handler())
+	// Full operational surface on the listing server: /metrics plus
+	// /healthz, /readyz, and /debug/pprof/*.
+	ops.Mount(a.listingSrv, a.obs, nil)
 	if a.hostSrv, err = codehost.NewServer(eco.Host, "127.0.0.1:0"); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: code host: %w", err)
 	}
-	a.plat = platform.New(platform.Options{Obs: a.obs})
+	a.plat = platform.New(platform.Options{Obs: a.obs, Journal: opts.Journal})
 	if a.gw, err = gateway.NewServer(a.plat, "127.0.0.1:0"); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: gateway: %w", err)
 	}
 	a.gw.SetObs(a.obs)
+	a.gw.SetJournal(opts.Journal)
 	if a.canarySvc, err = canary.NewService("127.0.0.1:0", nil); err != nil {
 		a.Close()
 		return nil, fmt.Errorf("core: canary service: %w", err)
 	}
 	a.canarySvc.SetObs(a.obs)
+	a.canarySvc.SetJournal(opts.Journal)
 	if a.listClient, err = scraper.NewClient(scraper.ClientConfig{
 		BaseURL: a.listingSrv.BaseURL(),
 		Timeout: opts.ScrapeTimeout,
@@ -191,6 +208,9 @@ func NewAuditor(opts Options) (*Auditor, error) {
 
 // Obs returns the auditor's observability registry.
 func (a *Auditor) Obs() *obs.Registry { return a.obs }
+
+// Journal returns the configured event journal (nil when disabled).
+func (a *Auditor) Journal() *journal.Journal { return a.journal }
 
 // MetricsURL returns the Prometheus-style text exposition endpoint
 // mounted on the listing server.
@@ -245,6 +265,13 @@ func (a *Auditor) CollectContext(ctx context.Context) ([]*scraper.Record, error)
 // Traceability runs stage 2 over collected records: the Table 2
 // counts plus the ontology-based per-data-type refinement.
 func (a *Auditor) Traceability(records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
+	return a.TraceabilityContext(context.Background(), records)
+}
+
+// TraceabilityContext is Traceability with a context carrying the run's
+// journal correlation: every audited policy becomes a policy_audited
+// event recording the bot and its disclosure verdict.
+func (a *Auditor) TraceabilityContext(ctx context.Context, records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
 	var d report.Table2Data
 	var an traceability.Analyzer
 	dt := traceability.NewDataTypeResult()
@@ -262,8 +289,15 @@ func (a *Auditor) Traceability(records []*scraper.Record) (report.Table2Data, *t
 				d.PolicyValid++
 			}
 		}
-		d.Traceability.Add(an.AnalyzePolicy(r.PolicyText, r.Perms))
+		v := an.AnalyzePolicy(r.PolicyText, r.Perms)
+		d.Traceability.Add(v)
 		dt.Add(r.PolicyText, r.Perms)
+		journal.Emit(journal.WithBot(ctx, r.ID, r.Name), "core", journal.KindPolicyAudited, map[string]any{
+			"verdict":           v.Class.String(),
+			"has_policy":        v.HasPolicy,
+			"covered":           len(v.Covered),
+			"undisclosed_perms": len(v.UndisclosedPerms),
+		})
 	}
 	return d, dt
 }
@@ -311,46 +345,58 @@ func (a *Auditor) RunAll() (*Results, error) {
 
 // RunAllContext is RunAll with cancellation: cancelling ctx aborts the
 // pipeline at its next wait point and returns the context's error. The
-// run is recorded as a "pipeline" trace with one span per stage.
+// run is recorded as a "pipeline" trace with one span per stage, and —
+// when a journal is configured — as a stream of correlated events
+// sharing one run ID, bracketed by stage_started/stage_completed pairs.
 func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	trace := a.obs.StartTrace("pipeline")
-	res := &Results{Trace: trace}
-	stage := func(name string) (context.Context, *obs.Span) {
+	runID := fmt.Sprintf("run-%d", time.Now().UnixNano())
+	res := &Results{Trace: trace, RunID: runID}
+	ctx = journal.WithRunID(journal.NewContext(ctx, a.journal), runID)
+	stage := func(name string) (context.Context, func()) {
 		sp := trace.StartSpan(name)
-		return obs.ContextWithSpan(ctx, sp), sp
+		sctx := obs.ContextWithSpan(ctx, sp)
+		journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{"stage": name})
+		return sctx, func() {
+			sp.End()
+			journal.Emit(sctx, "core", journal.KindStageCompleted, map[string]any{
+				"stage":   name,
+				"seconds": sp.Duration().Seconds(),
+			})
+		}
 	}
 
 	var err error
-	collectCtx, collectSpan := stage("collect")
+	collectCtx, endCollect := stage("collect")
 	res.Records, err = a.CollectContext(collectCtx)
-	collectSpan.End()
+	endCollect()
 	if err != nil {
 		return nil, err
 	}
 	res.PermDist = scraper.PermissionDistribution(res.Records)
 	res.Scraper = a.listClient.Stats()
 
-	_, traceSpan := stage("traceability")
-	res.Table2, res.DataTypes = a.Traceability(res.Records)
-	traceSpan.End()
+	traceCtx, endTrace := stage("traceability")
+	res.Table2, res.DataTypes = a.TraceabilityContext(traceCtx, res.Records)
+	endTrace()
 
-	codeCtx, codeSpan := stage("codeanalysis")
+	codeCtx, endCode := stage("codeanalysis")
 	res.Code, res.Analyses, err = a.CodeAnalysisContext(codeCtx, res.Records)
-	codeSpan.End()
+	endCode()
 	if err != nil {
 		return nil, err
 	}
 
-	hpCtx, hpSpan := stage("honeypot")
+	hpCtx, endHoneypot := stage("honeypot")
 	res.Honeypot, err = a.DynamicAnalysisContext(hpCtx)
-	hpSpan.End()
+	endHoneypot()
 	if err != nil {
 		return nil, err
 	}
 
-	_, vetSpan := stage("vetting")
+	_, endVet := stage("vetting")
 	res.Vetting, res.VettingSummary = vetting.VetAll(res.Records)
-	vetSpan.End()
+	endVet()
 
 	res.BotsPerDeveloper = make(map[string]int)
 	for dev, ids := range a.eco.Developers {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/platform"
 )
 
@@ -37,6 +38,7 @@ type Server struct {
 	cEventsOut   *obs.Counter
 	cRequests    *obs.Counter
 	gSessions    *obs.Gauge
+	journal      *journal.Journal
 
 	// Logf receives connection-level diagnostics; defaults to a no-op.
 	Logf func(format string, args ...any)
@@ -53,6 +55,22 @@ func (s *Server) SetObs(r *obs.Registry) {
 	s.cEventsOut = reg.Counter("gateway_events_out_total")
 	s.cRequests = reg.Counter("gateway_requests_total")
 	s.gSessions = reg.Gauge("gateway_sessions")
+}
+
+// SetJournal attaches an event journal: every bot request denied for
+// missing permissions is recorded as a permission_denied event carrying
+// the bot's name and the attempted method. A nil journal disables
+// emission.
+func (s *Server) SetJournal(j *journal.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+func (s *Server) getJournal() *journal.Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal
 }
 
 // SetRateLimit enables per-session request throttling, like Discord's
@@ -356,6 +374,14 @@ func argInt(args map[string]any, key string) int {
 func (s *Server) handleRequest(bot *platform.User, f Frame) Frame {
 	resp := Frame{Op: OpResponse, ID: f.ID}
 	fail := func(err error) Frame {
+		if errors.Is(err, platform.ErrPermissionDenied) {
+			s.getJournal().Emit(journal.Event{
+				Kind:      journal.KindPermissionDenied,
+				Component: "gateway",
+				Bot:       bot.Name,
+				Fields:    map[string]any{"method": f.Method, "bot_account_id": bot.ID.String()},
+			})
+		}
 		resp.OK = false
 		resp.Err = err.Error()
 		return resp
@@ -368,6 +394,15 @@ func (s *Server) handleRequest(bot *platform.User, f Frame) Frame {
 
 	if hook := s.interceptor(); hook != nil {
 		if err := hook(bot, f.Method, f.Args); err != nil {
+			// Runtime-policy denials (the enforcer) are permission
+			// denials too, just decided by the interceptor rather than
+			// the platform's static permission set.
+			s.getJournal().Emit(journal.Event{
+				Kind:      journal.KindPermissionDenied,
+				Component: "gateway",
+				Bot:       bot.Name,
+				Fields:    map[string]any{"method": f.Method, "policy": err.Error()},
+			})
 			return fail(err)
 		}
 	}

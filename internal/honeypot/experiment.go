@@ -10,6 +10,7 @@ import (
 	"repro/internal/canary"
 	"repro/internal/corpus"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 	"repro/internal/platform"
 	"repro/internal/scraper"
@@ -106,6 +107,12 @@ func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict
 	p := env.Platform
 
 	guildTag := "hp-" + sub.Name
+	ctx = journal.WithExperiment(journal.WithBot(ctx, sub.ListingID, sub.Name), guildTag)
+	journal.Emit(ctx, "honeypot", journal.KindExperimentStarted, map[string]any{
+		"personas": cfg.Personas,
+		"perms":    sub.Perms.Value(),
+		"prefix":   sub.Prefix,
+	})
 	operator := p.CreateUser("operator-" + sub.Name)
 	p.VerifyUser(operator.ID)
 	guild, err := p.CreateGuild(operator.ID, guildTag, true)
@@ -197,7 +204,22 @@ func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict
 	reg.Histogram("honeypot_settle_seconds").Observe(time.Since(settleStart))
 	reg.Counter("honeypot_experiments_completed_total").Inc()
 
-	return verdictFor(p, env, sub, guildTag, guild.ID, general.ID, bot.ID)
+	v, err := verdictFor(p, env, sub, guildTag, guild.ID, general.ID, bot.ID)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]string, 0, len(v.TriggeredKinds))
+	for _, k := range v.TriggeredKinds {
+		kinds = append(kinds, k.String())
+	}
+	journal.Emit(ctx, "honeypot", journal.KindExperimentSettled, map[string]any{
+		"triggered":       v.Triggered,
+		"trigger_count":   len(v.Triggers),
+		"triggered_kinds": kinds,
+		"responded":       v.Responded,
+		"webhook_persist": v.WebhookPersistence,
+	})
+	return v, nil
 }
 
 // watchTriggers polls the canary service until every planted token

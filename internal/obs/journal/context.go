@@ -1,0 +1,80 @@
+package journal
+
+import "context"
+
+// Corr is the set of correlation identifiers an event inherits from its
+// context: which pipeline run, which bot, which honeypot experiment.
+type Corr struct {
+	RunID        string
+	BotID        int
+	Bot          string
+	ExperimentID string
+}
+
+type journalKey struct{}
+type corrKey struct{}
+
+// NewContext returns a context carrying the journal, so lower pipeline
+// layers can emit events without new parameters.
+func NewContext(ctx context.Context, j *Journal) context.Context {
+	return context.WithValue(ctx, journalKey{}, j)
+}
+
+// FromContext returns the journal carried by ctx, or nil — and nil is
+// safe to Emit on.
+func FromContext(ctx context.Context) *Journal {
+	j, _ := ctx.Value(journalKey{}).(*Journal)
+	return j
+}
+
+// CorrFromContext returns the correlation identifiers accumulated on
+// ctx (zero-valued when none were attached).
+func CorrFromContext(ctx context.Context) Corr {
+	c, _ := ctx.Value(corrKey{}).(Corr)
+	return c
+}
+
+func withCorr(ctx context.Context, f func(*Corr)) context.Context {
+	c := CorrFromContext(ctx)
+	f(&c)
+	return context.WithValue(ctx, corrKey{}, c)
+}
+
+// WithRunID returns a context whose events carry the pipeline run ID.
+func WithRunID(ctx context.Context, runID string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.RunID = runID })
+}
+
+// WithBot returns a context whose events carry the bot under work.
+func WithBot(ctx context.Context, botID int, name string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.BotID = botID; c.Bot = name })
+}
+
+// WithExperiment returns a context whose events carry the honeypot
+// experiment identifier (the isolated guild tag).
+func WithExperiment(ctx context.Context, expID string) context.Context {
+	return withCorr(ctx, func(c *Corr) { c.ExperimentID = expID })
+}
+
+// Emit appends an event to the context's journal — a no-op when ctx
+// carries none — filling the correlation fields from the context. This
+// is the one-liner instrumented components call:
+//
+//	journal.Emit(ctx, "scraper", journal.KindPageFetched,
+//	    map[string]any{"ref": ref, "status": code})
+func Emit(ctx context.Context, component string, kind Kind, fields map[string]any) {
+	j := FromContext(ctx)
+	if j == nil {
+		return
+	}
+	c := CorrFromContext(ctx)
+	j.Emit(Event{
+		Kind:         kind,
+		Component:    component,
+		RunID:        c.RunID,
+		BotID:        c.BotID,
+		Bot:          c.Bot,
+		ExperimentID: c.ExperimentID,
+		Fields:       fields,
+	})
+}

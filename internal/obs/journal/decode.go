@@ -1,0 +1,148 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// maxLine bounds one journal line during decoding; longer lines are
+// treated as corrupt and skipped, not errors.
+const maxLine = 1 << 20
+
+// Decode reads a JSONL journal leniently: malformed or truncated lines
+// and events stamped with a future schema version are counted in
+// skipped and dropped, never returned as errors — a partially written
+// journal from a crashed run must still be inspectable. Events with
+// unknown kinds are kept verbatim (a newer writer's vocabulary is still
+// evidence). The error reports only reader-level failures.
+func Decode(r io.Reader) (events []Event, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		var e Event
+		if json.Unmarshal(line, &e) != nil {
+			skipped++
+			continue
+		}
+		if e.Schema > SchemaVersion || e.Kind == "" {
+			skipped++
+			continue
+		}
+		events = append(events, e)
+	}
+	if serr := sc.Err(); serr != nil {
+		// A too-long line is corruption, not a decode failure.
+		if serr == bufio.ErrTooLong {
+			return events, skipped + 1, nil
+		}
+		return events, skipped, serr
+	}
+	return events, skipped, nil
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// Query filters a decoded journal; zero-valued fields match everything.
+type Query struct {
+	Kind      Kind
+	Component string
+	RunID     string
+	BotID     int    // match a specific bot ID (0 = any)
+	Bot       string // match a bot by name
+}
+
+// Filter returns the events matching q, in journal order.
+func Filter(events []Event, q Query) []Event {
+	var out []Event
+	for _, e := range events {
+		if q.Kind != "" && e.Kind != q.Kind {
+			continue
+		}
+		if q.Component != "" && e.Component != q.Component {
+			continue
+		}
+		if q.RunID != "" && e.RunID != q.RunID {
+			continue
+		}
+		if q.BotID != 0 && e.BotID != q.BotID {
+			continue
+		}
+		if q.Bot != "" && e.Bot != q.Bot {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Summary aggregates a decoded journal.
+type Summary struct {
+	Total       int
+	ByKind      map[Kind]int
+	ByComponent map[string]int
+	Runs        []string // distinct run IDs, first-seen order
+	Bots        int      // distinct correlated bots
+	Experiments int      // distinct experiment IDs
+}
+
+// Summarize computes the per-kind / per-component / per-run breakdown
+// of a decoded journal.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		ByKind:      make(map[Kind]int),
+		ByComponent: make(map[string]int),
+	}
+	runs := make(map[string]bool)
+	bots := make(map[int]bool)
+	exps := make(map[string]bool)
+	for _, e := range events {
+		s.Total++
+		s.ByKind[e.Kind]++
+		if e.Component != "" {
+			s.ByComponent[e.Component]++
+		}
+		if e.RunID != "" && !runs[e.RunID] {
+			runs[e.RunID] = true
+			s.Runs = append(s.Runs, e.RunID)
+		}
+		if e.BotID != 0 {
+			bots[e.BotID] = true
+		}
+		if e.ExperimentID != "" {
+			exps[e.ExperimentID] = true
+		}
+	}
+	s.Bots = len(bots)
+	s.Experiments = len(exps)
+	return s
+}
+
+// Kinds returns the summary's kinds sorted by descending count (ties by
+// name), for deterministic rendering.
+func (s Summary) Kinds() []Kind {
+	kinds := make([]Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if s.ByKind[kinds[i]] != s.ByKind[kinds[j]] {
+			return s.ByKind[kinds[i]] > s.ByKind[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}

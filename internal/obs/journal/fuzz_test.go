@@ -1,0 +1,40 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode guards the lenience contract: whatever bytes a crashed or
+// future-version writer left behind, Decode must neither panic nor
+// error on line content — truncated lines, unknown kinds, and future
+// schema versions are skipped or kept, never fatal.
+func FuzzDecode(f *testing.F) {
+	f.Add(`{"schema":1,"at":"2022-10-25T12:00:00Z","kind":"page_fetched","bot_id":1,"fields":{"ref":"/bot/1"}}`)
+	f.Add(`{"schema":1,"kind":"trunca`)
+	f.Add(`{"schema":99,"kind":"from_the_future","fields":{"x":[1,2,3]}}`)
+	f.Add(`{"schema":1,"kind":"unknown_kind_is_kept"}`)
+	f.Add("not json\n\x00\xff binary junk\n")
+	f.Add(`{"schema":-5,"kind":""}`)
+	f.Add(strings.Repeat(`{"schema":1,"kind":"page_fetched"}`+"\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		events, skipped, err := Decode(strings.NewReader(input))
+		if err != nil {
+			// Only reader-level failures may error, and a string reader
+			// has none.
+			t.Fatalf("Decode returned error on in-memory input: %v", err)
+		}
+		for _, e := range events {
+			if e.Schema > SchemaVersion {
+				t.Errorf("future-schema event leaked through: %+v", e)
+			}
+			if e.Kind == "" {
+				t.Errorf("kindless event leaked through: %+v", e)
+			}
+		}
+		_ = skipped
+		// Summarize and Filter must hold on arbitrary decoded output too.
+		_ = Summarize(events)
+		_ = Filter(events, Query{Kind: KindPageFetched})
+	})
+}

@@ -1,0 +1,226 @@
+// Package journal is the pipeline's event-level audit trail: an
+// append-only, schema-versioned JSONL journal of typed milestone events
+// (page fetched, captcha solved, bot discovered, policy audited,
+// experiment started/settled, canary triggered, permission denied, code
+// flagged), each stamped with the correlation identifiers — run ID, bot
+// ID, experiment ID — carried through the pipeline via context.Context.
+//
+// Where internal/obs answers "how many and how fast" in aggregate, the
+// journal answers "what happened to bot X in run Y": every event is one
+// self-describing JSON line, so a journal file can be filtered,
+// summarized, and replayed into a per-bot timeline (`botscan journal`)
+// long after the run that produced it.
+//
+// The writer never blocks the pipeline: events go through a bounded
+// channel drained by a background flusher, and when the buffer is
+// saturated the event is dropped and counted on the obs.Registry
+// (`journal_events_dropped_total`) instead of stalling a hot path.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion is the version stamped on every event this build
+// writes. Decoders skip events from future schemas rather than
+// guessing at their shape.
+const SchemaVersion = 1
+
+// Kind names one typed pipeline milestone.
+type Kind string
+
+// The event vocabulary, one constant per pipeline milestone.
+const (
+	// Crawl stage.
+	KindPageFetched   Kind = "page_fetched"
+	KindCaptchaSolved Kind = "captcha_solved"
+	KindBotDiscovered Kind = "bot_discovered"
+
+	// Traceability stage.
+	KindPolicyAudited Kind = "policy_audited"
+
+	// Code-analysis stage.
+	KindCodeFlag Kind = "code_analysis_flag"
+
+	// Honeypot stage.
+	KindExperimentStarted Kind = "experiment_started"
+	KindExperimentSettled Kind = "experiment_settled"
+	KindCanaryTriggered   Kind = "canary_triggered"
+
+	// Platform enforcement.
+	KindPermissionDenied Kind = "permission_denied"
+
+	// Pipeline orchestration.
+	KindStageStarted   Kind = "stage_started"
+	KindStageCompleted Kind = "stage_completed"
+)
+
+// Event is one journal line. Zero-valued correlation fields are omitted
+// from the JSON so unrelated events stay small.
+type Event struct {
+	Schema    int       `json:"schema"`
+	At        time.Time `json:"at"`
+	Kind      Kind      `json:"kind"`
+	Component string    `json:"component,omitempty"`
+
+	// Correlation identifiers, normally filled from the context by Emit.
+	RunID        string `json:"run_id,omitempty"`
+	BotID        int    `json:"bot_id,omitempty"`
+	Bot          string `json:"bot,omitempty"`
+	ExperimentID string `json:"experiment_id,omitempty"`
+
+	// Fields carries the kind-specific payload (URL fetched, verdict
+	// class, token kind, …).
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Buffer is the bounded channel capacity between emitters and the
+	// flusher (default 1024). When full, Emit drops instead of blocking.
+	Buffer int
+	// Obs receives the journal's emitted/dropped/write-error counters;
+	// nil uses the process-default registry.
+	Obs *obs.Registry
+	// Now supplies event timestamps; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Journal is the non-blocking JSONL writer. A nil *Journal is a valid
+// no-op, so instrumented code never needs to check whether journaling
+// is enabled.
+type Journal struct {
+	now func() time.Time
+
+	ch   chan Event
+	quit chan struct{} // closed by Close; tells the flusher to drain
+	done chan struct{} // closed when the flusher has flushed and exited
+
+	closeOnce sync.Once
+	closer    io.Closer // underlying file when opened via Open
+
+	cEmitted *obs.Counter
+	cDropped *obs.Counter
+	cErrors  *obs.Counter
+}
+
+// New starts a journal writing JSONL to w. The caller must Close it to
+// flush buffered events; w is not closed.
+func New(w io.Writer, opts Options) *Journal {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 1024
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	reg := obs.Or(opts.Obs)
+	j := &Journal{
+		now:      opts.Now,
+		ch:       make(chan Event, opts.Buffer),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		cEmitted: reg.Counter("journal_events_total"),
+		cDropped: reg.Counter("journal_events_dropped_total"),
+		cErrors:  reg.Counter("journal_write_errors_total"),
+	}
+	go j.flusher(w)
+	return j
+}
+
+// Open creates (or truncates) a journal file at path and starts a
+// journal over it. Close flushes and closes the file.
+func Open(path string, opts Options) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	j := New(f, opts)
+	j.closer = f
+	return j, nil
+}
+
+// Emit appends an event, stamping the schema version and (when unset)
+// the timestamp. It never blocks: with the buffer saturated, the event
+// is dropped and the dropped-event counter incremented. Safe for
+// concurrent use and safe (a counted drop) after Close.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	if e.Schema == 0 {
+		e.Schema = SchemaVersion
+	}
+	if e.At.IsZero() {
+		e.At = j.now()
+	}
+	select {
+	case <-j.quit:
+		j.cDropped.Inc()
+	default:
+		select {
+		case j.ch <- e:
+			j.cEmitted.Inc()
+		default:
+			j.cDropped.Inc()
+		}
+	}
+}
+
+// Close stops the flusher after draining every buffered event, then
+// closes the underlying file when the journal was opened via Open.
+// Emit after Close counts drops instead of panicking.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.closeOnce.Do(func() { close(j.quit) })
+	<-j.done
+	if j.closer != nil {
+		return j.closer.Close()
+	}
+	return nil
+}
+
+// flusher drains the channel onto w, flushing whenever the buffer goes
+// idle so a live tail of the file stays current.
+func (j *Journal) flusher(w io.Writer) {
+	defer close(j.done)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	write := func(e Event) {
+		if err := enc.Encode(e); err != nil {
+			j.cErrors.Inc()
+		}
+	}
+	for {
+		select {
+		case e := <-j.ch:
+			write(e)
+			if len(j.ch) == 0 {
+				if err := bw.Flush(); err != nil {
+					j.cErrors.Inc()
+				}
+			}
+		case <-j.quit:
+			for {
+				select {
+				case e := <-j.ch:
+					write(e)
+				default:
+					if err := bw.Flush(); err != nil {
+						j.cErrors.Inc()
+					}
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package journal
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func testClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Date(2022, 10, 25, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestEmitWritesSchemaVersionedJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	j := New(&buf, Options{Obs: reg, Now: testClock()})
+	j.Emit(Event{Kind: KindPageFetched, Component: "scraper", BotID: 7, Fields: map[string]any{"ref": "/bot/7"}})
+	j.Emit(Event{Kind: KindCanaryTriggered, Component: "canary", ExperimentID: "hp-x"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2: %q", len(lines), buf.String())
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Schema != SchemaVersion || e.Kind != KindPageFetched || e.BotID != 7 || e.At.IsZero() {
+		t.Errorf("event = %+v", e)
+	}
+	if got := reg.Counter("journal_events_total").Value(); got != 2 {
+		t.Errorf("emitted counter = %d, want 2", got)
+	}
+	if got := reg.Counter("journal_events_dropped_total").Value(); got != 0 {
+		t.Errorf("dropped counter = %d, want 0", got)
+	}
+}
+
+// blockingWriter lets a test saturate the journal buffer by holding the
+// flusher's first write until released.
+type blockingWriter struct {
+	release chan struct{}
+	once    sync.Once
+	mu      sync.Mutex
+	buf     bytes.Buffer
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { <-w.release })
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func TestEmitDropsInsteadOfBlockingWhenSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := &blockingWriter{release: make(chan struct{})}
+	j := New(w, Options{Buffer: 4, Obs: reg, Now: testClock()})
+
+	// The flusher is stuck on its first write; fill the buffer and then
+	// some. Every Emit must return promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			j.Emit(Event{Kind: KindPageFetched})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a saturated buffer")
+	}
+	close(w.release)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	emitted := reg.Counter("journal_events_total").Value()
+	dropped := reg.Counter("journal_events_dropped_total").Value()
+	if emitted+dropped != 100 {
+		t.Errorf("emitted %d + dropped %d != 100", emitted, dropped)
+	}
+	if dropped == 0 {
+		t.Error("expected drops with a 4-slot buffer and a stuck flusher")
+	}
+}
+
+func TestEmitAfterCloseCountsDrop(t *testing.T) {
+	reg := obs.NewRegistry()
+	j := New(io.Discard, Options{Obs: reg})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Kind: KindPageFetched}) // must not panic or block
+	if got := reg.Counter("journal_events_dropped_total").Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Kind: KindPageFetched})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Emit via a context carrying no journal is also a no-op.
+	Emit(context.Background(), "scraper", KindPageFetched, nil)
+}
+
+func TestContextCorrelationFlowsIntoEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf, Options{Obs: obs.NewRegistry(), Now: testClock()})
+	ctx := NewContext(context.Background(), j)
+	ctx = WithRunID(ctx, "run-1")
+	botCtx := WithBot(ctx, 42, "HelperBot")
+	expCtx := WithExperiment(botCtx, "hp-HelperBot")
+
+	Emit(expCtx, "honeypot", KindExperimentStarted, map[string]any{"personas": 5})
+	Emit(ctx, "core", KindStageStarted, map[string]any{"stage": "collect"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, skipped, err := Decode(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("decode: err=%v skipped=%d", err, skipped)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	e := events[0]
+	if e.RunID != "run-1" || e.BotID != 42 || e.Bot != "HelperBot" || e.ExperimentID != "hp-HelperBot" {
+		t.Errorf("correlation = %+v", e)
+	}
+	// The bot correlation must not leak onto the sibling context.
+	if events[1].BotID != 0 || events[1].RunID != "run-1" {
+		t.Errorf("stage event correlation = %+v", events[1])
+	}
+}
+
+func TestConcurrentEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	j := New(&buf, Options{Buffer: 64, Obs: reg})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Emit(Event{Kind: KindPageFetched, BotID: g*per + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, skipped, err := Decode(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("decode: err=%v skipped=%d", err, skipped)
+	}
+	emitted := reg.Counter("journal_events_total").Value()
+	if int64(len(events)) < emitted-64 || int64(len(events)) > emitted {
+		t.Errorf("decoded %d events, emitted counter %d", len(events), emitted)
+	}
+	total := emitted + reg.Counter("journal_events_dropped_total").Value()
+	if total != goroutines*per {
+		t.Errorf("emitted+dropped = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestOpenWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Open(path, Options{Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Kind: KindBotDiscovered, BotID: 1, Bot: "A"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, _, err := Decode(f)
+	if err != nil || len(events) != 1 {
+		t.Fatalf("decode file: %v, %d events", err, len(events))
+	}
+}
+
+func TestDecodeLenience(t *testing.T) {
+	input := strings.Join([]string{
+		`{"schema":1,"at":"2022-10-25T12:00:00Z","kind":"page_fetched","bot_id":1}`,
+		`{"schema":1,"at":"2022-10-25T12:00:01Z","kind":"some_future_kind","bot_id":2}`, // unknown kind: kept
+		`{"schema":99,"kind":"page_fetched"}`,                                           // future schema: skipped
+		`{"schema":1,"kind":"trunca`,                                                    // truncated: skipped
+		`not json at all`,                                                               // garbage: skipped
+		``,                                                                              // blank: ignored
+		`{"schema":1,"kind":"canary_triggered","experiment_id":"hp-x"}`,
+	}, "\n")
+	events, skipped, err := Decode(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Errorf("events = %d, want 3 (%+v)", len(events), events)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if events[1].Kind != "some_future_kind" {
+		t.Errorf("unknown kind not preserved: %+v", events[1])
+	}
+}
+
+func TestFilterAndSummarize(t *testing.T) {
+	events := []Event{
+		{Kind: KindPageFetched, Component: "scraper", RunID: "r1", BotID: 1, Bot: "A"},
+		{Kind: KindPageFetched, Component: "scraper", RunID: "r1", BotID: 2, Bot: "B"},
+		{Kind: KindCanaryTriggered, Component: "canary", RunID: "r1", ExperimentID: "hp-A"},
+		{Kind: KindPolicyAudited, Component: "core", RunID: "r2", BotID: 1, Bot: "A"},
+	}
+	if got := Filter(events, Query{BotID: 1}); len(got) != 2 {
+		t.Errorf("filter bot 1 = %d events, want 2", len(got))
+	}
+	if got := Filter(events, Query{Kind: KindPageFetched, RunID: "r1"}); len(got) != 2 {
+		t.Errorf("filter kind+run = %d events, want 2", len(got))
+	}
+	if got := Filter(events, Query{Bot: "B"}); len(got) != 1 || got[0].BotID != 2 {
+		t.Errorf("filter by name = %+v", got)
+	}
+	s := Summarize(events)
+	if s.Total != 4 || s.Bots != 2 || s.Experiments != 1 || len(s.Runs) != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ByKind[KindPageFetched] != 2 || s.ByComponent["canary"] != 1 {
+		t.Errorf("summary breakdown = %+v", s)
+	}
+	kinds := s.Kinds()
+	if len(kinds) != 3 || kinds[0] != KindPageFetched {
+		t.Errorf("sorted kinds = %v", kinds)
+	}
+}
+
+func TestLoggerCarriesCorrelationFields(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger("scraper", &buf, slog.LevelInfo)
+	ctx := WithBot(WithRunID(context.Background(), "run-9"), 13, "EvilBot")
+	logger.InfoContext(ctx, "fetched page", "status", 200)
+	out := buf.String()
+	for _, want := range []string{"component=scraper", "run_id=run-9", "bot_id=13", "bot=EvilBot", "status=200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+	// Debug is below the level: suppressed.
+	buf.Reset()
+	logger.DebugContext(ctx, "noise")
+	if buf.Len() != 0 {
+		t.Errorf("debug line not suppressed: %s", buf.String())
+	}
+}

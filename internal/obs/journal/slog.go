@@ -1,0 +1,53 @@
+package journal
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the per-component leveled logger the daemons use: a
+// text slog.Logger whose every record carries component= and — when the
+// log call's context holds journal correlation (WithRunID, WithBot,
+// WithExperiment) — the same run_id/bot/experiment_id fields the
+// journal stamps on events, so log lines and journal lines join on the
+// same keys.
+func NewLogger(component string, w io.Writer, level slog.Leveler) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(&corrHandler{inner: h}).With(slog.String("component", component))
+}
+
+// corrHandler decorates records with the context's correlation fields
+// before delegating to the wrapped handler.
+type corrHandler struct {
+	inner slog.Handler
+}
+
+func (h *corrHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *corrHandler) Handle(ctx context.Context, rec slog.Record) error {
+	c := CorrFromContext(ctx)
+	if c.RunID != "" {
+		rec.AddAttrs(slog.String("run_id", c.RunID))
+	}
+	if c.BotID != 0 {
+		rec.AddAttrs(slog.Int("bot_id", c.BotID))
+	}
+	if c.Bot != "" {
+		rec.AddAttrs(slog.String("bot", c.Bot))
+	}
+	if c.ExperimentID != "" {
+		rec.AddAttrs(slog.String("experiment_id", c.ExperimentID))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *corrHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &corrHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *corrHandler) WithGroup(name string) slog.Handler {
+	return &corrHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,67 @@
+// Package ops mounts the operational surfaces every long-running
+// daemon in the pipeline exposes: Prometheus-style /metrics from an
+// obs.Registry, liveness (/healthz) and readiness (/readyz) probes, and
+// the net/http/pprof profiling endpoints under /debug/pprof/ — the
+// health and profiling half of production-scale operation.
+package ops
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// Mounter is anything that can register a handler on a path pattern —
+// http.ServeMux and listing.Server both satisfy it.
+type Mounter interface {
+	Mount(pattern string, h http.Handler)
+}
+
+// muxMounter adapts an http.ServeMux to the Mounter shape.
+type muxMounter struct{ mux *http.ServeMux }
+
+func (m muxMounter) Mount(pattern string, h http.Handler) { m.mux.Handle(pattern, h) }
+
+// Mount registers the full operational surface on m: /metrics (from
+// reg, defaulting to the process-wide registry), /healthz (always 200
+// while the process serves), /readyz (503 until ready returns true; a
+// nil ready means always ready), and /debug/pprof/ with the cpu,
+// symbol, cmdline and trace sub-handlers — heap, goroutine, block etc.
+// are served by the pprof index handler itself.
+func Mount(m Mounter, reg *obs.Registry, ready func() bool) {
+	m.Mount("/metrics", obs.Or(reg).Handler())
+	m.Mount("/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	m.Mount("/readyz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil && !ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	}))
+	m.Mount("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	m.Mount("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	m.Mount("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	m.Mount("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	m.Mount("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}
+
+// Mux returns a fresh ServeMux carrying the full operational surface —
+// for daemons that have no HTTP server of their own (platformd's
+// gateway speaks raw TCP) or want a dedicated ops listener.
+func Mux(reg *obs.Registry, ready func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(muxMounter{mux}, reg, ready)
+	return mux
+}
+
+// MountOn registers the surface on an existing ServeMux (botscan's
+// -metrics-addr listener predates this package and builds its own mux).
+func MountOn(mux *http.ServeMux, reg *obs.Registry, ready func() bool) {
+	Mount(muxMounter{mux}, reg, ready)
+}

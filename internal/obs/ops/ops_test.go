@@ -1,0 +1,65 @@
+package ops
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestMuxServesOperationalSurfaces(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("test_total").Inc()
+	srv := httptest.NewServer(Mux(reg, nil))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/metrics"); code != http.StatusOK || !strings.Contains(body, "test_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, srv, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "heap") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/heap"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/heap = %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/goroutine"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/goroutine = %d", code)
+	}
+}
+
+func TestReadyzGatesOnCallback(t *testing.T) {
+	ready := false
+	srv := httptest.NewServer(Mux(obs.NewRegistry(), func() bool { return ready }))
+	defer srv.Close()
+
+	if code, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("not-ready /readyz = %d, want 503", code)
+	}
+	if code, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz while not ready = %d, want 200 (liveness != readiness)", code)
+	}
+	ready = true
+	if code, _ := get(t, srv, "/readyz"); code != http.StatusOK {
+		t.Errorf("ready /readyz = %d, want 200", code)
+	}
+}

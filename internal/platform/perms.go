@@ -3,6 +3,7 @@ package platform
 import (
 	"math"
 
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 )
 
@@ -141,7 +142,7 @@ func (p *Platform) requireLocked(g *Guild, actorID ID, need permissions.Permissi
 		return err
 	}
 	if !perms.Has(need) {
-		p.cDenials.Inc()
+		p.denyLocked(g, actorID, need, "")
 		return ErrPermissionDenied
 	}
 	return nil
@@ -154,10 +155,36 @@ func (p *Platform) requireChannelLocked(g *Guild, ch *Channel, actorID ID, need 
 		return err
 	}
 	if !perms.Has(need) {
-		p.cDenials.Inc()
+		p.denyLocked(g, actorID, need, ch.Name)
 		return ErrPermissionDenied
 	}
 	return nil
+}
+
+// denyLocked counts a permission denial and journals it with enough
+// context to attribute the refused action: who, where, which bits.
+func (p *Platform) denyLocked(g *Guild, actorID ID, need permissions.Permission, channel string) {
+	p.cDenials.Inc()
+	if p.journal == nil {
+		return
+	}
+	actor := ""
+	if u := p.users[actorID]; u != nil {
+		actor = u.Name
+	}
+	fields := map[string]any{
+		"guild": g.Name,
+		"actor": actor,
+		"need":  need.Names(),
+	}
+	if channel != "" {
+		fields["channel"] = channel
+	}
+	p.journal.Emit(journal.Event{
+		Kind:      journal.KindPermissionDenied,
+		Component: "platform",
+		Fields:    fields,
+	})
 }
 
 func (p *Platform) channelLocked(channelID ID) (*Channel, *Guild, error) {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 )
 
@@ -55,6 +56,9 @@ type Options struct {
 	// Obs receives the platform's counters (messages posted, permission
 	// denials); nil uses the process-default registry.
 	Obs *obs.Registry
+	// Journal receives a permission_denied event for every action the
+	// platform refuses for missing permissions; nil disables emission.
+	Journal *journal.Journal
 }
 
 // Platform is the in-memory messaging service. All methods are safe for
@@ -75,6 +79,7 @@ type Platform struct {
 
 	cMessages *obs.Counter
 	cDenials  *obs.Counter
+	journal   *journal.Journal
 
 	bus *bus
 }
@@ -102,8 +107,18 @@ func New(opts Options) *Platform {
 		now:                 opts.Now,
 		cMessages:           reg.Counter("platform_messages_total"),
 		cDenials:            reg.Counter("platform_permission_denials_total"),
+		journal:             opts.Journal,
 		bus:                 newBus(),
 	}
+}
+
+// SetJournal attaches (or detaches) the permission-denial event journal
+// after construction; the core auditor wires it once the pipeline's
+// journal exists.
+func (p *Platform) SetJournal(j *journal.Journal) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.journal = j
 }
 
 // ---- accounts ----

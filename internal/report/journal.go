@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/journal"
+)
+
+// JournalSummary renders the aggregate view of a decoded journal: event
+// counts by kind, plus the correlation cardinalities (runs, bots,
+// experiments seen).
+func JournalSummary(w io.Writer, sum journal.Summary) {
+	t := &Table{
+		Title:   fmt.Sprintf("Journal summary: %d events, %d runs, %d bots, %d experiments", sum.Total, len(sum.Runs), sum.Bots, sum.Experiments),
+		Headers: []string{"Kind", "Events"},
+	}
+	for _, k := range sum.Kinds() {
+		t.AddRow(string(k), fmt.Sprintf("%d", sum.ByKind[k]))
+	}
+	t.Render(w)
+	if len(sum.ByComponent) > 0 {
+		comps := make([]string, 0, len(sum.ByComponent))
+		for c := range sum.ByComponent {
+			comps = append(comps, c)
+		}
+		sort.Strings(comps)
+		parts := make([]string, 0, len(comps))
+		for _, c := range comps {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, sum.ByComponent[c]))
+		}
+		fmt.Fprintf(w, "By component: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// JournalTimeline renders events as a per-bot timeline: run-scoped
+// events (stage brackets) first, then one section per bot in first-seen
+// order, each row offset from the journal's first event. This is the
+// replay view — a crawl-to-verdict trace of what happened to each bot.
+func JournalTimeline(w io.Writer, events []journal.Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "Journal timeline: no events")
+		return
+	}
+	sorted := make([]journal.Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+	epoch := sorted[0].At
+
+	// Group by listing ID when present (early crawl events know only the
+	// ID; the name arrives with bot_discovered), by name otherwise, and
+	// label each section with the best name learned for it.
+	botKey := func(e journal.Event) string {
+		switch {
+		case e.BotID != 0:
+			return fmt.Sprintf("#%d", e.BotID)
+		case e.Bot != "":
+			return e.Bot
+		default:
+			return ""
+		}
+	}
+	var order []string
+	byBot := make(map[string][]journal.Event)
+	label := make(map[string]string)
+	var runScoped []journal.Event
+	for _, e := range sorted {
+		k := botKey(e)
+		if k == "" {
+			runScoped = append(runScoped, e)
+			continue
+		}
+		if _, seen := byBot[k]; !seen {
+			order = append(order, k)
+			label[k] = k
+		}
+		if e.Bot != "" {
+			if e.BotID != 0 {
+				label[k] = fmt.Sprintf("%s (#%d)", e.Bot, e.BotID)
+			} else {
+				label[k] = e.Bot
+			}
+		}
+		byBot[k] = append(byBot[k], e)
+	}
+
+	row := func(e journal.Event) string {
+		return fmt.Sprintf("  %8.1fms  %-12s %-20s %s",
+			float64(e.At.Sub(epoch).Microseconds())/1000, e.Component, string(e.Kind), fieldLine(e.Fields))
+	}
+	fmt.Fprintf(w, "Journal timeline: %d events, %d bots\n", len(sorted), len(order))
+	if len(runScoped) > 0 {
+		fmt.Fprintln(w, "(run)")
+		for _, e := range runScoped {
+			fmt.Fprintln(w, row(e))
+		}
+	}
+	for _, k := range order {
+		fmt.Fprintln(w, label[k])
+		for _, e := range byBot[k] {
+			fmt.Fprintln(w, row(e))
+		}
+	}
+}
+
+// fieldLine flattens an event's free-form fields into a stable
+// "k=v k=v" string, keys sorted for diffable output.
+func fieldLine(fields map[string]any) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, fields[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 )
 
 // Client is a polite, captcha-capable HTTP fetcher for one target site.
@@ -258,6 +259,12 @@ func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) 
 		if resp.StatusCode != http.StatusOK {
 			return "", fmt.Errorf("scraper: %s: unexpected status %d", ref, resp.StatusCode)
 		}
+		journal.Emit(ctx, "scraper", journal.KindPageFetched, map[string]any{
+			"ref":      ref,
+			"status":   resp.StatusCode,
+			"bytes":    len(body),
+			"attempts": attempt + 1,
+		})
 		return string(body), nil
 	}
 	return "", fmt.Errorf("scraper: %s: gave up after repeated throttling", ref)
@@ -329,6 +336,9 @@ func (c *Client) solveCaptcha(ctx context.Context, ch *htmlparse.Node) error {
 	c.stats.CaptchasSolved++
 	c.mu.Unlock()
 	c.cCaptchas.Inc()
+	journal.Emit(ctx, "scraper", journal.KindCaptchaSolved, map[string]any{
+		"challenge_id": challengeID,
+	})
 	return nil
 }
 

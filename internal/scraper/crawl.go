@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 )
 
@@ -110,6 +111,7 @@ func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error)
 			defer func() { <-sem }()
 			botCtx, sp := obs.StartChild(ctx, fmt.Sprintf("bot-%d", id))
 			defer sp.End()
+			botCtx = journal.WithBot(botCtx, id, "")
 			rec, err := ScrapeBotContext(botCtx, c, id, cfg.Retries)
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -120,6 +122,13 @@ func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error)
 				return
 			}
 			records[i] = rec
+			journal.Emit(journal.WithBot(botCtx, id, rec.Name), "scraper",
+				journal.KindBotDiscovered, map[string]any{
+					"perms_valid":    rec.PermsValid,
+					"invalid_reason": string(rec.InvalidReason),
+					"votes":          rec.Votes,
+					"has_policy":     rec.PolicyLinkFound && !rec.PolicyLinkDead,
+				})
 		}(i, id)
 	}
 	wg.Wait()

@@ -1,0 +1,62 @@
+package scraper
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNewClientLegacyParity pins the deprecated positional constructor
+// to the ClientConfig one: both must configure the client identically,
+// so callers can migrate without behaviour change.
+func TestNewClientLegacyParity(t *testing.T) {
+	solver := &TwoCaptchaSim{CostPerSolve: 299}
+	const (
+		base        = "http://listing.test:8080"
+		timeout     = 750 * time.Millisecond
+		minInterval = 25 * time.Millisecond
+	)
+
+	legacy, err := NewClientLegacy(base, timeout, minInterval, solver)
+	if err != nil {
+		t.Fatalf("NewClientLegacy: %v", err)
+	}
+	modern, err := NewClient(ClientConfig{
+		BaseURL:     base,
+		Timeout:     timeout,
+		MinInterval: minInterval,
+		Solver:      solver,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	if got, want := legacy.base.String(), modern.base.String(); got != want {
+		t.Errorf("base URL: legacy %q, modern %q", got, want)
+	}
+	if got, want := legacy.http.Timeout, modern.http.Timeout; got != want {
+		t.Errorf("http timeout: legacy %v, modern %v", got, want)
+	}
+	if got, want := legacy.minInterval, modern.minInterval; got != want {
+		t.Errorf("min interval: legacy %v, modern %v", got, want)
+	}
+	if legacy.solver != Solver(solver) || modern.solver != Solver(solver) {
+		t.Errorf("solver not passed through: legacy %v, modern %v", legacy.solver, modern.solver)
+	}
+
+	// Both route metrics to the same (default) registry, so the counter
+	// handles must be the very same objects.
+	if legacy.cRequests != modern.cRequests {
+		t.Error("request counters differ — legacy client reports to a different registry")
+	}
+	if legacy.hFetch != modern.hFetch {
+		t.Error("fetch histograms differ — legacy client reports to a different registry")
+	}
+
+	// Both must reject the same malformed input the same way.
+	if _, err := NewClientLegacy("http://bad url\x7f", 0, 0, nil); err == nil {
+		t.Error("legacy constructor accepted a malformed base URL")
+	}
+	if _, err := NewClient(ClientConfig{BaseURL: "http://bad url\x7f"}); err == nil {
+		t.Error("modern constructor accepted a malformed base URL")
+	}
+}

@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"flag"
 	"io"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/enforcer"
+	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/honeypot"
 	"repro/internal/htmlparse"
@@ -213,6 +215,55 @@ func BenchmarkScrapeYield(b *testing.B) {
 	}
 	b.ReportMetric(100*float64(valid)/float64(len(records)), "valid_perm_%")
 	b.ReportMetric(float64(len(records))/b.Elapsed().Seconds()*float64(b.N), "bots_per_sec")
+}
+
+// ---- CHAOS: crawl throughput under fault injection ----
+
+// BenchmarkCrawlFaultResilience measures crawl throughput against a
+// clean listing site vs one injecting ~10% transport faults, reporting
+// bots/sec and how many bots each condition quarantined. The delta is
+// the price of degradation-aware retries.
+func BenchmarkCrawlFaultResilience(b *testing.B) {
+	cases := []struct {
+		name string
+		prof faults.Profile
+	}{
+		{"faults-0pct", faults.Profile{Name: "bench-zero"}},
+		{"faults-10pct", faults.Profile{
+			Name:    "bench-ten",
+			Default: faults.Rates{ServerError: 0.06, ConnReset: 0.02, TruncatedBody: 0.02},
+		}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			eco := synth.Generate(synth.Config{Seed: 2022, NumBots: 300})
+			srv, err := listing.NewServer(listing.NewDirectory(eco.Bots), listing.AntiScrape{}, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			bots, quarantined := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inj := faults.New(bc.prof, int64(i+1), faults.Options{})
+				srv.SetMiddleware(inj.Middleware)
+				c, err := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: 500 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := scraper.CrawlResultContext(context.Background(), c, scraper.Config{Workers: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bots += len(res.Records)
+				quarantined += len(res.Quarantined)
+			}
+			b.StopTimer()
+			srv.SetMiddleware(nil)
+			b.ReportMetric(float64(bots)/b.Elapsed().Seconds(), "bots_per_sec")
+			b.ReportMetric(float64(quarantined)/float64(b.N), "quarantined/op")
+		})
+	}
 }
 
 // ---- HONEY: the honeypot campaign ----

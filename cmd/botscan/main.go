@@ -20,10 +20,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/listing"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
@@ -48,6 +50,8 @@ func main() {
 		exportDir   = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
 		metricsAddr = flag.String("metrics-addr", "", "also serve the operational endpoints (/metrics, /healthz, /debug/pprof) on this address")
 		journalPath = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
+		faultProf   = flag.String("fault-profile", "", fmt.Sprintf("inject deterministic faults using this named profile (%s)", strings.Join(faults.Names(), ", ")))
+		faultSeed   = flag.Int64("fault-seed", 1, "fault injector seed (same seed + profile replays the same fault ledger)")
 		verbose     = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -93,6 +97,14 @@ func main() {
 		opts.Journal = j
 		logger.Info("journal enabled", "path", *journalPath)
 	}
+	if *faultProf != "" {
+		prof, err := faults.Named(*faultProf)
+		if err != nil {
+			fatal("fault profile", err)
+		}
+		opts.Faults = faults.New(prof, *faultSeed, faults.Options{Obs: reg, Journal: opts.Journal})
+		logger.Info("fault injection enabled", "profile", prof.Name, "seed", *faultSeed)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -119,6 +131,11 @@ func main() {
 	res.Report(os.Stdout)
 	fmt.Printf("\ntotal pipeline time: %v\n", time.Since(start).Round(time.Millisecond))
 	logger.Info("pipeline complete", "run_id", res.RunID, "elapsed", time.Since(start).Round(time.Millisecond))
+	if inj := a.Faults(); inj != nil {
+		logger.Info("fault ledger",
+			"profile", inj.Profile().Name, "faults", inj.Count(),
+			"quarantined", len(res.Quarantined), "degraded", res.Degraded)
+	}
 
 	if *exportDir != "" {
 		if err := exportAll(*exportDir, a, res); err != nil {

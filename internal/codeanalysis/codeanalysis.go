@@ -169,7 +169,22 @@ type Result struct {
 	PyAnalyzed, PyChecked int
 	// PatternHits counts repositories containing each API.
 	PatternHits map[string]int
+	// Quarantined lists (bot, link) pairs whose analysis was abandoned
+	// after the fetch exhausted its retries — counted and skipped, not
+	// fatal. Bots sharing a dead-to-us link are quarantined together.
+	Quarantined []QuarantinedLink
 }
+
+// QuarantinedLink records one bot whose GitHub link could not be
+// analyzed because of infrastructure failures.
+type QuarantinedLink struct {
+	BotID int
+	Link  string
+	Err   error
+}
+
+// Degraded reports whether any link analysis was lost.
+func (r *Result) Degraded() bool { return len(r.Quarantined) > 0 }
 
 // Analyze runs the code-analysis stage over scraped records. Records
 // without GitHub links are skipped; workers controls fetch parallelism.
@@ -180,6 +195,16 @@ func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result
 // AnalyzeContext is Analyze with cancellation: no new link fetches
 // start after ctx is done, and in-flight fetches abort. Each analyzed
 // link runs under its own child span of any span carried by ctx.
+//
+// Links are deduplicated before fetching: many bots share a developer's
+// profile page or repository, so each unique link is resolved exactly
+// once and its analysis cloned per bot. Besides saving fetches, this
+// keeps the fault injector's per-endpoint attempt numbering — and with
+// it the degradation ledger — independent of worker interleaving.
+//
+// A link whose fetch fails after retries quarantines every bot that
+// referenced it (Result.Quarantined) instead of aborting the stage;
+// only context cancellation returns an error.
 func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.Record, workers int) (*Result, []*RepoAnalysis, error) {
 	if workers <= 0 {
 		workers = 4
@@ -194,6 +219,8 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 		link  string
 	}
 	var jobs []job
+	links := make(map[string][]int) // unique link → indexes into jobs
+	var uniq []string
 	for _, r := range records {
 		if r == nil || !r.PermsValid {
 			continue
@@ -203,10 +230,15 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 			continue
 		}
 		res.WithLink++
+		if _, ok := links[r.GitHubURL]; !ok {
+			uniq = append(uniq, r.GitHubURL)
+		}
+		links[r.GitHubURL] = append(links[r.GitHubURL], len(jobs))
 		jobs = append(jobs, job{r.ID, r.GitHubURL})
 	}
 
-	analyses := make([]*RepoAnalysis, len(jobs))
+	linkResults := make([]*RepoAnalysis, len(uniq))
+	linkErrs := make([]error, len(uniq))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	var firstErr error
@@ -218,37 +250,74 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 		}
 		mu.Unlock()
 	}
-	for i, j := range jobs {
+	for u, link := range uniq {
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			break
 		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, j job) {
+		go func(u int, link string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			linkCtx, span := obs.StartChild(ctx, fmt.Sprintf("repo-%d", j.botID))
-			linkCtx = journal.WithBot(linkCtx, j.botID, "")
-			ra, err := AnalyzeLinkContext(linkCtx, c, j.botID, j.link)
+			linkCtx, span := obs.StartChild(ctx, "link-"+link)
+			ra, err := AnalyzeLinkContext(linkCtx, c, 0, link)
 			span.End()
 			if err != nil {
-				fail(err)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fail(err)
+					return
+				}
+				linkErrs[u] = err
 				return
 			}
-			analyses[i] = ra
-			journal.Emit(linkCtx, "codeanalysis", journal.KindCodeFlag, map[string]any{
+			linkResults[u] = ra
+		}(u, link)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Assemble per-bot analyses in job (listing) order, cloning the
+	// shared link result, and quarantine the bots behind failed links.
+	perJob := make([]*RepoAnalysis, len(jobs))
+	jobErr := make([]error, len(jobs))
+	for u, link := range uniq {
+		for _, ji := range links[link] {
+			if lerr := linkErrs[u]; lerr != nil {
+				jobErr[ji] = lerr
+				continue
+			}
+			clone := *linkResults[u]
+			clone.BotID = jobs[ji].botID
+			perJob[ji] = &clone
+		}
+	}
+	analyses := make([]*RepoAnalysis, 0, len(jobs))
+	for ji, ra := range perJob {
+		if ra == nil {
+			if jobErr[ji] != nil {
+				res.Quarantined = append(res.Quarantined, QuarantinedLink{
+					BotID: jobs[ji].botID, Link: jobs[ji].link, Err: jobErr[ji],
+				})
+				journal.Emit(journal.WithBot(ctx, jobs[ji].botID, ""), "codeanalysis",
+					journal.KindBotQuarantined, map[string]any{
+						"link":  jobs[ji].link,
+						"error": jobErr[ji].Error(),
+					})
+			}
+			continue
+		}
+		analyses = append(analyses, ra)
+		journal.Emit(journal.WithBot(ctx, ra.BotID, ""), "codeanalysis",
+			journal.KindCodeFlag, map[string]any{
 				"outcome":        string(ra.Outcome),
 				"language":       ra.MainLanguage,
 				"analyzed":       ra.Analyzed,
 				"performs_check": ra.PerformsCheck,
 				"patterns":       ra.PatternsFound,
 			})
-		}(i, j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
 	}
 
 	for _, ra := range analyses {

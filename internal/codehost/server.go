@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/htmlparse"
 )
@@ -18,7 +19,15 @@ type Server struct {
 	host *Host
 	srv  *http.Server
 	ln   net.Listener
+
+	// handler is the effective root handler — the router, possibly
+	// wrapped by middleware installed via SetMiddleware.
+	handler atomic.Value // of handlerBox
 }
+
+// handlerBox gives atomic.Value the single concrete type it requires
+// while the boxed handler's type varies.
+type handlerBox struct{ h http.Handler }
 
 // NewServer starts a code-host frontend on addr.
 func NewServer(h *Host, addr string) (*Server, error) {
@@ -27,13 +36,28 @@ func NewServer(h *Host, addr string) (*Server, error) {
 		return nil, fmt.Errorf("codehost: listen: %w", err)
 	}
 	s := &Server{host: h, ln: ln}
-	s.srv = &http.Server{Handler: http.HandlerFunc(s.route)}
+	s.handler.Store(handlerBox{http.HandlerFunc(s.route)})
+	s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
 	go s.srv.Serve(ln)
 	return s, nil
 }
 
 // BaseURL returns the host root.
 func (s *Server) BaseURL() string { return "http://" + s.ln.Addr().String() }
+
+// SetMiddleware wraps the router in mw — the chaos harness's fault
+// injection hook. Passing nil restores the bare router. Safe to call
+// while serving.
+func (s *Server) SetMiddleware(mw func(http.Handler) http.Handler) {
+	base := http.Handler(http.HandlerFunc(s.route))
+	if mw == nil {
+		s.handler.Store(handlerBox{base})
+		return
+	}
+	s.handler.Store(handlerBox{mw(base)})
+}
 
 // Close stops the server.
 func (s *Server) Close() error { return s.srv.Close() }

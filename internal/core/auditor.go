@@ -19,12 +19,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/canary"
 	"repro/internal/codeanalysis"
 	"repro/internal/codehost"
 	"repro/internal/corpus"
+	"repro/internal/faults"
 	"repro/internal/gateway"
 	"repro/internal/honeypot"
 	"repro/internal/listing"
@@ -77,6 +79,15 @@ type Options struct {
 	// triggered, permission denied, ...). Nil disables the journal; every
 	// emission site is nil-safe.
 	Journal *journal.Journal
+
+	// Faults, when set, is installed as middleware on the listing server
+	// and code host and as the gateway's event-fault policy, so the whole
+	// pipeline runs against a deterministically misbehaving substrate.
+	Faults *faults.Injector
+	// Strict restores fail-fast semantics: the first stage-level or
+	// per-bot failure aborts the pipeline instead of quarantining the
+	// bot and continuing with partial results.
+	Strict bool
 }
 
 // Auditor owns the simulated ecosystem and its services.
@@ -85,6 +96,7 @@ type Auditor struct {
 	eco     *synth.Ecosystem
 	obs     *obs.Registry
 	journal *journal.Journal
+	faults  *faults.Injector
 
 	listingSrv *listing.Server
 	hostSrv    *codehost.Server
@@ -94,6 +106,17 @@ type Auditor struct {
 
 	listClient *scraper.Client
 	codeClient *scraper.Client
+}
+
+// QuarantinedBot is one entry in the run's unified quarantine ledger:
+// a bot (or bot-owned link) whose stage work failed on infrastructure
+// errors and was set aside so the rest of the run could complete.
+type QuarantinedBot struct {
+	Stage string // "collect", "codeanalysis", or "honeypot"
+	BotID int
+	Name  string // honeypot only
+	Link  string // codeanalysis only
+	Err   error
 }
 
 // Results bundles every stage's output.
@@ -131,6 +154,23 @@ type Results struct {
 	// this run emitted (empty when no journal is configured — the ID is
 	// minted regardless so reports can cite it).
 	RunID string
+
+	// Degraded reports whether any stage absorbed an error or
+	// quarantined a bot; the fields below itemize the damage so partial
+	// results are honest about what they omit.
+	Degraded bool
+	// StageErrors records stage-level errors absorbed in lenient mode
+	// (e.g. a listing page that never came back), keyed by stage name.
+	StageErrors map[string]error
+	// Quarantined is the unified per-bot quarantine ledger across all
+	// stages.
+	Quarantined []QuarantinedBot
+	// Degradation carries per-stage retry/quarantine/error tallies,
+	// rendered as extra columns of the stage-timings table.
+	Degradation map[string]report.StageDegradation
+	// FaultLog is the injector's canonical fault ledger for this run
+	// (nil when no injector is configured).
+	FaultLog []faults.Fault
 }
 
 // NewAuditor generates the ecosystem and starts all services.
@@ -158,7 +198,7 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	if eco == nil {
 		eco = synth.Generate(synth.Config{Seed: opts.Seed, NumBots: opts.NumBots})
 	}
-	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs), journal: opts.Journal}
+	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs), journal: opts.Journal, faults: opts.Faults}
 
 	var err error
 	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.AntiScrape, "127.0.0.1:0"); err != nil {
@@ -203,8 +243,19 @@ func NewAuditor(opts Options) (*Auditor, error) {
 		a.Close()
 		return nil, err
 	}
+	if a.faults != nil {
+		// Chaos harness: the same seeded injector misbehaves on the
+		// listing site, the code host, and the gateway event stream.
+		a.listingSrv.SetMiddleware(a.faults.Middleware)
+		a.hostSrv.SetMiddleware(a.faults.Middleware)
+		a.gw.SetFaultPolicy(a.faults)
+	}
 	return a, nil
 }
+
+// Faults returns the configured fault injector (nil when the run is
+// fault-free).
+func (a *Auditor) Faults() *faults.Injector { return a.faults }
 
 // Obs returns the auditor's observability registry.
 func (a *Auditor) Obs() *obs.Registry { return a.obs }
@@ -335,6 +386,7 @@ func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.Campaig
 		SampleSize:  a.opts.HoneypotSample,
 		Concurrency: a.opts.HoneypotConcurrency,
 		Experiment:  expCfg,
+		Strict:      a.opts.Strict,
 	})
 }
 
@@ -351,7 +403,12 @@ func (a *Auditor) RunAll() (*Results, error) {
 func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	trace := a.obs.StartTrace("pipeline")
 	runID := fmt.Sprintf("run-%d", time.Now().UnixNano())
-	res := &Results{Trace: trace, RunID: runID}
+	res := &Results{
+		Trace:       trace,
+		RunID:       runID,
+		StageErrors: make(map[string]error),
+		Degradation: make(map[string]report.StageDegradation),
+	}
 	ctx = journal.WithRunID(journal.NewContext(ctx, a.journal), runID)
 	stage := func(name string) (context.Context, func()) {
 		sp := trace.StartSpan(name)
@@ -365,14 +422,55 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 			})
 		}
 	}
+	cDegraded := a.obs.Counter("core_stages_degraded_total")
+	// note records a stage's degradation tallies; a stage with absorbed
+	// errors or quarantines marks the whole run degraded and emits one
+	// stage_degraded event so the journal tells the story end to end.
+	note := func(sctx context.Context, name string, d report.StageDegradation) {
+		res.Degradation[name] = d
+		if d.Quarantined == 0 && d.Errors == 0 {
+			return
+		}
+		res.Degraded = true
+		cDegraded.Inc()
+		journal.Emit(sctx, "core", journal.KindStageDegraded, map[string]any{
+			"stage":       name,
+			"quarantined": d.Quarantined,
+			"errors":      d.Errors,
+			"retries":     d.Retries,
+		})
+	}
+	retriesOf := func(c *scraper.Client) int {
+		s := c.Stats()
+		return s.Retries + s.TransientRetries
+	}
 
-	var err error
 	collectCtx, endCollect := stage("collect")
-	res.Records, err = a.CollectContext(collectCtx)
+	listRetries := retriesOf(a.listClient)
+	crawl, err := scraper.CrawlResultContext(collectCtx, a.listClient, scraper.Config{
+		Workers: a.opts.ScrapeWorkers,
+		Strict:  a.opts.Strict,
+	})
 	endCollect()
 	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("core: collect: %w", err)
 	}
+	res.Records = crawl.Records
+	d := report.StageDegradation{
+		Retries:     retriesOf(a.listClient) - listRetries,
+		Quarantined: len(crawl.Quarantined),
+	}
+	if crawl.ListErr != nil {
+		res.StageErrors["collect"] = crawl.ListErr
+		d.Errors++
+	}
+	for _, q := range crawl.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "collect", BotID: q.BotID, Err: q.Err})
+	}
+	note(collectCtx, "collect", d)
 	res.PermDist = scraper.PermissionDistribution(res.Records)
 	res.Scraper = a.listClient.Stats()
 
@@ -381,18 +479,38 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	endTrace()
 
 	codeCtx, endCode := stage("codeanalysis")
+	codeRetries := retriesOf(a.codeClient)
 	res.Code, res.Analyses, err = a.CodeAnalysisContext(codeCtx, res.Records)
 	endCode()
 	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("core: codeanalysis: %w", err)
 	}
+	d = report.StageDegradation{
+		Retries:     retriesOf(a.codeClient) - codeRetries,
+		Quarantined: len(res.Code.Quarantined),
+	}
+	for _, q := range res.Code.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "codeanalysis", BotID: q.BotID, Link: q.Link, Err: q.Err})
+	}
+	note(codeCtx, "codeanalysis", d)
 
 	hpCtx, endHoneypot := stage("honeypot")
 	res.Honeypot, err = a.DynamicAnalysisContext(hpCtx)
 	endHoneypot()
 	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, fmt.Errorf("core: honeypot: %w", err)
 	}
+	d = report.StageDegradation{Quarantined: len(res.Honeypot.Quarantined)}
+	for _, q := range res.Honeypot.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "honeypot", BotID: q.BotID, Name: q.Name, Err: q.Err})
+	}
+	note(hpCtx, "honeypot", d)
 
 	_, endVet := stage("vetting")
 	res.Vetting, res.VettingSummary = vetting.VetAll(res.Records)
@@ -401,6 +519,9 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	res.BotsPerDeveloper = make(map[string]int)
 	for dev, ids := range a.eco.Developers {
 		res.BotsPerDeveloper[dev] = len(ids)
+	}
+	if a.faults != nil {
+		res.FaultLog = a.faults.Log()
 	}
 	return res, nil
 }
@@ -432,10 +553,48 @@ func (r *Results) Report(w io.Writer) {
 		fmt.Fprintln(w)
 		report.Vetting(w, r.VettingSummary)
 	}
-	fmt.Fprintf(w, "\nScraper stats: %d requests, %d throttled, %d captchas solved, %d timeouts, %d retries\n",
-		r.Scraper.Requests, r.Scraper.Throttled, r.Scraper.CaptchasSolved, r.Scraper.Timeouts, r.Scraper.Retries)
+	fmt.Fprintf(w, "\nScraper stats: %d requests, %d throttled, %d captchas solved, %d timeouts, %d retries, %d transient retries\n",
+		r.Scraper.Requests, r.Scraper.Throttled, r.Scraper.CaptchasSolved, r.Scraper.Timeouts, r.Scraper.Retries, r.Scraper.TransientRetries)
 	if r.Trace != nil {
 		fmt.Fprintln(w)
-		report.StageTimings(w, r.Trace)
+		report.StageTimingsDegraded(w, r.Trace, r.Degradation)
+	}
+	if len(r.FaultLog) > 0 {
+		byKind := make(map[string]int)
+		for _, f := range r.FaultLog {
+			byKind[string(f.Kind)]++
+		}
+		kinds := make([]string, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "\nFault injection: %d fault(s) injected:", len(r.FaultLog))
+		for _, k := range kinds {
+			fmt.Fprintf(w, " %s=%d", k, byKind[k])
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Degraded {
+		fmt.Fprintf(w, "\nDegraded run: %d stage error(s) absorbed, %d bot(s) quarantined\n",
+			len(r.StageErrors), len(r.Quarantined))
+		stages := make([]string, 0, len(r.StageErrors))
+		for s := range r.StageErrors {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			fmt.Fprintf(w, "  stage %-14s %v\n", s+":", r.StageErrors[s])
+		}
+		for _, q := range r.Quarantined {
+			id := fmt.Sprintf("bot %d", q.BotID)
+			if q.Name != "" {
+				id += " (" + q.Name + ")"
+			}
+			if q.Link != "" {
+				id += " link " + q.Link
+			}
+			fmt.Fprintf(w, "  quarantined [%s] %s: %v\n", q.Stage, id, q.Err)
+		}
 	}
 }

@@ -27,6 +27,7 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	intercept func(bot *platform.User, method string, args map[string]any) error
+	faults    FaultPolicy
 
 	// rate limiting (zero = disabled)
 	rateRPS   float64
@@ -71,6 +72,29 @@ func (s *Server) getJournal() *journal.Journal {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.journal
+}
+
+// FaultPolicy lets a chaos harness interfere with the event stream:
+// for each outbound event frame destined for a bot it may order the
+// frame dropped or the whole session disconnected. Implementations
+// must be safe for concurrent use. The interface is structural so the
+// fault injector can satisfy it without the gateway importing it.
+type FaultPolicy interface {
+	EventFault(bot string) (drop, disconnect bool)
+}
+
+// SetFaultPolicy installs (or, with nil, removes) a fault policy
+// consulted for every dispatched event frame.
+func (s *Server) SetFaultPolicy(p FaultPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = p
+}
+
+func (s *Server) getFaults() FaultPolicy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
 }
 
 // SetRateLimit enables per-session request throttling, like Discord's
@@ -296,6 +320,16 @@ func (s *Server) serve(conn net.Conn) {
 			case e, ok := <-sess.sub.C:
 				if !ok {
 					return
+				}
+				if fp := s.getFaults(); fp != nil {
+					drop, disconnect := fp.EventFault(bot.Name)
+					if disconnect {
+						sess.close()
+						return
+					}
+					if drop {
+						continue
+					}
 				}
 				f := Frame{Op: OpDispatch, Type: string(e.Type), Event: encodeEvent(s.p, e)}
 				if err := sess.send(f); err != nil {

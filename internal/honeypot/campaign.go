@@ -11,6 +11,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/listing"
 	"repro/internal/obs"
+	"repro/internal/obs/journal"
 	"repro/internal/synth"
 )
 
@@ -22,6 +23,19 @@ type CampaignConfig struct {
 	Concurrency int
 	// Experiment is the per-bot configuration.
 	Experiment Config
+	// Strict restores the pre-quarantine behavior: the first failed
+	// experiment aborts the campaign and discards every completed
+	// verdict. Default (false) quarantines the failing bot and keeps
+	// the rest of the campaign's work.
+	Strict bool
+}
+
+// Quarantine records one experiment abandoned after an infrastructure
+// failure — the bot was sampled but produced no verdict.
+type Quarantine struct {
+	BotID int
+	Name  string
+	Err   error
 }
 
 // Diversity summarizes how varied the tested sample is — the paper
@@ -44,7 +58,14 @@ type CampaignResult struct {
 	GiveawayMessages map[string][]string
 	// Diversity describes the tested sample.
 	Diversity Diversity
+	// Quarantined lists sampled bots whose experiments failed on
+	// infrastructure errors, in sample order. Tested counts only bots
+	// with verdicts, so Tested + len(Quarantined) == sample size.
+	Quarantined []Quarantine
 }
+
+// Degraded reports whether any sampled bot went unverdicted.
+func (r *CampaignResult) Degraded() bool { return len(r.Quarantined) > 0 }
 
 // sampleDiversity computes the spread of a selected sample.
 func sampleDiversity(sample []*listing.Bot) Diversity {
@@ -117,6 +138,12 @@ func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResul
 // launch after ctx is done, and in-flight experiments abort at their
 // next wait point. Each experiment runs under its own child span of
 // any span carried by ctx.
+//
+// By default a failed experiment quarantines its bot — counted,
+// journaled, skipped — and every completed verdict is kept; set
+// cfg.Strict to restore the historical first-error-discards-everything
+// behavior. Context cancellation always ends the campaign, but the
+// verdicts completed before the cut are returned alongside the error.
 func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.SampleSize <= 0 {
 		cfg.SampleSize = 500
@@ -130,6 +157,8 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 		Diversity:        sampleDiversity(sample),
 	}
 	verdicts := make([]*Verdict, len(sample))
+	quarantined := make([]error, len(sample))
+	cQuarantined := obs.Or(env.Obs).Counter("honeypot_bots_quarantined_total")
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Concurrency)
@@ -165,13 +194,21 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 			expEnv := env
 			expEnv.Feed = corpus.Derive(int64(cfg.SampleSize), int64(b.ID))
 			expCtx, span := obs.StartChild(ctx, "experiment-"+b.Name)
+			expCtx = journal.WithBot(expCtx, b.ID, b.Name)
 			v, err := RunContext(expCtx, expEnv, cfg.Experiment, sub)
 			span.End()
 			if err != nil {
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				switch {
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 					fail(err)
-				} else {
+				case cfg.Strict:
 					fail(fmt.Errorf("honeypot: bot %s: %w", b.Name, err))
+				default:
+					quarantined[i] = err
+					cQuarantined.Inc()
+					journal.Emit(expCtx, "honeypot", journal.KindBotQuarantined, map[string]any{
+						"error": err.Error(),
+					})
 				}
 				return
 			}
@@ -179,11 +216,16 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 		}(i, b)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
 
-	for _, v := range verdicts {
+	for i, v := range verdicts {
+		if v == nil {
+			if quarantined[i] != nil {
+				res.Quarantined = append(res.Quarantined, Quarantine{
+					BotID: sample[i].ID, Name: sample[i].Name, Err: quarantined[i],
+				})
+			}
+			continue
+		}
 		res.Tested++
 		res.Verdicts = append(res.Verdicts, v)
 		if v.Triggered {
@@ -192,6 +234,14 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 		if len(v.BotMessages) > 0 {
 			res.GiveawayMessages[v.Subject.Name] = v.BotMessages
 		}
+	}
+	if firstErr != nil {
+		if cfg.Strict {
+			return nil, firstErr
+		}
+		// Cancellation (the only lenient-mode firstErr): hand back the
+		// work that did complete alongside the error.
+		return res, firstErr
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/htmlparse"
@@ -20,6 +21,11 @@ type Server struct {
 	srv   *http.Server
 	mux   *http.ServeMux
 	ln    net.Listener
+
+	// handler is the effective root handler: the mux, possibly wrapped
+	// by middleware installed via SetMiddleware. Held atomically so it
+	// can be swapped while the server runs.
+	handler atomic.Value // of handlerBox
 
 	mu      sync.Mutex
 	renders map[string]int // per-path render counter driving flakiness
@@ -49,7 +55,10 @@ func NewServer(dir *Directory, cfg AntiScrape, addr string) (*Server, error) {
 	mux.HandleFunc("/site/", s.guarded(s.handleSite))
 	mux.HandleFunc("/robots.txt", s.handleRobots)
 	s.mux = mux
-	s.srv = &http.Server{Handler: mux}
+	s.handler.Store(handlerBox{mux})
+	s.srv = &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -59,6 +68,21 @@ func NewServer(dir *Directory, cfg AntiScrape, addr string) (*Server, error) {
 func (s *Server) Mount(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, h)
 }
+
+// SetMiddleware wraps the whole site (including mounted handlers) in
+// mw — the hook the chaos harness uses to interpose fault injection.
+// Passing nil restores the bare mux. Safe to call while serving.
+func (s *Server) SetMiddleware(mw func(http.Handler) http.Handler) {
+	if mw == nil {
+		s.handler.Store(handlerBox{s.mux})
+		return
+	}
+	s.handler.Store(handlerBox{mw(s.mux)})
+}
+
+// handlerBox gives atomic.Value the single concrete type it requires
+// while the boxed handler's type varies.
+type handlerBox struct{ h http.Handler }
 
 // BaseURL returns the site root.
 func (s *Server) BaseURL() string { return "http://" + s.ln.Addr().String() }

@@ -61,6 +61,13 @@ const (
 	// Pipeline orchestration.
 	KindStageStarted   Kind = "stage_started"
 	KindStageCompleted Kind = "stage_completed"
+
+	// Degradation & chaos: emitted when a stage finishes with partial
+	// results, a bot is quarantined after exhausting its retries, or the
+	// fault injector fires.
+	KindStageDegraded  Kind = "stage_degraded"
+	KindBotQuarantined Kind = "bot_quarantined"
+	KindFaultInjected  Kind = "fault_injected"
 )
 
 // Event is one journal line. Zero-valued correlation fields are omitted

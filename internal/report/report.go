@@ -261,18 +261,39 @@ func Vetting(w io.Writer, s vetting.Summary) {
 	}
 }
 
+// StageDegradation carries the per-stage degradation tallies shown
+// alongside timings: how many retries the stage burned, how many bots
+// it quarantined, and how many stage-level errors it absorbed while
+// running in lenient mode.
+type StageDegradation struct {
+	Retries     int
+	Quarantined int
+	Errors      int
+}
+
 // StageTimings renders the per-stage timing table of a pipeline trace:
 // one row per top-level span, with child-span count and mean child
 // duration where the stage fanned out (per-bot crawls, per-repo
 // analyses, per-guild experiments).
 func StageTimings(w io.Writer, tr *obs.Trace) {
+	StageTimingsDegraded(w, tr, nil)
+}
+
+// StageTimingsDegraded renders StageTimings with two extra columns —
+// Retries and Quarantined — fed from a stage-name-keyed degradation
+// map. A nil map renders the plain timing table.
+func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegradation) {
 	if tr == nil {
 		return
 	}
 	sum := tr.Summary()
+	headers := []string{"Stage", "Duration", "Children", "Mean child"}
+	if deg != nil {
+		headers = append(headers, "Retries", "Quarantined")
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Stage timings (trace %q)", sum.Name),
-		Headers: []string{"Stage", "Duration", "Children", "Mean child"},
+		Headers: headers,
 	}
 	for _, s := range sum.Spans {
 		childCell, meanCell := "-", "-"
@@ -284,7 +305,16 @@ func StageTimings(w io.Writer, tr *obs.Trace) {
 			childCell = fmt.Sprintf("%d", n)
 			meanCell = fmt.Sprintf("%.1fms", total/float64(n))
 		}
-		t.AddRow(s.Name, fmt.Sprintf("%.1fms", s.DurationMS), childCell, meanCell)
+		row := []string{s.Name, fmt.Sprintf("%.1fms", s.DurationMS), childCell, meanCell}
+		if deg != nil {
+			d, ok := deg[s.Name]
+			if ok {
+				row = append(row, fmt.Sprintf("%d", d.Retries), fmt.Sprintf("%d", d.Quarantined))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
 	}
 	t.Render(w)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/retry"
 )
 
 // Client is a polite, captcha-capable HTTP fetcher for one target site.
@@ -31,18 +33,27 @@ type Client struct {
 	// MinInterval between requests; zero disables self-limiting.
 	minInterval time.Duration
 
+	// retryBudget, when set, is shared across every fetch this client
+	// makes (per-stage budget); nil gives each fetch its own pool.
+	retryBudget *retry.Budget
+	// transportRetries bounds transient-fault retries (5xx, resets,
+	// truncated bodies) per fetch.
+	transportRetries int
+
 	mu      sync.Mutex
 	lastReq time.Time
 	pass    string
 	stats   Stats
 
 	// observability
-	cRequests *obs.Counter
-	cThrottle *obs.Counter
-	cCaptchas *obs.Counter
-	cTimeouts *obs.Counter
-	cRetries  *obs.Counter
-	hFetch    *obs.Histogram
+	cRequests  *obs.Counter
+	cThrottle  *obs.Counter
+	cCaptchas  *obs.Counter
+	cTimeouts  *obs.Counter
+	cRetries     *obs.Counter
+	cTransient   *obs.Counter
+	cQuarantined *obs.Counter
+	hFetch       *obs.Histogram
 }
 
 // ClientConfig configures a Client — the one-struct replacement for the
@@ -60,6 +71,13 @@ type ClientConfig struct {
 	// Obs receives the client's counters and fetch-latency histogram;
 	// nil uses the process-default registry.
 	Obs *obs.Registry
+	// RetryBudget shares one retry pool across every fetch (a per-stage
+	// budget); nil gives each fetch its own pool of 60 retries.
+	RetryBudget *retry.Budget
+	// TransportRetries bounds per-fetch retries of transient transport
+	// faults — 5xx responses, connection resets, truncated bodies
+	// (default 3; throttling has its own budget).
+	TransportRetries int
 }
 
 // Stats counts crawler-side events, the operational numbers a
@@ -70,6 +88,10 @@ type Stats struct {
 	CaptchasSolved int
 	Timeouts       int
 	Retries        int
+	// TransientRetries counts retries of transport-level faults (5xx,
+	// resets, truncated bodies) — the degradation the chaos harness
+	// injects.
+	TransientRetries int
 }
 
 // ErrTimeout marks a fetch that exceeded the client deadline — the
@@ -79,9 +101,23 @@ var ErrTimeout = errors.New("scraper: request timed out")
 // ErrGone marks 404/410 responses.
 var ErrGone = errors.New("scraper: resource gone")
 
+// ErrUnavailable marks a fetch abandoned because transient transport
+// faults (5xx, resets, truncated bodies) exhausted their retries — an
+// infrastructure failure, not a property of the resource.
+var ErrUnavailable = errors.New("scraper: endpoint unavailable after retries")
+
 // errStaleChallenge marks a captcha answer for a challenge another
 // worker already cleared; the request is simply retried.
 var errStaleChallenge = errors.New("scraper: stale captcha challenge")
+
+// isInfraErr reports whether err is an infrastructure failure — the
+// endpoint could not be reached within the retry policy — as opposed
+// to a definitive response about the resource (gone, forbidden, slow).
+func isInfraErr(err error) bool {
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, retry.ErrExhausted) ||
+		errors.Is(err, retry.ErrBudgetExhausted)
+}
 
 // NewClient builds a client from a ClientConfig.
 func NewClient(cfg ClientConfig) (*Client, error) {
@@ -90,18 +126,25 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("scraper: bad base url: %w", err)
 	}
 	reg := obs.Or(cfg.Obs)
+	if cfg.TransportRetries <= 0 {
+		cfg.TransportRetries = 3
+	}
 	return &Client{
-		base:        u,
-		http:        &http.Client{Timeout: cfg.Timeout},
-		solver:      cfg.Solver,
-		minInterval: cfg.MinInterval,
-		session:     fmt.Sprintf("s%d", time.Now().UnixNano()),
-		cRequests:   reg.Counter("scraper_requests_total"),
-		cThrottle:   reg.Counter("scraper_throttled_total"),
-		cCaptchas:   reg.Counter("scraper_captcha_solves_total"),
-		cTimeouts:   reg.Counter("scraper_timeouts_total"),
-		cRetries:    reg.Counter("scraper_retries_total"),
-		hFetch:      reg.Histogram("scraper_fetch_seconds"),
+		base:             u,
+		http:             &http.Client{Timeout: cfg.Timeout},
+		solver:           cfg.Solver,
+		minInterval:      cfg.MinInterval,
+		retryBudget:      cfg.RetryBudget,
+		transportRetries: cfg.TransportRetries,
+		session:          fmt.Sprintf("s%d", time.Now().UnixNano()),
+		cRequests:        reg.Counter("scraper_requests_total"),
+		cThrottle:        reg.Counter("scraper_throttled_total"),
+		cCaptchas:        reg.Counter("scraper_captcha_solves_total"),
+		cTimeouts:        reg.Counter("scraper_timeouts_total"),
+		cRetries:         reg.Counter("scraper_retries_total"),
+		cTransient:       reg.Counter("scraper_transient_retries_total"),
+		cQuarantined:     reg.Counter("scraper_bots_quarantined_total"),
+		hFetch:           reg.Histogram("scraper_fetch_seconds"),
 	}, nil
 }
 
@@ -169,105 +212,170 @@ func (c *Client) GetRaw(ref string) (string, error) {
 	return c.GetRawContext(context.Background(), ref)
 }
 
-// GetRawContext is GetRaw with cancellation: every retry backoff and
-// the request itself abort as soon as ctx is done.
-func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) {
-	const maxAttempts = 8 // non-throttle retries (captcha races etc.)
-	throttleBackoff := 40 * time.Millisecond
-	throttleBudget := 60 // separate, generous: 429s are the site pacing us
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if err := c.pace(ctx); err != nil {
-			return "", err
-		}
-		req, err := c.newRequest(ctx, ref)
-		if err != nil {
-			return "", err
-		}
-		c.mu.Lock()
-		c.stats.Requests++
-		if c.pass != "" {
-			req.Header.Set("X-Captcha-Pass", c.pass)
-			c.pass = ""
-		}
-		c.mu.Unlock()
-		c.cRequests.Inc()
+// Retryable-failure classes GetRawContext distinguishes. Throttling
+// (429) is the site pacing us and draws on the generous retry budget;
+// transient transport faults (5xx, resets, truncated bodies) are
+// network weather and get a small per-fetch allowance; captcha
+// challenges are handled by the solver and merely repeat the request.
+var errThrottled = errors.New("scraper: throttled (429)")
 
-		fetchStart := time.Now()
-		resp, err := c.http.Do(req)
-		if err != nil {
-			if ctx.Err() != nil {
-				return "", ctx.Err()
-			}
-			if isTimeout(err) {
-				c.count(func(s *Stats) { s.Timeouts++ })
-				c.cTimeouts.Inc()
-				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
-			}
-			return "", fmt.Errorf("scraper: get %s: %w", ref, err)
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		c.hFetch.Observe(time.Since(fetchStart))
-		if err != nil {
-			if ctx.Err() != nil {
-				return "", ctx.Err()
-			}
-			if isTimeout(err) {
-				c.count(func(s *Stats) { s.Timeouts++ })
-				c.cTimeouts.Inc()
-				return "", fmt.Errorf("%w: %s", ErrTimeout, ref)
-			}
-			return "", fmt.Errorf("scraper: read %s: %w", ref, err)
-		}
+// transientError tags a retryable transport-level failure.
+type transientError struct{ err error }
 
-		switch resp.StatusCode {
-		case http.StatusTooManyRequests:
-			c.count(func(s *Stats) { s.Throttled++ })
-			c.cThrottle.Inc()
-			throttleBudget--
-			if throttleBudget <= 0 {
-				return "", fmt.Errorf("scraper: %s: persistent rate limiting", ref)
-			}
-			if err := obs.SleepContext(ctx, throttleBackoff); err != nil {
-				return "", err
-			}
-			if throttleBackoff < 800*time.Millisecond {
-				throttleBackoff *= 2
-			}
-			attempt-- // throttling does not consume a retry
-			continue
-		case http.StatusForbidden:
-			doc := htmlparse.Parse(string(body))
-			if ch := doc.ByID("captcha"); ch != nil {
-				err := c.solveCaptcha(ctx, ch)
-				if errors.Is(err, errStaleChallenge) {
-					// A concurrent worker already cleared this gate;
-					// just retry the request.
-					continue
-				}
-				if err != nil {
-					return "", err
-				}
-				continue
-			}
-			return "", fmt.Errorf("scraper: forbidden: %s", ref)
-		case http.StatusNotFound, http.StatusGone:
-			return "", fmt.Errorf("%w: %s (%d)", ErrGone, ref, resp.StatusCode)
-		case http.StatusBadRequest:
-			return "", fmt.Errorf("%w: %s (400)", ErrGone, ref)
-		}
-		if resp.StatusCode != http.StatusOK {
-			return "", fmt.Errorf("scraper: %s: unexpected status %d", ref, resp.StatusCode)
-		}
-		journal.Emit(ctx, "scraper", journal.KindPageFetched, map[string]any{
-			"ref":      ref,
-			"status":   resp.StatusCode,
-			"bytes":    len(body),
-			"attempts": attempt + 1,
-		})
-		return string(body), nil
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// captchaChallenge carries a challenge page back to the retry loop.
+type captchaChallenge struct{ node *htmlparse.Node }
+
+func (e *captchaChallenge) Error() string { return "scraper: captcha challenge" }
+
+// fetchPolicy is the client's shared backoff shape: exponential from
+// 40ms to 800ms with ±12.5% jitter, seeded per-ref so schedules are
+// reproducible. Retry-After hints are honored but clamped — the
+// synthetic site asks for a full second, which no polite-but-busy
+// crawler grants in full.
+func (c *Client) fetchPolicy(ref string, budget *retry.Budget) retry.Policy {
+	h := fnv.New64a()
+	io.WriteString(h, ref)
+	return retry.Policy{
+		MaxAttempts:   64, // budget and transport allowance bind first
+		BaseDelay:     40 * time.Millisecond,
+		MaxDelay:      800 * time.Millisecond,
+		Multiplier:    2,
+		Jitter:        0.25,
+		Seed:          int64(h.Sum64()),
+		RetryAfterCap: 120 * time.Millisecond,
+		Budget:        budget,
 	}
-	return "", fmt.Errorf("scraper: %s: gave up after repeated throttling", ref)
+}
+
+// GetRawContext is GetRaw with cancellation: every retry backoff and
+// the request itself abort as soon as ctx is done. Retries run through
+// internal/retry — jittered exponential backoff with Retry-After
+// honoring — with throttling drawing on the client's (or per-fetch)
+// retry budget and transient transport faults on a small per-fetch
+// allowance.
+func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) {
+	budget := c.retryBudget
+	if budget == nil {
+		budget = retry.NewBudget(60)
+	}
+	transientLeft := c.transportRetries
+	attempts := 0
+	var body string
+	err := retry.Do(ctx, c.fetchPolicy(ref, budget), func(ctx context.Context) error {
+		attempts++
+		out, err := c.fetchOnce(ctx, ref)
+		if err == nil {
+			body = out
+			return nil
+		}
+		var ch *captchaChallenge
+		if errors.As(err, &ch) {
+			serr := c.solveCaptcha(ctx, ch.node)
+			if serr != nil && !errors.Is(serr, errStaleChallenge) {
+				// A stale challenge just means another worker cleared
+				// the gate — anything else is fatal for this fetch.
+				return retry.Permanent(serr)
+			}
+			return err // retry the request with the fresh pass
+		}
+		var te *transientError
+		if errors.As(err, &te) {
+			if transientLeft <= 0 {
+				return retry.Permanent(fmt.Errorf("%w: %s: %v", ErrUnavailable, ref, te.err))
+			}
+			transientLeft--
+			c.count(func(s *Stats) { s.TransientRetries++ })
+			c.cTransient.Inc()
+		}
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	journal.Emit(ctx, "scraper", journal.KindPageFetched, map[string]any{
+		"ref":      ref,
+		"status":   http.StatusOK,
+		"bytes":    len(body),
+		"attempts": attempts,
+	})
+	return body, nil
+}
+
+// fetchOnce performs a single paced request and classifies the outcome:
+// nil on a 200, a captchaChallenge on a challenge page, errThrottled
+// (with its Retry-After hint) on 429, a transientError on 5xx or
+// non-timeout transport failures, and a permanent error otherwise.
+func (c *Client) fetchOnce(ctx context.Context, ref string) (string, error) {
+	if err := c.pace(ctx); err != nil {
+		return "", err
+	}
+	req, err := c.newRequest(ctx, ref)
+	if err != nil {
+		return "", retry.Permanent(err)
+	}
+	c.mu.Lock()
+	c.stats.Requests++
+	if c.pass != "" {
+		req.Header.Set("X-Captcha-Pass", c.pass)
+		c.pass = ""
+	}
+	c.mu.Unlock()
+	c.cRequests.Inc()
+
+	fetchStart := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if isTimeout(err) {
+			c.count(func(s *Stats) { s.Timeouts++ })
+			c.cTimeouts.Inc()
+			return "", retry.Permanent(fmt.Errorf("%w: %s", ErrTimeout, ref))
+		}
+		return "", &transientError{fmt.Errorf("scraper: get %s: %w", ref, err)}
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	c.hFetch.Observe(time.Since(fetchStart))
+	if err != nil {
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if isTimeout(err) {
+			c.count(func(s *Stats) { s.Timeouts++ })
+			c.cTimeouts.Inc()
+			return "", retry.Permanent(fmt.Errorf("%w: %s", ErrTimeout, ref))
+		}
+		// A body that dies mid-read (truncation, reset) is transient.
+		return "", &transientError{fmt.Errorf("scraper: read %s: %w", ref, err)}
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		c.count(func(s *Stats) { s.Throttled++ })
+		c.cThrottle.Inc()
+		hint, _ := retry.ParseRetryAfter(resp.Header.Get("Retry-After"))
+		return "", retry.After(fmt.Errorf("%w: %s", errThrottled, ref), hint)
+	case resp.StatusCode == http.StatusForbidden:
+		doc := htmlparse.Parse(string(body))
+		if ch := doc.ByID("captcha"); ch != nil {
+			return "", &captchaChallenge{node: ch}
+		}
+		return "", retry.Permanent(fmt.Errorf("scraper: forbidden: %s", ref))
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone:
+		return "", retry.Permanent(fmt.Errorf("%w: %s (%d)", ErrGone, ref, resp.StatusCode))
+	case resp.StatusCode == http.StatusBadRequest:
+		return "", retry.Permanent(fmt.Errorf("%w: %s (400)", ErrGone, ref))
+	case resp.StatusCode >= 500:
+		return "", &transientError{fmt.Errorf("scraper: %s: server error %d", ref, resp.StatusCode)}
+	case resp.StatusCode != http.StatusOK:
+		return "", retry.Permanent(fmt.Errorf("scraper: %s: unexpected status %d", ref, resp.StatusCode))
+	}
+	return string(body), nil
 }
 
 func (c *Client) newRequest(ctx context.Context, ref string) (*http.Request, error) {

@@ -53,6 +53,13 @@ type Record struct {
 	PolicyLinkFound bool
 	PolicyLinkDead  bool
 	PolicyText      string
+
+	// Incomplete marks a record whose detail page never produced every
+	// expected element (e.g. the invite link did not render after
+	// exhausting retries, or the policy fetch kept failing). The bot was
+	// scraped, but downstream stages should not treat absences in this
+	// record as evidence.
+	Incomplete bool
 }
 
 // Config tunes a crawl.
@@ -64,6 +71,37 @@ type Config struct {
 	Retries int
 	// MaxPages bounds listing pagination; 0 means all pages.
 	MaxPages int
+	// Strict restores the pre-quarantine behavior: the first failed bot
+	// aborts the whole crawl with an error instead of being skipped.
+	Strict bool
+}
+
+// Quarantined records one bot abandoned after its fetches exhausted
+// their retries — counted and skipped rather than fatal.
+type Quarantined struct {
+	BotID int
+	Err   error
+}
+
+// CrawlResult is the degradation-aware crawl output: the records that
+// were scraped, the bots that were quarantined, and the listing error
+// (if pagination itself ended early). A crawl under fault pressure
+// returns all three instead of collapsing to a single error.
+type CrawlResult struct {
+	// Records holds one record per successfully scraped bot, in listing
+	// order.
+	Records []*Record
+	// Quarantined lists bots whose scrape failed after retries, in
+	// listing order.
+	Quarantined []Quarantined
+	// ListErr is the pagination failure that ended ID discovery early,
+	// nil when every page was walked.
+	ListErr error
+}
+
+// Degraded reports whether the crawl lost anything.
+func (r *CrawlResult) Degraded() bool {
+	return r.ListErr != nil || len(r.Quarantined) > 0
 }
 
 // Crawl walks the whole listing and returns one record per bot,
@@ -76,18 +114,40 @@ func Crawl(c *Client, cfg Config) ([]*Record, error) {
 // after ctx is done, and in-flight fetches abort at their next wait.
 // When ctx carries an obs span, each listing page and bot fetch records
 // a child span.
+//
+// CrawlContext preserves the historical strict contract — the first
+// failed bot aborts the crawl. Degradation-aware callers should use
+// CrawlResultContext, which quarantines failures instead.
 func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error) {
+	cfg.Strict = true
+	res, err := CrawlResultContext(ctx, c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
+
+// CrawlResultContext walks the whole listing like CrawlContext, but
+// degrades instead of aborting: a bot whose scrape fails after
+// exhausting retries is quarantined (counted, journaled, skipped), and
+// a pagination failure yields the bots discovered so far with ListErr
+// set. The returned error is non-nil only for context cancellation —
+// or any failure at all when cfg.Strict is set.
+func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResult, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
 	}
-	ids, err := ListBotIDsContext(ctx, c, cfg.MaxPages)
-	if err != nil {
-		return nil, err
+	ids, listErr := ListBotIDsContext(ctx, c, cfg.MaxPages)
+	if listErr != nil {
+		if cfg.Strict || errors.Is(listErr, context.Canceled) || errors.Is(listErr, context.DeadlineExceeded) {
+			return nil, listErr
+		}
 	}
 	records := make([]*Record, len(ids))
+	quarantined := make([]error, len(ids))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Workers)
 	var firstErr error
@@ -114,10 +174,17 @@ func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error)
 			botCtx = journal.WithBot(botCtx, id, "")
 			rec, err := ScrapeBotContext(botCtx, c, id, cfg.Retries)
 			if err != nil {
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				switch {
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 					fail(err)
-				} else {
+				case cfg.Strict:
 					fail(fmt.Errorf("bot %d: %w", id, err))
+				default:
+					quarantined[i] = err
+					c.cQuarantined.Inc()
+					journal.Emit(botCtx, "scraper", journal.KindBotQuarantined, map[string]any{
+						"error": err.Error(),
+					})
 				}
 				return
 			}
@@ -135,7 +202,16 @@ func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error)
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return records, nil
+	res := &CrawlResult{ListErr: listErr}
+	for i, rec := range records {
+		switch {
+		case rec != nil:
+			res.Records = append(res.Records, rec)
+		case quarantined[i] != nil:
+			res.Quarantined = append(res.Quarantined, Quarantined{BotID: ids[i], Err: quarantined[i]})
+		}
+	}
+	return res, nil
 }
 
 // ListBotIDs pages through the "top chatbot" list collecting bot IDs in
@@ -144,7 +220,9 @@ func ListBotIDs(c *Client, maxPages int) ([]int, error) {
 	return ListBotIDsContext(context.Background(), c, maxPages)
 }
 
-// ListBotIDsContext is ListBotIDs with cancellation.
+// ListBotIDsContext is ListBotIDs with cancellation. On a page-fetch
+// failure it returns the IDs discovered so far alongside the error, so
+// a degradation-aware caller can crawl the partial listing.
 func ListBotIDsContext(ctx context.Context, c *Client, maxPages int) ([]int, error) {
 	var ids []int
 	for page := 1; ; page++ {
@@ -156,9 +234,9 @@ func ListBotIDsContext(ctx context.Context, c *Client, maxPages int) ([]int, err
 		sp.End()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return nil, err
+				return ids, err
 			}
-			return nil, fmt.Errorf("scraper: list page %d: %w", page, err)
+			return ids, fmt.Errorf("scraper: list page %d: %w", page, err)
 		}
 		cards := doc.Select("li.bot-card")
 		if len(cards) == 0 {
@@ -207,6 +285,12 @@ func ScrapeBotContext(ctx context.Context, c *Client, id, retries int) (*Record,
 	}
 
 	rec := &Record{ID: id}
+	if inviteHref == "" {
+		// The invite element never rendered across every retry. The
+		// record is still assembled, but marked: a permission-less record
+		// here reflects our failure to observe, not the bot's listing.
+		rec.Incomplete = true
+	}
 	if n := doc.SelectFirst("h1.bot-name"); n != nil {
 		rec.Name = n.Text()
 	}
@@ -260,6 +344,11 @@ func scrapeInvite(ctx context.Context, c *Client, rec *Record, href string) erro
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return err
+	case isInfraErr(err):
+		// The endpoint itself was unreachable after retries — our
+		// failure to observe, not a broken invite. Surface it so the
+		// caller can quarantine instead of mislabeling the bot invalid.
+		return err
 	case err == nil:
 	case errors.Is(err, ErrTimeout):
 		rec.InvalidReason = InvalidTimeout
@@ -293,12 +382,17 @@ func scrapeInvite(ctx context.Context, c *Client, rec *Record, href string) erro
 
 // scrapePolicy visits the bot's website, follows its privacy-policy
 // link when present, and captures the policy text. Only context
-// cancellation is returned as an error.
+// cancellation is returned as an error; an infrastructure failure
+// (retries exhausted) marks the record Incomplete rather than letting
+// the absence of a policy read as a finding.
 func scrapePolicy(ctx context.Context, c *Client, rec *Record, id int) error {
 	site, err := c.GetContext(ctx, fmt.Sprintf("/site/%d", id))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return err
+		}
+		if isInfraErr(err) {
+			rec.Incomplete = true
 		}
 		return nil // website advertised but unreachable: no policy found
 	}
@@ -312,6 +406,9 @@ func scrapePolicy(ctx context.Context, c *Client, rec *Record, id int) error {
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return err
+		}
+		if isInfraErr(err) {
+			rec.Incomplete = true
 		}
 		rec.PolicyLinkDead = true
 		return nil

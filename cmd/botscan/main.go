@@ -8,6 +8,8 @@
 //
 //	botscan -bots 2000 -sample 100 -seed 42
 //	botscan -bots 2000 -journal run.jsonl
+//	botscan -bots 2000 -checkpoint-dir ckpt     # crash-safe snapshots
+//	botscan -bots 2000 -checkpoint-dir ckpt -resume latest
 //	botscan journal -file run.jsonl             # summarize a journal
 //	botscan journal -file run.jsonl -timeline   # per-bot replay
 package main
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
 	"repro/internal/report"
+	"repro/internal/retry"
 )
 
 func main() {
@@ -52,6 +56,11 @@ func main() {
 		journalPath = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
 		faultProf   = flag.String("fault-profile", "", fmt.Sprintf("inject deterministic faults using this named profile (%s)", strings.Join(faults.Names(), ", ")))
 		faultSeed   = flag.Int64("fault-seed", 1, "fault injector seed (same seed + profile replays the same fault ledger)")
+		ckptDir     = flag.String("checkpoint-dir", "", "write crash-safe progress snapshots into this directory")
+		ckptEvery   = flag.Int("checkpoint-every", 25, "also snapshot after this many freshly settled bots (stage boundaries always snapshot)")
+		resumeRun   = flag.String("resume", "", "resume a checkpointed run: a run ID, or 'latest' (requires -checkpoint-dir)")
+		breakers    = flag.Bool("breakers", false, "wrap scraper/code-host/gateway transports in per-endpoint-class circuit breakers")
+		stageDL     = flag.Duration("stage-deadline", 0, "soft per-stage watchdog deadline (0 disables; a stalled stage is dumped and cancelled)")
 		verbose     = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -105,6 +114,24 @@ func main() {
 		opts.Faults = faults.New(prof, *faultSeed, faults.Options{Obs: reg, Journal: opts.Journal})
 		logger.Info("fault injection enabled", "profile", prof.Name, "seed", *faultSeed)
 	}
+	if *resumeRun != "" && *ckptDir == "" {
+		fatal("resume", fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+	if *ckptDir != "" {
+		st, err := checkpoint.NewStore(*ckptDir)
+		if err != nil {
+			fatal("checkpoint store", err)
+		}
+		opts.Checkpoint = &core.CheckpointConfig{Store: st, Every: *ckptEvery, Resume: *resumeRun}
+		logger.Info("checkpointing enabled", "dir", st.Dir(), "every", *ckptEvery, "resume", *resumeRun)
+	}
+	if *breakers {
+		opts.Breakers = retry.NewBreakerSet(retry.BreakerConfig{}, retry.BreakerOptions{
+			Obs: reg, Journal: opts.Journal,
+		})
+		logger.Info("circuit breakers enabled")
+	}
+	opts.StageSoftDeadline = *stageDL
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

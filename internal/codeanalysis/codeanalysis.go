@@ -192,6 +192,33 @@ func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result
 	return AnalyzeContext(context.Background(), c, records, workers)
 }
 
+// AnalyzeOptions extends AnalyzeContext with checkpoint/resume hooks.
+// The stage's dedup unit is the unique link, so resume state and the
+// checkpointer's feed are keyed by link, not bot: one settled link
+// covers every bot referencing it.
+type AnalyzeOptions struct {
+	// Workers controls fetch parallelism (default 4).
+	Workers int
+	// Resume, when set, replays settled link outcomes from a
+	// checkpoint; settled links are never re-fetched.
+	Resume *AnalyzeResume
+	// OnLink observes each freshly settled unique link — the
+	// checkpointer's feed. ra is nil when the link failed (errText
+	// set). Not called for resumed skips. May be called concurrently.
+	OnLink func(link string, ra *RepoAnalysis, errText string)
+}
+
+// AnalyzeResume carries a checkpoint's settled link outcomes back into
+// a resumed run.
+type AnalyzeResume struct {
+	// Settled maps unique link → its analysis (BotID field is
+	// meaningless; it is re-stamped per referencing bot).
+	Settled map[string]*RepoAnalysis
+	// Failed maps unique link → the error text that quarantined its
+	// bots.
+	Failed map[string]string
+}
+
 // AnalyzeContext is Analyze with cancellation: no new link fetches
 // start after ctx is done, and in-flight fetches abort. Each analyzed
 // link runs under its own child span of any span carried by ctx.
@@ -206,6 +233,15 @@ func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result
 // referenced it (Result.Quarantined) instead of aborting the stage;
 // only context cancellation returns an error.
 func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.Record, workers int) (*Result, []*RepoAnalysis, error) {
+	return AnalyzeOptionsContext(ctx, c, records, AnalyzeOptions{Workers: workers})
+}
+
+// AnalyzeOptionsContext is AnalyzeContext with checkpoint/resume hooks:
+// links settled in opts.Resume are replayed (journaled as work_skipped
+// per referencing bot) instead of re-fetched, and every freshly settled
+// link is reported through opts.OnLink.
+func AnalyzeOptionsContext(ctx context.Context, c *scraper.Client, records []*scraper.Record, opts AnalyzeOptions) (*Result, []*RepoAnalysis, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = 4
 	}
@@ -239,6 +275,7 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 
 	linkResults := make([]*RepoAnalysis, len(uniq))
 	linkErrs := make([]error, len(uniq))
+	resumed := make([]bool, len(uniq))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
 	var firstErr error
@@ -255,6 +292,19 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 			fail(err)
 			break
 		}
+		if opts.Resume != nil {
+			if ra, ok := opts.Resume.Settled[link]; ok {
+				clone := *ra
+				linkResults[u] = &clone
+				resumed[u] = true
+				continue
+			}
+			if msg, ok := opts.Resume.Failed[link]; ok {
+				linkErrs[u] = errors.New(msg)
+				resumed[u] = true
+				continue
+			}
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(u int, link string) {
@@ -269,9 +319,15 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 					return
 				}
 				linkErrs[u] = err
+				if opts.OnLink != nil {
+					opts.OnLink(link, nil, err.Error())
+				}
 				return
 			}
 			linkResults[u] = ra
+			if opts.OnLink != nil {
+				opts.OnLink(link, ra, "")
+			}
 		}(u, link)
 	}
 	wg.Wait()
@@ -281,13 +337,20 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 
 	// Assemble per-bot analyses in job (listing) order, cloning the
 	// shared link result, and quarantine the bots behind failed links.
+	// Bots behind a link settled in the checkpoint are journaled as
+	// work_skipped instead of re-emitting their original milestones.
 	perJob := make([]*RepoAnalysis, len(jobs))
 	jobErr := make([]error, len(jobs))
+	jobResumed := make([]bool, len(jobs))
 	for u, link := range uniq {
 		for _, ji := range links[link] {
+			jobResumed[ji] = resumed[u]
 			if lerr := linkErrs[u]; lerr != nil {
 				jobErr[ji] = lerr
 				continue
+			}
+			if linkResults[u] == nil {
+				continue // fetch never ran (cancellation mid-stage)
 			}
 			clone := *linkResults[u]
 			clone.BotID = jobs[ji].botID
@@ -301,15 +364,33 @@ func AnalyzeContext(ctx context.Context, c *scraper.Client, records []*scraper.R
 				res.Quarantined = append(res.Quarantined, QuarantinedLink{
 					BotID: jobs[ji].botID, Link: jobs[ji].link, Err: jobErr[ji],
 				})
-				journal.Emit(journal.WithBot(ctx, jobs[ji].botID, ""), "codeanalysis",
-					journal.KindBotQuarantined, map[string]any{
-						"link":  jobs[ji].link,
-						"error": jobErr[ji].Error(),
-					})
+				if jobResumed[ji] {
+					journal.Emit(journal.WithBot(ctx, jobs[ji].botID, ""), "codeanalysis",
+						journal.KindWorkSkipped, map[string]any{
+							"stage":  "codeanalysis",
+							"reason": "quarantined in checkpoint",
+							"link":   jobs[ji].link,
+						})
+				} else {
+					journal.Emit(journal.WithBot(ctx, jobs[ji].botID, ""), "codeanalysis",
+						journal.KindBotQuarantined, map[string]any{
+							"link":  jobs[ji].link,
+							"error": jobErr[ji].Error(),
+						})
+				}
 			}
 			continue
 		}
 		analyses = append(analyses, ra)
+		if jobResumed[ji] {
+			journal.Emit(journal.WithBot(ctx, ra.BotID, ""), "codeanalysis",
+				journal.KindWorkSkipped, map[string]any{
+					"stage":  "codeanalysis",
+					"reason": "settled in checkpoint",
+					"link":   jobs[ji].link,
+				})
+			continue
+		}
 		journal.Emit(journal.WithBot(ctx, ra.BotID, ""), "codeanalysis",
 			journal.KindCodeFlag, map[string]any{
 				"outcome":        string(ra.Outcome),

@@ -17,6 +17,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -33,8 +34,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
+	"repro/internal/checkpoint"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/retry"
 	"repro/internal/scraper"
 	"repro/internal/synth"
 	"repro/internal/traceability"
@@ -88,6 +91,28 @@ type Options struct {
 	// per-bot failure aborts the pipeline instead of quarantining the
 	// bot and continuing with partial results.
 	Strict bool
+
+	// Checkpoint, when set, makes RunAllContext crash-safe: progress
+	// snapshots are written atomically at stage boundaries and every
+	// Checkpoint.Every settled bots, and Checkpoint.Resume replays a
+	// prior snapshot's settled work instead of re-executing it.
+	Checkpoint *CheckpointConfig
+	// Breakers, when set, wraps the scraper, code-host, and gateway
+	// transports in per-endpoint-class circuit breakers: persistently
+	// failing endpoints short-circuit (and quarantine their bots fast)
+	// instead of burning full retry schedules. Nil disables breakers.
+	Breakers *retry.BreakerSet
+	// StageSoftDeadline, when positive, arms a watchdog over each
+	// pipeline stage: a stage running past the deadline gets a
+	// stage_stalled journal event carrying a full goroutine dump, then
+	// its context is cancelled with ErrStageStalled as the cause.
+	StageSoftDeadline time.Duration
+	// StageRetryBudget, when positive, gives each network stage
+	// (collect, codeanalysis) its own shared retry budget of that many
+	// retries, surfaced as the trace table's "Budget left" column and
+	// persisted across checkpoint/resume. Zero keeps the historical
+	// per-fetch pools.
+	StageRetryBudget int
 }
 
 // Auditor owns the simulated ecosystem and its services.
@@ -225,20 +250,22 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	a.canarySvc.SetObs(a.obs)
 	a.canarySvc.SetJournal(opts.Journal)
 	if a.listClient, err = scraper.NewClient(scraper.ClientConfig{
-		BaseURL: a.listingSrv.BaseURL(),
-		Timeout: opts.ScrapeTimeout,
-		Solver:  opts.Solver,
-		Obs:     a.obs,
+		BaseURL:  a.listingSrv.BaseURL(),
+		Timeout:  opts.ScrapeTimeout,
+		Solver:   opts.Solver,
+		Obs:      a.obs,
+		Breakers: opts.Breakers,
 	}); err != nil {
 		a.Close()
 		return nil, err
 	}
 	// The code host imposes no defences; give it a generous timeout.
 	if a.codeClient, err = scraper.NewClient(scraper.ClientConfig{
-		BaseURL: a.hostSrv.BaseURL(),
-		Timeout: 5 * time.Second,
-		Solver:  opts.Solver,
-		Obs:     a.obs,
+		BaseURL:  a.hostSrv.BaseURL(),
+		Timeout:  5 * time.Second,
+		Solver:   opts.Solver,
+		Obs:      a.obs,
+		Breakers: opts.Breakers,
 	}); err != nil {
 		a.Close()
 		return nil, err
@@ -371,6 +398,13 @@ func (a *Auditor) DynamicAnalysis() (*honeypot.CampaignResult, error) {
 
 // DynamicAnalysisContext is DynamicAnalysis with cancellation.
 func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.CampaignResult, error) {
+	return a.dynamicAnalysis(ctx, nil, nil)
+}
+
+// dynamicAnalysis runs the campaign with optional checkpoint hooks: a
+// resume state replaying settled experiments and a settle observer
+// feeding the checkpointer.
+func (a *Auditor) dynamicAnalysis(ctx context.Context, resume *honeypot.CampaignResume, onSettled func(int, *honeypot.Verdict, error)) (*honeypot.CampaignResult, error) {
 	env := honeypot.Env{
 		Platform: a.plat,
 		Gateway:  a.gw.Addr(),
@@ -378,6 +412,7 @@ func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.Campaig
 		Minter:   a.canarySvc.NewMinter("canary.invalid", nil),
 		Feed:     corpus.New(a.opts.Seed ^ 0xfeed),
 		Obs:      a.obs,
+		Breakers: a.opts.Breakers,
 	}
 	expCfg := honeypot.DefaultConfig()
 	expCfg.Settle = a.opts.HoneypotSettle
@@ -387,6 +422,8 @@ func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.Campaig
 		Concurrency: a.opts.HoneypotConcurrency,
 		Experiment:  expCfg,
 		Strict:      a.opts.Strict,
+		Resume:      resume,
+		OnSettled:   onSettled,
 	})
 }
 
@@ -403,6 +440,42 @@ func (a *Auditor) RunAll() (*Results, error) {
 func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	trace := a.obs.StartTrace("pipeline")
 	runID := fmt.Sprintf("run-%d", time.Now().UnixNano())
+
+	// Checkpointing: load the resume snapshot (keeping its run ID so
+	// the journal reads as one logical run), or start a fresh one.
+	var ck *ckptState
+	var resumed *checkpoint.Snapshot
+	var scrapeRes *scraper.ResumeState
+	var codeRes *codeanalysis.AnalyzeResume
+	var hpRes *honeypot.CampaignResume
+	if cc := a.opts.Checkpoint; cc != nil {
+		if cc.Store == nil {
+			return nil, fmt.Errorf("core: checkpoint config requires a store")
+		}
+		base := &checkpoint.Snapshot{
+			RunID:          runID,
+			Seed:           a.opts.Seed,
+			NumBots:        a.opts.NumBots,
+			HoneypotSample: a.opts.HoneypotSample,
+		}
+		if cc.Resume != "" {
+			snap, err := loadResume(cc, a.opts)
+			if err != nil {
+				return nil, err
+			}
+			resumed = snap
+			runID = snap.RunID
+			base = snap
+			// The resumed run re-finalizes; Completed is re-stamped by
+			// the final snapshot.
+			base.Completed = false
+			scrapeRes = scraperResume(snap)
+			codeRes = codeResume(snap)
+			hpRes = honeypotResume(snap)
+		}
+		ck = newCkptState(cc, base, a.obs)
+	}
+
 	res := &Results{
 		Trace:       trace,
 		RunID:       runID,
@@ -410,17 +483,70 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 		Degradation: make(map[string]report.StageDegradation),
 	}
 	ctx = journal.WithRunID(journal.NewContext(ctx, a.journal), runID)
+	if ck != nil {
+		ck.ctx = ctx
+	}
+	if resumed != nil {
+		journal.Emit(ctx, "core", journal.KindRunResumed, map[string]any{
+			"settled":     resumed.Settled(),
+			"records":     len(resumed.Records),
+			"code_links":  len(resumed.CodeLinks),
+			"verdicts":    len(resumed.Verdicts),
+			"quarantined": len(resumed.CollectQuarantine) + len(resumed.HoneypotQuarantine),
+		})
+	}
+
+	// Per-stage retry budgets, restored to their checkpointed
+	// remainders on resume so a resumed run cannot out-retry an
+	// uninterrupted one.
+	var collectBudget, codeBudget *retry.Budget
+	if a.opts.StageRetryBudget > 0 {
+		nCollect, nCode := a.opts.StageRetryBudget, a.opts.StageRetryBudget
+		if resumed != nil {
+			if left, ok := resumed.BudgetLeft["collect"]; ok {
+				nCollect = left
+			}
+			if left, ok := resumed.BudgetLeft["codeanalysis"]; ok {
+				nCode = left
+			}
+		}
+		collectBudget = retry.NewBudget(nCollect)
+		codeBudget = retry.NewBudget(nCode)
+		a.listClient.SetRetryBudget(collectBudget)
+		a.codeClient.SetRetryBudget(codeBudget)
+		ck.trackBudget("collect", collectBudget)
+		ck.trackBudget("codeanalysis", codeBudget)
+	}
+
 	stage := func(name string) (context.Context, func()) {
 		sp := trace.StartSpan(name)
 		sctx := obs.ContextWithSpan(ctx, sp)
+		stopWatchdog := func() {}
+		if a.opts.StageSoftDeadline > 0 {
+			var cancel context.CancelCauseFunc
+			sctx, cancel = context.WithCancelCause(sctx)
+			stopWatchdog = watchdog(sctx, name, a.opts.StageSoftDeadline, cancel)
+		}
 		journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{"stage": name})
 		return sctx, func() {
+			stopWatchdog()
 			sp.End()
 			journal.Emit(sctx, "core", journal.KindStageCompleted, map[string]any{
 				"stage":   name,
 				"seconds": sp.Duration().Seconds(),
 			})
 		}
+	}
+	// stageFail translates a stage error: watchdog stalls surface as
+	// ErrStageStalled, outer cancellation as the context's error.
+	stageFail := func(sctx context.Context, name string, err error) error {
+		if cause := context.Cause(sctx); cause != nil && errors.Is(cause, ErrStageStalled) {
+			return cause
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("core: %s: %w", name, err)
 	}
 	cDegraded := a.obs.Counter("core_stages_degraded_total")
 	// note records a stage's degradation tallies; a stage with absorbed
@@ -448,20 +574,22 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	collectCtx, endCollect := stage("collect")
 	listRetries := retriesOf(a.listClient)
 	crawl, err := scraper.CrawlResultContext(collectCtx, a.listClient, scraper.Config{
-		Workers: a.opts.ScrapeWorkers,
-		Strict:  a.opts.Strict,
+		Workers:   a.opts.ScrapeWorkers,
+		Strict:    a.opts.Strict,
+		Resume:    scrapeRes,
+		OnSettled: ck.noteCollect,
+		OnListed:  ck.noteListed,
 	})
 	endCollect()
 	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		return nil, fmt.Errorf("core: collect: %w", err)
+		return nil, stageFail(collectCtx, "collect", err)
 	}
+	ck.boundary("collect")
 	res.Records = crawl.Records
 	d := report.StageDegradation{
 		Retries:     retriesOf(a.listClient) - listRetries,
 		Quarantined: len(crawl.Quarantined),
+		BudgetLeft:  collectBudget.Remaining(),
 	}
 	if crawl.ListErr != nil {
 		res.StageErrors["collect"] = crawl.ListErr
@@ -480,17 +608,20 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 
 	codeCtx, endCode := stage("codeanalysis")
 	codeRetries := retriesOf(a.codeClient)
-	res.Code, res.Analyses, err = a.CodeAnalysisContext(codeCtx, res.Records)
+	res.Code, res.Analyses, err = codeanalysis.AnalyzeOptionsContext(codeCtx, a.codeClient, res.Records, codeanalysis.AnalyzeOptions{
+		Workers: a.opts.ScrapeWorkers,
+		Resume:  codeRes,
+		OnLink:  ck.noteLink,
+	})
 	endCode()
 	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		return nil, fmt.Errorf("core: codeanalysis: %w", err)
+		return nil, stageFail(codeCtx, "codeanalysis", err)
 	}
+	ck.boundary("codeanalysis")
 	d = report.StageDegradation{
 		Retries:     retriesOf(a.codeClient) - codeRetries,
 		Quarantined: len(res.Code.Quarantined),
+		BudgetLeft:  codeBudget.Remaining(),
 	}
 	for _, q := range res.Code.Quarantined {
 		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "codeanalysis", BotID: q.BotID, Link: q.Link, Err: q.Err})
@@ -498,15 +629,13 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	note(codeCtx, "codeanalysis", d)
 
 	hpCtx, endHoneypot := stage("honeypot")
-	res.Honeypot, err = a.DynamicAnalysisContext(hpCtx)
+	res.Honeypot, err = a.dynamicAnalysis(hpCtx, hpRes, ck.noteVerdict)
 	endHoneypot()
 	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		return nil, fmt.Errorf("core: honeypot: %w", err)
+		return nil, stageFail(hpCtx, "honeypot", err)
 	}
-	d = report.StageDegradation{Quarantined: len(res.Honeypot.Quarantined)}
+	ck.boundary("honeypot")
+	d = report.StageDegradation{Quarantined: len(res.Honeypot.Quarantined), BudgetLeft: -1}
 	for _, q := range res.Honeypot.Quarantined {
 		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "honeypot", BotID: q.BotID, Name: q.Name, Err: q.Err})
 	}
@@ -523,6 +652,7 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	if a.faults != nil {
 		res.FaultLog = a.faults.Log()
 	}
+	ck.finish()
 	return res, nil
 }
 

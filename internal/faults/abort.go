@@ -1,0 +1,51 @@
+package faults
+
+import "sync/atomic"
+
+// AbortInjector simulates a SIGKILL-style process death at a chosen
+// point: the Nth Tick fires the abort exactly once. Unlike the HTTP and
+// gateway fault kinds, an abort is not absorbed by retries — it models
+// the whole process disappearing, which is what the checkpoint/resume
+// layer exists to survive.
+//
+// The chaos harness wires Tick to checkpoint writes (via the store's
+// AfterSave hook) and fire to the run context's cancel: the "kill"
+// lands immediately after a snapshot reached disk, the exact moment a
+// real crash is recoverable from.
+type AbortInjector struct {
+	at    int64 // fire on the at-th tick (1-based)
+	ticks atomic.Int64
+	fired atomic.Bool
+	fire  func()
+}
+
+// NewAbort builds an injector that invokes fire on the at-th Tick.
+// at <= 0 never fires (a disabled injector, like a nil one).
+func NewAbort(at int, fire func()) *AbortInjector {
+	return &AbortInjector{at: int64(at), fire: fire}
+}
+
+// Tick counts one abort opportunity and fires the abort when the
+// configured point is reached. Safe for concurrent use; the abort runs
+// exactly once. A nil injector never fires.
+func (a *AbortInjector) Tick() {
+	if a == nil || a.at <= 0 {
+		return
+	}
+	if a.ticks.Add(1) == a.at && a.fired.CompareAndSwap(false, true) {
+		a.fire()
+	}
+}
+
+// Fired reports whether the abort has gone off.
+func (a *AbortInjector) Fired() bool {
+	return a != nil && a.fired.Load()
+}
+
+// Ticks reports how many opportunities have been counted so far.
+func (a *AbortInjector) Ticks() int {
+	if a == nil {
+		return 0
+	}
+	return int(a.ticks.Load())
+}

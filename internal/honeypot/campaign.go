@@ -27,7 +27,29 @@ type CampaignConfig struct {
 	// experiment aborts the campaign and discards every completed
 	// verdict. Default (false) quarantines the failing bot and keeps
 	// the rest of the campaign's work.
+	//
+	// Strict interacts with Resume deliberately: the resume pass is
+	// applied across the WHOLE sample before any fresh experiment
+	// launches, so a Strict campaign resumed over a checkpoint that
+	// recorded a quarantine fails fast — settled verdicts are replayed,
+	// nothing is re-run, and no new guild is ever created.
 	Strict bool
+	// Resume, when set, replays settled experiment outcomes from a
+	// checkpoint: settled bots are skipped idempotently (journaled as
+	// work_skipped) with their prior verdict or quarantine copied into
+	// the result.
+	Resume *CampaignResume
+	// OnSettled observes each freshly settled bot — the checkpointer's
+	// feed. v is nil when the experiment was quarantined (qerr set).
+	// Not called for resumed skips. May be called concurrently.
+	OnSettled func(botID int, v *Verdict, qerr error)
+}
+
+// CampaignResume carries a checkpoint's settled experiment outcomes
+// back into a resumed campaign, keyed by listing bot ID.
+type CampaignResume struct {
+	Verdicts    map[int]*Verdict
+	Quarantined map[int]error
 }
 
 // Quarantine records one experiment abandoned after an infrastructure
@@ -158,7 +180,39 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 	}
 	verdicts := make([]*Verdict, len(sample))
 	quarantined := make([]error, len(sample))
+	settled := make([]bool, len(sample))
 	cQuarantined := obs.Or(env.Obs).Counter("honeypot_bots_quarantined_total")
+
+	// Apply the resume pass over the whole sample BEFORE launching any
+	// fresh experiment. This ordering is what makes Strict×resume safe:
+	// a checkpointed quarantine fails the campaign fast without
+	// re-running a single settled experiment or creating a new guild.
+	if cfg.Resume != nil {
+		for i, b := range sample {
+			if v, ok := cfg.Resume.Verdicts[b.ID]; ok {
+				verdicts[i] = v
+				settled[i] = true
+				journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
+					journal.KindWorkSkipped, map[string]any{
+						"stage":  "honeypot",
+						"reason": "settled in checkpoint",
+					})
+				continue
+			}
+			if qerr, ok := cfg.Resume.Quarantined[b.ID]; ok {
+				if cfg.Strict {
+					return nil, fmt.Errorf("honeypot: bot %s: %w", b.Name, qerr)
+				}
+				quarantined[i] = qerr
+				settled[i] = true
+				journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
+					journal.KindWorkSkipped, map[string]any{
+						"stage":  "honeypot",
+						"reason": "quarantined in checkpoint",
+					})
+			}
+		}
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.Concurrency)
@@ -175,6 +229,9 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			break
+		}
+		if settled[i] {
+			continue
 		}
 		wg.Add(1)
 		sem <- struct{}{}
@@ -209,10 +266,16 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 					journal.Emit(expCtx, "honeypot", journal.KindBotQuarantined, map[string]any{
 						"error": err.Error(),
 					})
+					if cfg.OnSettled != nil {
+						cfg.OnSettled(b.ID, nil, err)
+					}
 				}
 				return
 			}
 			verdicts[i] = v
+			if cfg.OnSettled != nil {
+				cfg.OnSettled(b.ID, v, nil)
+			}
 		}(i, b)
 	}
 	wg.Wait()

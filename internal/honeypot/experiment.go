@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 	"repro/internal/platform"
+	"repro/internal/retry"
 	"repro/internal/scraper"
 )
 
@@ -40,13 +41,15 @@ func DefaultConfig() Config {
 	}
 }
 
-// Subject is one bot under test.
+// Subject is one bot under test. Runner is process state, not
+// evidence: it is excluded from serialized verdicts, so a verdict
+// restored from a checkpoint carries a nil Runner.
 type Subject struct {
 	ListingID int
 	Name      string
 	Perms     permissions.Permission
 	Prefix    string
-	Runner    BotRunner
+	Runner    BotRunner `json:"-"`
 }
 
 // Verdict is the outcome of one experiment.
@@ -80,6 +83,11 @@ type Env struct {
 	// Obs receives experiment counters and the settle-wait histogram;
 	// nil uses the process-default registry.
 	Obs *obs.Registry
+	// Breakers, when set, guards the gateway dial with a circuit
+	// breaker keyed "gateway <addr>": once the gateway is persistently
+	// unreachable, remaining experiments fail fast (and quarantine)
+	// instead of each paying the full dial timeout.
+	Breakers *retry.BreakerSet
 }
 
 // Run executes one isolated honeypot experiment for a subject,
@@ -156,7 +164,12 @@ func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict
 		return nil, fmt.Errorf("honeypot: install bot: %w", err)
 	}
 
+	gwBreaker := env.Breakers.For("gateway " + env.Gateway)
+	if berr := gwBreaker.Allow(); berr != nil {
+		return nil, fmt.Errorf("honeypot: connect bot: %w", berr)
+	}
 	sess, err := botsdk.Dial(env.Gateway, bot.Token, botsdk.Options{RequestTimeout: 5 * time.Second})
+	gwBreaker.Record(err != nil)
 	if err != nil {
 		return nil, fmt.Errorf("honeypot: connect bot: %w", err)
 	}

@@ -68,6 +68,15 @@ const (
 	KindStageDegraded  Kind = "stage_degraded"
 	KindBotQuarantined Kind = "bot_quarantined"
 	KindFaultInjected  Kind = "fault_injected"
+
+	// Crash-safety: checkpoint/resume progress, endpoint circuit
+	// breakers, and the per-stage watchdog.
+	KindCheckpointWritten Kind = "checkpoint_written"
+	KindRunResumed        Kind = "run_resumed"
+	KindWorkSkipped       Kind = "work_skipped"
+	KindBreakerOpened     Kind = "breaker_opened"
+	KindBreakerClosed     Kind = "breaker_closed"
+	KindStageStalled      Kind = "stage_stalled"
 )
 
 // Event is one journal line. Zero-valued correlation fields are omitted

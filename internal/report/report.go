@@ -269,6 +269,10 @@ type StageDegradation struct {
 	Retries     int
 	Quarantined int
 	Errors      int
+	// BudgetLeft is the stage's remaining shared retry budget when the
+	// stage finished; -1 means the stage ran unbudgeted (historical
+	// per-fetch pools) and renders as "-".
+	BudgetLeft int
 }
 
 // StageTimings renders the per-stage timing table of a pipeline trace:
@@ -289,7 +293,7 @@ func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegrad
 	sum := tr.Summary()
 	headers := []string{"Stage", "Duration", "Children", "Mean child"}
 	if deg != nil {
-		headers = append(headers, "Retries", "Quarantined")
+		headers = append(headers, "Retries", "Quarantined", "Budget left")
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Stage timings (trace %q)", sum.Name),
@@ -309,9 +313,13 @@ func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegrad
 		if deg != nil {
 			d, ok := deg[s.Name]
 			if ok {
-				row = append(row, fmt.Sprintf("%d", d.Retries), fmt.Sprintf("%d", d.Quarantined))
+				budgetCell := "-"
+				if d.BudgetLeft >= 0 {
+					budgetCell = fmt.Sprintf("%d", d.BudgetLeft)
+				}
+				row = append(row, fmt.Sprintf("%d", d.Retries), fmt.Sprintf("%d", d.Quarantined), budgetCell)
 			} else {
-				row = append(row, "-", "-")
+				row = append(row, "-", "-", "-")
 			}
 		}
 		t.AddRow(row...)

@@ -1,0 +1,293 @@
+package retry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
+
+// fakeClock is a hand-advanced clock so open→half-open transitions are
+// driven deterministically, not by wall time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testSet(t *testing.T, clk *fakeClock, transitions *[]string) (*BreakerSet, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	set := NewBreakerSet(BreakerConfig{
+		Window:         8,
+		MinSamples:     4,
+		FailureRate:    0.5,
+		OpenFor:        time.Second,
+		HalfOpenProbes: 2,
+		Now:            clk.Now,
+	}, BreakerOptions{
+		Obs: reg,
+		OnTransition: func(key string, from, to BreakerState) {
+			mu.Lock()
+			*transitions = append(*transitions, fmt.Sprintf("%s:%s->%s", key, from, to))
+			mu.Unlock()
+		},
+	})
+	return set, reg
+}
+
+// TestBreakerLifecycle drives closed → open → half-open → closed with
+// a fake clock and asserts every transition, gauge, and counter.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var transitions []string
+	set, reg := testSet(t, clk, &transitions)
+	b := set.For("listing /bot")
+
+	// Successes keep the circuit closed.
+	for i := 0; i < 6; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow: %v", err)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successes: %v", b.State())
+	}
+
+	// Failures past the windowed rate open it: window 8, rate 0.5 —
+	// after 4 failures the window holds 6 ok + ... wait-free math: the
+	// ring holds the last 8 outcomes, so 4 fresh failures against the 6
+	// successes give 4/8 = 0.5 ≥ threshold.
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow before open: %v", err)
+		}
+		b.Record(true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failures: %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Allow = %v, want ErrBreakerOpen", err)
+	}
+	if !strings.Contains(b.Allow().Error(), "listing /bot") {
+		t.Fatal("ErrBreakerOpen must carry the endpoint key")
+	}
+
+	// Cooldown elapses: one probe admitted, concurrent attempts still
+	// short-circuit.
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe Allow: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe = %v, want ErrBreakerOpen", err)
+	}
+	b.Record(false) // probe 1 ok
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow: %v", err)
+	}
+	b.Record(false) // probe 2 ok → closes
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probes: %v", b.State())
+	}
+
+	want := []string{
+		"listing /bot:closed->open",
+		"listing /bot:open->half-open",
+		"listing /bot:half-open->closed",
+	}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	if got := reg.Counter("retry_breaker_opened_total").Value(); got != 1 {
+		t.Fatalf("opened counter = %d", got)
+	}
+	if got := reg.Counter("retry_breaker_closed_total").Value(); got != 1 {
+		t.Fatalf("closed counter = %d", got)
+	}
+	if got := reg.Gauge("retry_breakers_open").Value(); got != 0 {
+		t.Fatalf("open gauge = %d after recovery", got)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed half-open probe condemns the
+// circuit again without double-counting the open gauge.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var transitions []string
+	set, reg := testSet(t, clk, &transitions)
+	b := set.For("codehost /gh")
+
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v", b.State())
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true) // probe fails → reopen
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	if got := reg.Gauge("retry_breakers_open").Value(); got != 1 {
+		t.Fatalf("open gauge = %d, want 1 (no double count)", got)
+	}
+	if got := reg.Counter("retry_breaker_opened_total").Value(); got != 2 {
+		t.Fatalf("opened counter = %d, want 2 (initial + reopen)", got)
+	}
+	// The cooldown restarts from the reopen.
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow right after reopen = %v", err)
+	}
+}
+
+// TestBreakerDeterministicTransitions: the same outcome sequence yields
+// the same transition log, run after run — the property chaos tests
+// lean on under a fixed fault seed.
+func TestBreakerDeterministicTransitions(t *testing.T) {
+	outcomes := []bool{false, true, true, false, true, true, true, false, true, true}
+	run := func() []string {
+		clk := &fakeClock{now: time.Unix(42, 0)}
+		var transitions []string
+		set, _ := testSet(t, clk, &transitions)
+		b := set.For("k")
+		for _, fail := range outcomes {
+			if err := b.Allow(); err != nil {
+				continue
+			}
+			b.Record(fail)
+		}
+		return transitions
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("outcome sequence tripped no transitions")
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("run %d transitions = %v, want %v", i, got, first)
+		}
+	}
+}
+
+// TestBreakerJournalEvents: opening and closing emit the journal
+// vocabulary the ISSUE's operators inspect with `botscan journal`.
+func TestBreakerJournalEvents(t *testing.T) {
+	var buf bytes.Buffer
+	jnl := journal.New(&buf, journal.Options{Obs: obs.NewRegistry()})
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	set := NewBreakerSet(BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRate: 0.5, OpenFor: time.Second,
+		HalfOpenProbes: 1, Now: clk.Now,
+	}, BreakerOptions{Obs: obs.NewRegistry(), Journal: jnl})
+	b := set.For("gw 127.0.0.1")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(true)
+	}
+	clk.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false)
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, skipped, err := journal.Decode(&buf)
+	if err != nil || skipped != 0 {
+		t.Fatalf("decode: %v (skipped %d)", err, skipped)
+	}
+	kinds := make(map[journal.Kind]int)
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Fields["endpoint"] != "gw 127.0.0.1" {
+			t.Fatalf("event %s missing endpoint key: %+v", e.Kind, e)
+		}
+	}
+	if kinds[journal.KindBreakerOpened] != 1 || kinds[journal.KindBreakerClosed] != 1 {
+		t.Fatalf("journal kinds = %v", kinds)
+	}
+}
+
+// TestBreakerNilSafety: nil sets and breakers are inert, like every
+// other optional plane in this codebase.
+func TestBreakerNilSafety(t *testing.T) {
+	var set *BreakerSet
+	b := set.For("anything")
+	if b != nil {
+		t.Fatal("nil set must hand out nil breakers")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker Allow: %v", err)
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker must read closed")
+	}
+	if set.States() != nil {
+		t.Fatal("nil set States must be nil")
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines under
+// -race: the circuit must stay internally consistent (every Allow
+// paired with Record, states always valid).
+func TestBreakerConcurrent(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	var transitions []string
+	set, _ := testSet(t, clk, &transitions)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			b := set.For("shared")
+			for i := 0; i < 200; i++ {
+				if err := b.Allow(); err != nil {
+					if !errors.Is(err, ErrBreakerOpen) {
+						t.Errorf("unexpected Allow error: %v", err)
+						return
+					}
+					clk.Advance(10 * time.Millisecond)
+					continue
+				}
+				b.Record(i%3 == 0)
+			}
+			_ = set.States()
+		}(g)
+	}
+	wg.Wait()
+	switch st := set.For("shared").State(); st {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Fatalf("invalid final state %v", st)
+	}
+}

@@ -35,10 +35,14 @@ type Client struct {
 
 	// retryBudget, when set, is shared across every fetch this client
 	// makes (per-stage budget); nil gives each fetch its own pool.
+	// Guarded by mu so a resumed run can restore a remainder.
 	retryBudget *retry.Budget
 	// transportRetries bounds transient-fault retries (5xx, resets,
 	// truncated bodies) per fetch.
 	transportRetries int
+	// breakers, when set, short-circuits fetches against endpoint
+	// classes that are persistently failing; nil disables the circuit.
+	breakers *retry.BreakerSet
 
 	mu      sync.Mutex
 	lastReq time.Time
@@ -78,6 +82,11 @@ type ClientConfig struct {
 	// faults — 5xx responses, connection resets, truncated bodies
 	// (default 3; throttling has its own budget).
 	TransportRetries int
+	// Breakers, when set, wraps every fetch in a per-endpoint-class
+	// circuit breaker: once a class (host + first path segment, e.g.
+	// "/bot") fails persistently, further fetches fail fast with
+	// ErrUnavailable instead of burning the backoff schedule.
+	Breakers *retry.BreakerSet
 }
 
 // Stats counts crawler-side events, the operational numbers a
@@ -136,6 +145,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		minInterval:      cfg.MinInterval,
 		retryBudget:      cfg.RetryBudget,
 		transportRetries: cfg.TransportRetries,
+		breakers:         cfg.Breakers,
 		session:          fmt.Sprintf("s%d", time.Now().UnixNano()),
 		cRequests:        reg.Counter("scraper_requests_total"),
 		cThrottle:        reg.Counter("scraper_throttled_total"),
@@ -166,6 +176,32 @@ func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// SetRetryBudget swaps the client's shared retry budget. A resumed run
+// uses it to restore the remainder a checkpoint recorded, so a stage
+// that had nearly exhausted its budget before the crash cannot respend
+// it after resume.
+func (c *Client) SetRetryBudget(b *retry.Budget) {
+	c.mu.Lock()
+	c.retryBudget = b
+	c.mu.Unlock()
+}
+
+// endpointClass maps a ref to its breaker key: host plus the first
+// path segment, so /bot/99 and /bot/7 share one circuit while /bots
+// and /site each get their own.
+func (c *Client) endpointClass(ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return c.base.Host + " " + ref
+	}
+	full := c.base.ResolveReference(u)
+	seg := full.Path
+	if i := strings.Index(strings.TrimPrefix(seg, "/"), "/"); i >= 0 {
+		seg = seg[:i+1]
+	}
+	return full.Host + " " + seg
 }
 
 // pace enforces the politeness interval, aborting early when ctx is
@@ -257,16 +293,29 @@ func (c *Client) fetchPolicy(ref string, budget *retry.Budget) retry.Policy {
 // retry budget and transient transport faults on a small per-fetch
 // allowance.
 func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) {
+	c.mu.Lock()
 	budget := c.retryBudget
+	c.mu.Unlock()
 	if budget == nil {
 		budget = retry.NewBudget(60)
 	}
+	br := c.breakers.For(c.endpointClass(ref))
 	transientLeft := c.transportRetries
 	attempts := 0
 	var body string
 	err := retry.Do(ctx, c.fetchPolicy(ref, budget), func(ctx context.Context) error {
 		attempts++
+		if berr := br.Allow(); berr != nil {
+			// The circuit for this endpoint class is open: fail fast as
+			// an infrastructure error so the caller quarantines instead
+			// of burning the backoff schedule on a known-down endpoint.
+			return retry.Permanent(fmt.Errorf("%w: %s: %v", ErrUnavailable, ref, berr))
+		}
 		out, err := c.fetchOnce(ctx, ref)
+		// Only transient transport faults condemn the endpoint class:
+		// throttling, captchas, and 404s prove the endpoint is alive.
+		var bte *transientError
+		br.Record(errors.As(err, &bte))
 		if err == nil {
 			body = out
 			return nil

@@ -74,6 +74,31 @@ type Config struct {
 	// Strict restores the pre-quarantine behavior: the first failed bot
 	// aborts the whole crawl with an error instead of being skipped.
 	Strict bool
+	// Resume, when set, replays settled outcomes from a checkpoint: the
+	// recorded listing is reused instead of re-paginating, and settled
+	// bots are skipped idempotently (journaled as work_skipped) with
+	// their prior outcome copied into the result.
+	Resume *ResumeState
+	// OnSettled, when set, observes each freshly settled bot — the
+	// checkpointer's feed. rec is nil when the bot was quarantined
+	// (qerr set). Not called for resumed skips; the checkpoint already
+	// holds those. May be called concurrently from worker goroutines.
+	OnSettled func(id int, rec *Record, qerr error)
+	// OnListed observes the discovered listing before per-bot fetches
+	// begin, so a checkpoint can persist the work plan itself.
+	OnListed func(ids []int)
+}
+
+// ResumeState carries a checkpoint's settled crawl outcomes back into
+// a resumed run.
+type ResumeState struct {
+	// IDs is the listing discovered by the interrupted run; when
+	// non-empty the crawl skips pagination entirely and reuses it.
+	IDs []int
+	// Records maps bot ID → settled record.
+	Records map[int]*Record
+	// Quarantined maps bot ID → the error that quarantined it.
+	Quarantined map[int]error
 }
 
 // Quarantined records one bot abandoned after its fetches exhausted
@@ -88,6 +113,10 @@ type Quarantined struct {
 // (if pagination itself ended early). A crawl under fault pressure
 // returns all three instead of collapsing to a single error.
 type CrawlResult struct {
+	// IDs is the full listing in discovery order — the crawl's work
+	// plan, persisted by checkpoints so a resumed run need not
+	// re-paginate.
+	IDs []int
 	// Records holds one record per successfully scraped bot, in listing
 	// order.
 	Records []*Record
@@ -140,11 +169,25 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
 	}
-	ids, listErr := ListBotIDsContext(ctx, c, cfg.MaxPages)
-	if listErr != nil {
-		if cfg.Strict || errors.Is(listErr, context.Canceled) || errors.Is(listErr, context.DeadlineExceeded) {
-			return nil, listErr
+	var ids []int
+	var listErr error
+	if cfg.Resume != nil && len(cfg.Resume.IDs) > 0 {
+		// The interrupted run already paid for pagination; reuse its
+		// listing so the resumed run sees the identical work plan.
+		ids = cfg.Resume.IDs
+	} else {
+		ids, listErr = ListBotIDsContext(ctx, c, cfg.MaxPages)
+		if listErr != nil {
+			if cfg.Strict || errors.Is(listErr, context.Canceled) || errors.Is(listErr, context.DeadlineExceeded) {
+				return nil, listErr
+			}
 		}
+	}
+	// A partial listing (pagination died mid-walk) is not a durable
+	// work plan: only a complete discovery is reported, so a resumed
+	// run re-paginates rather than inheriting the truncation.
+	if cfg.OnListed != nil && listErr == nil {
+		cfg.OnListed(ids)
 	}
 	records := make([]*Record, len(ids))
 	quarantined := make([]error, len(ids))
@@ -163,6 +206,30 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			break
+		}
+		if cfg.Resume != nil {
+			if rec, ok := cfg.Resume.Records[id]; ok {
+				records[i] = rec
+				journal.Emit(journal.WithBot(ctx, id, rec.Name), "scraper",
+					journal.KindWorkSkipped, map[string]any{
+						"stage":  "collect",
+						"reason": "settled in checkpoint",
+					})
+				continue
+			}
+			if qerr, ok := cfg.Resume.Quarantined[id]; ok {
+				if cfg.Strict {
+					fail(fmt.Errorf("bot %d: %w", id, qerr))
+					break
+				}
+				quarantined[i] = qerr
+				journal.Emit(journal.WithBot(ctx, id, ""), "scraper",
+					journal.KindWorkSkipped, map[string]any{
+						"stage":  "collect",
+						"reason": "quarantined in checkpoint",
+					})
+				continue
+			}
 		}
 		wg.Add(1)
 		sem <- struct{}{}
@@ -185,6 +252,9 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 					journal.Emit(botCtx, "scraper", journal.KindBotQuarantined, map[string]any{
 						"error": err.Error(),
 					})
+					if cfg.OnSettled != nil {
+						cfg.OnSettled(id, nil, err)
+					}
 				}
 				return
 			}
@@ -196,13 +266,16 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 					"votes":          rec.Votes,
 					"has_policy":     rec.PolicyLinkFound && !rec.PolicyLinkDead,
 				})
+			if cfg.OnSettled != nil {
+				cfg.OnSettled(id, rec, nil)
+			}
 		}(i, id)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	res := &CrawlResult{ListErr: listErr}
+	res := &CrawlResult{ListErr: listErr, IDs: ids}
 	for i, rec := range records {
 		switch {
 		case rec != nil:

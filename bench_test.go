@@ -49,12 +49,12 @@ var benchBots = flag.Int("bench-bots", 1000, "population size for table/figure b
 // crawls it once, returning the records the table benchmarks consume.
 func crawlFixture(b *testing.B, n int) (*core.Auditor, []*scraper.Record) {
 	b.Helper()
-	a, err := core.NewAuditor(core.Options{Seed: 2022, NumBots: n, HoneypotSample: 1})
+	a, err := core.NewAuditor(core.Options{Seed: 2022, NumBots: n, Honeypot: core.HoneypotOptions{Sample: 1}})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Cleanup(a.Close)
-	records, err := a.Collect()
+	records, err := a.CollectContext(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,15 +66,17 @@ func crawlFixture(b *testing.B, n int) (*core.Auditor, []*scraper.Record) {
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a, err := core.NewAuditor(core.Options{
-			Seed:           int64(i + 1),
-			NumBots:        150,
-			HoneypotSample: 10,
-			HoneypotSettle: 300 * time.Millisecond,
+			Seed:    int64(i + 1),
+			NumBots: 150,
+			Honeypot: core.HoneypotOptions{
+				Sample: 10,
+				Settle: 300 * time.Millisecond,
+			},
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := a.RunAll()
+		res, err := a.RunAllContext(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +136,7 @@ func BenchmarkTable2Traceability(b *testing.B) {
 	b.ResetTimer()
 	var data report.Table2Data
 	for i := 0; i < b.N; i++ {
-		data, _ = a.Traceability(records)
+		data, _ = a.TraceabilityContext(context.Background(), records)
 	}
 	b.StopTimer()
 	report.Table2(io.Discard, data)
@@ -154,7 +156,7 @@ func BenchmarkTable3CodeAnalysis(b *testing.B) {
 	var res *codeanalysis.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, _, err = a.CodeAnalysis(records)
+		res, _, err = a.CodeAnalysisContext(context.Background(), records)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +173,7 @@ func BenchmarkGitHubLinkTaxonomy(b *testing.B) {
 	a, records := crawlFixture(b, *benchBots)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, _, err := a.CodeAnalysis(records)
+		res, _, err := a.CodeAnalysisContext(context.Background(), records)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,10 +202,11 @@ func BenchmarkScrapeYield(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		records, err = scraper.Crawl(c, scraper.Config{Workers: 8})
+		cres, err := scraper.CrawlResultContext(context.Background(), c, scraper.Config{Workers: 8, Strict: true})
 		if err != nil {
 			b.Fatal(err)
 		}
+		records = cres.Records
 	}
 	b.StopTimer()
 	report.ScrapeYield(io.Discard, records)
@@ -287,7 +290,7 @@ func BenchmarkHoneypotCampaign(b *testing.B) {
 		}
 		cfg := honeypot.DefaultConfig()
 		cfg.Settle = 300 * time.Millisecond
-		res, err := honeypot.Campaign(env, eco, honeypot.CampaignConfig{
+		res, err := honeypot.CampaignContext(context.Background(), env, eco, honeypot.CampaignConfig{
 			SampleSize: 25, Concurrency: 12, Experiment: cfg,
 		})
 		if err != nil {
@@ -301,6 +304,41 @@ func BenchmarkHoneypotCampaign(b *testing.B) {
 		gw.Close()
 		svc.Close()
 		p.Close()
+	}
+}
+
+// ---- SCALE: sharded work-stealing executor smoke ----
+
+// BenchmarkShardedScaleSmoke runs the full pipeline over a 2,000-bot
+// population on the sharded work-stealing executor — the scaled-down
+// rehearsal of the paper-scale 20,915-bot run that produces
+// BENCH_SCALE.json — and reports end-to-end scheduler throughput.
+func BenchmarkShardedScaleSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := core.NewAuditor(core.Options{
+			Seed:    2022,
+			NumBots: 2000,
+			Honeypot: core.HoneypotOptions{
+				Sample:      50,
+				Concurrency: 16,
+				Settle:      200 * time.Millisecond,
+			},
+			Exec: core.ExecOptions{Shards: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := a.RunAllContext(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Scale == nil || res.Scale.Items == 0 {
+			b.Fatal("sharded run reported no scale stats")
+		}
+		b.ReportMetric(res.Scale.BotsPerSec, "bots_per_sec")
+		b.ReportMetric(float64(res.Scale.Steals), "steals")
+		b.ReportMetric(res.Scale.ShardImbalance, "shard_imbalance")
+		a.Close()
 	}
 }
 
@@ -390,7 +428,7 @@ func BenchmarkAblationLocators(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	doc, err := c.Get("/bots?page=1")
+	doc, err := c.GetContext(context.Background(), "/bots?page=1")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -435,7 +473,7 @@ func BenchmarkAblationScrapeConcurrency(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := scraper.Crawl(c, scraper.Config{Workers: workers}); err != nil {
+				if _, err := scraper.CrawlResultContext(context.Background(), c, scraper.Config{Workers: workers, Strict: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -650,7 +688,7 @@ func BenchmarkHTMLParseListingPage(b *testing.B) {
 	}
 	defer srv.Close()
 	c, _ := scraper.NewClient(scraper.ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
-	raw, err := c.GetRaw("/bots?page=1")
+	raw, err := c.GetRawContext(context.Background(), "/bots?page=1")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -25,7 +27,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
@@ -34,7 +35,6 @@ import (
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
 	"repro/internal/report"
-	"repro/internal/retry"
 )
 
 func main() {
@@ -44,24 +44,27 @@ func main() {
 	}
 
 	var (
-		seed        = flag.Int64("seed", 2022, "ecosystem generation seed")
-		bots        = flag.Int("bots", 2000, "listing population size (paper: 20915)")
-		sample      = flag.Int("sample", 100, "honeypot sample size (paper: 500)")
-		workers     = flag.Int("workers", 8, "scraper parallelism")
-		settle      = flag.Duration("settle", 500*time.Millisecond, "honeypot trigger-watch window per bot")
-		defences    = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
-		fullScale   = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
-		exportDir   = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
-		metricsAddr = flag.String("metrics-addr", "", "also serve the operational endpoints (/metrics, /healthz, /debug/pprof) on this address")
-		journalPath = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
-		faultProf   = flag.String("fault-profile", "", fmt.Sprintf("inject deterministic faults using this named profile (%s)", strings.Join(faults.Names(), ", ")))
-		faultSeed   = flag.Int64("fault-seed", 1, "fault injector seed (same seed + profile replays the same fault ledger)")
-		ckptDir     = flag.String("checkpoint-dir", "", "write crash-safe progress snapshots into this directory")
-		ckptEvery   = flag.Int("checkpoint-every", 25, "also snapshot after this many freshly settled bots (stage boundaries always snapshot)")
-		resumeRun   = flag.String("resume", "", "resume a checkpointed run: a run ID, or 'latest' (requires -checkpoint-dir)")
-		breakers    = flag.Bool("breakers", false, "wrap scraper/code-host/gateway transports in per-endpoint-class circuit breakers")
-		stageDL     = flag.Duration("stage-deadline", 0, "soft per-stage watchdog deadline (0 disables; a stalled stage is dumped and cancelled)")
-		verbose     = flag.Bool("v", false, "debug-level logging")
+		seed         = flag.Int64("seed", 2022, "ecosystem generation seed")
+		bots         = flag.Int("bots", 2000, "listing population size (paper: 20915)")
+		sample       = flag.Int("sample", 100, "honeypot sample size (paper: 500)")
+		workers      = flag.Int("workers", 8, "scraper parallelism (sequential executor)")
+		shards       = flag.Int("shards", 0, "run the sharded work-stealing executor with this many shards (0 = sequential)")
+		stageWorkers = flag.Int("stage-workers", 0, "per-stage concurrency bound under -shards (0 = one per shard)")
+		benchScale   = flag.String("bench-scale", "", "append this run's scheduler/throughput stats to this JSON file (requires -shards)")
+		settle       = flag.Duration("settle", 500*time.Millisecond, "honeypot trigger-watch window per bot")
+		defences     = flag.Bool("defences", false, "enable listing anti-scraping defences (captcha, flaky pages, rate limit)")
+		fullScale    = flag.Bool("full-scale", false, "use the paper's full 20,915-bot population (slow)")
+		exportDir    = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
+		metricsAddr  = flag.String("metrics-addr", "", "also serve the operational endpoints (/metrics, /healthz, /debug/pprof) on this address")
+		journalPath  = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
+		faultProf    = flag.String("fault-profile", "", fmt.Sprintf("inject deterministic faults using this named profile (%s)", strings.Join(faults.Names(), ", ")))
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed (same seed + profile replays the same fault ledger)")
+		ckptDir      = flag.String("checkpoint-dir", "", "write crash-safe progress snapshots into this directory")
+		ckptEvery    = flag.Int("checkpoint-every", 25, "also snapshot after this many freshly settled bots (stage boundaries always snapshot)")
+		resumeRun    = flag.String("resume", "", "resume a checkpointed run: a run ID, or 'latest' (requires -checkpoint-dir)")
+		breakers     = flag.Bool("breakers", false, "wrap scraper/code-host/gateway transports in per-endpoint-class circuit breakers")
+		stageDL      = flag.Duration("stage-deadline", 0, "soft per-stage watchdog deadline (0 disables; a stalled stage is dumped and cancelled)")
+		verbose      = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
 
@@ -75,28 +78,48 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *resumeRun != "" && *ckptDir == "" {
+		fatal("resume", fmt.Errorf("-resume requires -checkpoint-dir"))
+	}
+
+	// The whole run configuration is one options literal; NewAuditor
+	// resolves profile names, directories, and breaker configs into
+	// live subsystems.
+	reg := obs.NewRegistry()
 	opts := core.Options{
-		Seed:                *seed,
-		NumBots:             *bots,
-		ScrapeWorkers:       *workers,
-		HoneypotSample:      *sample,
-		HoneypotConcurrency: 16,
-		HoneypotSettle:      *settle,
+		Seed:    *seed,
+		NumBots: *bots,
+		Scrape:  core.ScrapeOptions{Workers: *workers},
+		Honeypot: core.HoneypotOptions{
+			Sample:      *sample,
+			Concurrency: 16,
+			Settle:      *settle,
+		},
+		Exec: core.ExecOptions{
+			Shards: *shards,
+			StageWorkers: core.StageWorkers{
+				Collect:  *stageWorkers,
+				Code:     *stageWorkers,
+				Honeypot: *stageWorkers,
+			},
+			StageSoftDeadline: *stageDL,
+		},
+		Faults:     core.FaultOptions{Profile: *faultProf, Seed: *faultSeed},
+		Checkpoint: core.CheckpointOptions{Dir: *ckptDir, Every: *ckptEvery, Resume: *resumeRun},
+		Breakers:   core.BreakerOptions{Enabled: *breakers},
+		Obs:        reg,
 	}
 	if *fullScale {
 		opts.NumBots = 0 // defaults to 20,915
 	}
 	if *defences {
-		opts.AntiScrape = listing.AntiScrape{
+		opts.Scrape.AntiScrape = listing.AntiScrape{
 			RequestsPerSecond: 500,
 			Burst:             50,
 			CaptchaEvery:      200,
 			FlakyEvery:        10,
 		}
 	}
-
-	reg := obs.NewRegistry()
-	opts.Obs = reg
 	if *journalPath != "" {
 		j, err := journal.Open(*journalPath, journal.Options{Obs: reg})
 		if err != nil {
@@ -106,32 +129,6 @@ func main() {
 		opts.Journal = j
 		logger.Info("journal enabled", "path", *journalPath)
 	}
-	if *faultProf != "" {
-		prof, err := faults.Named(*faultProf)
-		if err != nil {
-			fatal("fault profile", err)
-		}
-		opts.Faults = faults.New(prof, *faultSeed, faults.Options{Obs: reg, Journal: opts.Journal})
-		logger.Info("fault injection enabled", "profile", prof.Name, "seed", *faultSeed)
-	}
-	if *resumeRun != "" && *ckptDir == "" {
-		fatal("resume", fmt.Errorf("-resume requires -checkpoint-dir"))
-	}
-	if *ckptDir != "" {
-		st, err := checkpoint.NewStore(*ckptDir)
-		if err != nil {
-			fatal("checkpoint store", err)
-		}
-		opts.Checkpoint = &core.CheckpointConfig{Store: st, Every: *ckptEvery, Resume: *resumeRun}
-		logger.Info("checkpointing enabled", "dir", st.Dir(), "every", *ckptEvery, "resume", *resumeRun)
-	}
-	if *breakers {
-		opts.Breakers = retry.NewBreakerSet(retry.BreakerConfig{}, retry.BreakerOptions{
-			Obs: reg, Journal: opts.Journal,
-		})
-		logger.Info("circuit breakers enabled")
-	}
-	opts.StageSoftDeadline = *stageDL
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -148,10 +145,19 @@ func main() {
 		fatal("start auditor", err)
 	}
 	defer a.Close()
+	if opts.Faults.Profile != "" {
+		logger.Info("fault injection enabled", "profile", opts.Faults.Profile, "seed", *faultSeed)
+	}
+	if *ckptDir != "" {
+		logger.Info("checkpointing enabled", "dir", *ckptDir, "every", *ckptEvery, "resume", *resumeRun)
+	}
+	if *breakers {
+		logger.Info("circuit breakers enabled")
+	}
 	logger.Info("ecosystem generated",
 		"bots", len(a.Ecosystem().Bots), "listing", a.ListingURL(), "metrics", a.MetricsURL())
 
-	res, err := a.RunAll()
+	res, err := a.RunAllContext(context.Background())
 	if err != nil {
 		fatal("pipeline", err)
 	}
@@ -170,6 +176,37 @@ func main() {
 		}
 		logger.Info("datasets written", "dir", *exportDir)
 	}
+	if *benchScale != "" {
+		if res.Scale == nil {
+			fatal("bench-scale", fmt.Errorf("-bench-scale requires -shards"))
+		}
+		if err := appendBenchScale(*benchScale, res.Scale); err != nil {
+			fatal("bench-scale", err)
+		}
+		logger.Info("scale benchmark appended", "path", *benchScale, "shards", res.Scale.Shards,
+			"bots_per_sec", fmt.Sprintf("%.1f", res.Scale.BotsPerSec))
+	}
+}
+
+// appendBenchScale read-modify-writes the BENCH_SCALE.json run list so
+// successive runs (different shard counts) accumulate in one file.
+func appendBenchScale(path string, s *core.ScaleStats) error {
+	doc := struct {
+		Runs []*core.ScaleStats `json:"runs"`
+	}{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("bench-scale: %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc.Runs = append(doc.Runs, s)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // journalMode is the inspection subcommand: decode a journal written by

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,10 +21,12 @@ func main() {
 	// listing, a GitHub-style code host, the messaging platform with
 	// its gateway, and the canary trigger service.
 	auditor, err := core.NewAuditor(core.Options{
-		Seed:           1,
-		NumBots:        400,
-		HoneypotSample: 30,
-		HoneypotSettle: 400 * time.Millisecond,
+		Seed:    1,
+		NumBots: 400,
+		Honeypot: core.HoneypotOptions{
+			Sample: 30,
+			Settle: 400 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +37,7 @@ func main() {
 	fmt.Printf("population: %d bots\n\n", len(auditor.Ecosystem().Bots))
 
 	// Stage 1-4: scrape, traceability, code analysis, honeypot.
-	results, err := auditor.RunAll()
+	results, err := auditor.RunAllContext(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,11 +26,12 @@ func main() {
 	}
 	defer auditor.Close()
 
-	records, err := auditor.Collect()
+	ctx := context.Background()
+	records, err := auditor.CollectContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, dataTypes := auditor.Traceability(records)
+	data, dataTypes := auditor.TraceabilityContext(ctx, records)
 	report.Table2(os.Stdout, data)
 	fmt.Println()
 	report.DataTypes(os.Stdout, dataTypes)

@@ -80,14 +80,9 @@ func ScanSource(src string) []string {
 	return found
 }
 
-// AnalyzeLink resolves one GitHub link against the code host and
-// produces the per-bot analysis.
-func AnalyzeLink(c *scraper.Client, botID int, link string) (*RepoAnalysis, error) {
-	return AnalyzeLinkContext(context.Background(), c, botID, link)
-}
-
-// AnalyzeLinkContext is AnalyzeLink with cancellation: fetches abort as
-// soon as ctx is done.
+// AnalyzeLinkContext resolves one GitHub link against the code host
+// and produces the per-bot analysis; fetches abort as soon as ctx is
+// done.
 func AnalyzeLinkContext(ctx context.Context, c *scraper.Client, botID int, link string) (*RepoAnalysis, error) {
 	ra := &RepoAnalysis{BotID: botID, Link: link}
 	doc, err := c.GetContext(ctx, link)
@@ -186,10 +181,48 @@ type QuarantinedLink struct {
 // Degraded reports whether any link analysis was lost.
 func (r *Result) Degraded() bool { return len(r.Quarantined) > 0 }
 
-// Analyze runs the code-analysis stage over scraped records. Records
-// without GitHub links are skipped; workers controls fetch parallelism.
-func Analyze(c *scraper.Client, records []*scraper.Record, workers int) (*Result, []*RepoAnalysis, error) {
-	return AnalyzeContext(context.Background(), c, records, workers)
+// NewResult creates an empty aggregate with its maps allocated — both
+// executors build Results through it so fault-free runs compare equal.
+func NewResult() *Result {
+	return &Result{
+		Outcomes:    make(map[LinkOutcome]int),
+		ByLanguage:  make(map[string]int),
+		PatternHits: make(map[string]int),
+	}
+}
+
+// NoteBot counts one active (perms-valid) bot into the stage totals.
+func (r *Result) NoteBot(hasLink bool) {
+	r.ActiveBots++
+	if hasLink {
+		r.WithLink++
+	}
+}
+
+// Add folds one per-bot analysis into the §4.2 aggregate. Commutative,
+// so accumulation order — sequential job order or sharded completion
+// order — does not affect the totals.
+func (r *Result) Add(ra *RepoAnalysis) {
+	r.Outcomes[ra.Outcome]++
+	if ra.Outcome != OutcomeValidRepo {
+		return
+	}
+	r.ByLanguage[ra.MainLanguage]++
+	switch ra.MainLanguage {
+	case "JavaScript":
+		r.JSAnalyzed++
+		if ra.PerformsCheck {
+			r.JSChecked++
+		}
+	case "Python":
+		r.PyAnalyzed++
+		if ra.PerformsCheck {
+			r.PyChecked++
+		}
+	}
+	for _, p := range ra.PatternsFound {
+		r.PatternHits[p]++
+	}
 }
 
 // AnalyzeOptions extends AnalyzeContext with checkpoint/resume hooks.
@@ -245,11 +278,7 @@ func AnalyzeOptionsContext(ctx context.Context, c *scraper.Client, records []*sc
 	if workers <= 0 {
 		workers = 4
 	}
-	res := &Result{
-		Outcomes:    make(map[LinkOutcome]int),
-		ByLanguage:  make(map[string]int),
-		PatternHits: make(map[string]int),
-	}
+	res := NewResult()
 	type job struct {
 		botID int
 		link  string
@@ -261,11 +290,10 @@ func AnalyzeOptionsContext(ctx context.Context, c *scraper.Client, records []*sc
 		if r == nil || !r.PermsValid {
 			continue
 		}
-		res.ActiveBots++
+		res.NoteBot(r.GitHubURL != "")
 		if r.GitHubURL == "" {
 			continue
 		}
-		res.WithLink++
 		if _, ok := links[r.GitHubURL]; !ok {
 			uniq = append(uniq, r.GitHubURL)
 		}
@@ -402,26 +430,7 @@ func AnalyzeOptionsContext(ctx context.Context, c *scraper.Client, records []*sc
 	}
 
 	for _, ra := range analyses {
-		res.Outcomes[ra.Outcome]++
-		if ra.Outcome != OutcomeValidRepo {
-			continue
-		}
-		res.ByLanguage[ra.MainLanguage]++
-		switch ra.MainLanguage {
-		case "JavaScript":
-			res.JSAnalyzed++
-			if ra.PerformsCheck {
-				res.JSChecked++
-			}
-		case "Python":
-			res.PyAnalyzed++
-			if ra.PerformsCheck {
-				res.PyChecked++
-			}
-		}
-		for _, p := range ra.PatternsFound {
-			res.PatternHits[p]++
-		}
+		res.Add(ra)
 	}
 	return res, analyses, nil
 }

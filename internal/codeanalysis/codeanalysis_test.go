@@ -1,6 +1,7 @@
 package codeanalysis
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -75,7 +76,7 @@ func TestAnalyzeLinkOutcomes(t *testing.T) {
 		{"/ghost/nothing", OutcomeDead, "", false},
 	}
 	for _, tc := range cases {
-		ra, err := AnalyzeLink(c, 1, tc.link)
+		ra, err := AnalyzeLinkContext(context.Background(), c, 1, tc.link)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.link, err)
 		}
@@ -112,7 +113,7 @@ func TestAnalyzeAggregate(t *testing.T) {
 		{ID: 6, PermsValid: false, GitHubURL: "/a/js-checked"}, // inactive: skipped
 		nil,
 	}
-	res, analyses, err := Analyze(c, records, 2)
+	res, analyses, err := AnalyzeContext(context.Background(), c, records, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestSyntheticPopulationRates(t *testing.T) {
 			GitHubURL:  b.GitHubURL,
 		})
 	}
-	res, _, err := Analyze(c, records, 8)
+	res, _, err := AnalyzeContext(context.Background(), c, records, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

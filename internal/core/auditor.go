@@ -11,8 +11,14 @@
 //
 //	a, _ := core.NewAuditor(core.Options{Seed: 1, NumBots: 2000})
 //	defer a.Close()
-//	res, _ := a.RunAll()
+//	res, _ := a.RunAllContext(ctx)
 //	res.Report(os.Stdout)
+//
+// Two executors share the same per-bot machinery: the default
+// sequential one runs the four stages as whole-population batches, and
+// the sharded one (Options.Exec.Shards >= 1) carries each bot through
+// collect → traceability → code analysis → honeypot on a work-stealing
+// scheduler with per-stage concurrency gates.
 package core
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/canary"
+	"repro/internal/checkpoint"
 	"repro/internal/codeanalysis"
 	"repro/internal/codehost"
 	"repro/internal/corpus"
@@ -34,7 +41,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
-	"repro/internal/checkpoint"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/retry"
@@ -44,7 +50,108 @@ import (
 	"repro/internal/vetting"
 )
 
-// Options configures an Auditor.
+// ScrapeOptions groups the collection-stage knobs.
+type ScrapeOptions struct {
+	// AntiScrape configures the listing site's defences; zero value
+	// disables them for fast runs.
+	AntiScrape listing.AntiScrape
+	// Timeout bounds each scraper fetch (default 500ms — shorter than
+	// the slow-redirect delay, as the paper's timeouts were).
+	Timeout time.Duration
+	// Workers is the crawl parallelism (default 8). The sharded
+	// executor uses Exec.StageWorkers.Collect instead.
+	Workers int
+	// Solver answers captchas for both the scraper and the honeypot
+	// installer; defaults to a TwoCaptchaSim.
+	Solver scraper.Solver
+}
+
+// HoneypotOptions groups the dynamic-analysis knobs.
+type HoneypotOptions struct {
+	// Sample is how many most-voted bots the dynamic analysis tests
+	// (default: the paper's 500, capped at the population).
+	Sample int
+	// Concurrency bounds simultaneous guild experiments in the
+	// sequential executor (default 8); the sharded executor uses
+	// Exec.StageWorkers.Honeypot.
+	Concurrency int
+	// Settle is the per-bot trigger-watch window (default 500ms).
+	Settle time.Duration
+}
+
+// StageWorkers bounds the sharded executor's per-stage concurrency:
+// how many workers may simultaneously occupy each stage's gate, i.e.
+// how much pressure the listing server, code host, and gateway each
+// see. Zero fields default to Exec.Shards.
+type StageWorkers struct {
+	Collect  int
+	Code     int
+	Honeypot int
+}
+
+// ExecOptions selects and tunes the pipeline executor.
+type ExecOptions struct {
+	// Strict restores fail-fast semantics: the first stage-level or
+	// per-bot failure aborts the pipeline instead of quarantining the
+	// bot and continuing with partial results.
+	Strict bool
+	// Shards switches RunAllContext to the sharded work-stealing
+	// executor with that many shards: each worker carries one bot
+	// through all four stages, stealing from loaded shards when its
+	// own drains. Zero (the default) keeps the sequential
+	// stage-at-a-time executor.
+	Shards int
+	// StageWorkers bounds per-stage concurrency under the sharded
+	// executor; zero fields default to Shards.
+	StageWorkers StageWorkers
+	// StageSoftDeadline, when positive, arms a watchdog over each
+	// pipeline stage: a stage running past the deadline gets a
+	// stage_stalled journal event carrying a full goroutine dump, then
+	// its context is cancelled with ErrStageStalled as the cause.
+	// Under the sharded executor stages share one wall-clock window,
+	// so the deadline spans the whole pipelined phase.
+	StageSoftDeadline time.Duration
+	// StageRetryBudget, when positive, gives each network stage
+	// (collect, codeanalysis) its own shared retry budget of that many
+	// retries, surfaced as the trace table's "Budget left" column and
+	// persisted across checkpoint/resume. Zero keeps the historical
+	// per-fetch pools.
+	StageRetryBudget int
+}
+
+// FaultOptions configures deterministic fault injection. When enabled
+// the injector is installed as middleware on the listing server and
+// code host and as the gateway's event-fault policy, so the whole
+// pipeline runs against a deterministically misbehaving substrate.
+type FaultOptions struct {
+	// Profile names a built-in fault profile (faults.Names()); empty
+	// disables injection.
+	Profile string
+	// Seed drives the injector; same seed + profile replays the same
+	// fault ledger.
+	Seed int64
+	// Injector overrides Profile/Seed with a prebuilt injector.
+	Injector *faults.Injector
+}
+
+// BreakerOptions configures per-endpoint-class circuit breakers around
+// the scraper, code-host, and gateway transports: persistently failing
+// endpoints short-circuit (and quarantine their bots fast) instead of
+// burning full retry schedules.
+type BreakerOptions struct {
+	// Enabled builds a breaker set from Config, reporting to the
+	// auditor's registry and journal.
+	Enabled bool
+	// Config tunes the breakers built when Enabled; zero uses the
+	// retry package defaults.
+	Config retry.BreakerConfig
+	// Set overrides Enabled/Config with a prebuilt breaker set.
+	Set *retry.BreakerSet
+}
+
+// Options configures an Auditor. Identity fields (Seed, NumBots,
+// Ecosystem) sit at the top level; everything else is grouped by
+// subsystem so cmd/botscan collapses to one constructor call.
 type Options struct {
 	// Seed drives every generator; equal seeds give equal ecosystems.
 	Seed int64
@@ -53,25 +160,19 @@ type Options struct {
 	// Ecosystem overrides generation with a prebuilt population.
 	Ecosystem *synth.Ecosystem
 
-	// AntiScrape configures the listing site's defences; zero value
-	// disables them for fast runs.
-	AntiScrape listing.AntiScrape
-	// ScrapeTimeout bounds each scraper fetch (default 500ms — shorter
-	// than the slow-redirect delay, as the paper's timeouts were).
-	ScrapeTimeout time.Duration
-	// ScrapeWorkers is the crawl parallelism (default 8).
-	ScrapeWorkers int
-	// Solver answers captchas for both the scraper and the honeypot
-	// installer; defaults to a TwoCaptchaSim.
-	Solver scraper.Solver
-
-	// HoneypotSample is how many most-voted bots the dynamic analysis
-	// tests (default: the paper's 500, capped at the population).
-	HoneypotSample int
-	// HoneypotConcurrency bounds simultaneous guild experiments.
-	HoneypotConcurrency int
-	// HoneypotSettle is the per-bot trigger-watch window.
-	HoneypotSettle time.Duration
+	// Scrape tunes stage 1 (collection).
+	Scrape ScrapeOptions
+	// Honeypot tunes stage 4 (dynamic analysis).
+	Honeypot HoneypotOptions
+	// Exec selects the executor and its safety envelope.
+	Exec ExecOptions
+	// Faults configures deterministic fault injection.
+	Faults FaultOptions
+	// Checkpoint enables crash-safe snapshots and resume; see
+	// CheckpointOptions.
+	Checkpoint CheckpointOptions
+	// Breakers configures transport circuit breakers.
+	Breakers BreakerOptions
 
 	// Obs receives every stage's counters, histograms, and pipeline
 	// traces; nil uses the process-default registry. Its text exposition
@@ -82,46 +183,16 @@ type Options struct {
 	// triggered, permission denied, ...). Nil disables the journal; every
 	// emission site is nil-safe.
 	Journal *journal.Journal
-
-	// Faults, when set, is installed as middleware on the listing server
-	// and code host and as the gateway's event-fault policy, so the whole
-	// pipeline runs against a deterministically misbehaving substrate.
-	Faults *faults.Injector
-	// Strict restores fail-fast semantics: the first stage-level or
-	// per-bot failure aborts the pipeline instead of quarantining the
-	// bot and continuing with partial results.
-	Strict bool
-
-	// Checkpoint, when set, makes RunAllContext crash-safe: progress
-	// snapshots are written atomically at stage boundaries and every
-	// Checkpoint.Every settled bots, and Checkpoint.Resume replays a
-	// prior snapshot's settled work instead of re-executing it.
-	Checkpoint *CheckpointConfig
-	// Breakers, when set, wraps the scraper, code-host, and gateway
-	// transports in per-endpoint-class circuit breakers: persistently
-	// failing endpoints short-circuit (and quarantine their bots fast)
-	// instead of burning full retry schedules. Nil disables breakers.
-	Breakers *retry.BreakerSet
-	// StageSoftDeadline, when positive, arms a watchdog over each
-	// pipeline stage: a stage running past the deadline gets a
-	// stage_stalled journal event carrying a full goroutine dump, then
-	// its context is cancelled with ErrStageStalled as the cause.
-	StageSoftDeadline time.Duration
-	// StageRetryBudget, when positive, gives each network stage
-	// (collect, codeanalysis) its own shared retry budget of that many
-	// retries, surfaced as the trace table's "Budget left" column and
-	// persisted across checkpoint/resume. Zero keeps the historical
-	// per-fetch pools.
-	StageRetryBudget int
 }
 
 // Auditor owns the simulated ecosystem and its services.
 type Auditor struct {
-	opts    Options
-	eco     *synth.Ecosystem
-	obs     *obs.Registry
-	journal *journal.Journal
-	faults  *faults.Injector
+	opts     Options
+	eco      *synth.Ecosystem
+	obs      *obs.Registry
+	journal  *journal.Journal
+	faults   *faults.Injector
+	breakers *retry.BreakerSet
 
 	listingSrv *listing.Server
 	hostSrv    *codehost.Server
@@ -180,6 +251,11 @@ type Results struct {
 	// minted regardless so reports can cite it).
 	RunID string
 
+	// Scale is the sharded executor's scheduler/throughput accounting
+	// (nil under the sequential executor) — the source of
+	// BENCH_SCALE.json.
+	Scale *ScaleStats
+
 	// Degraded reports whether any stage absorbed an error or
 	// quarantined a bot; the fields below itemize the damage so partial
 	// results are honest about what they omit.
@@ -198,35 +274,60 @@ type Results struct {
 	FaultLog []faults.Fault
 }
 
-// NewAuditor generates the ecosystem and starts all services.
+// NewAuditor generates the ecosystem, resolves every subsystem option
+// (fault profile → injector, checkpoint dir → store, breaker config →
+// breaker set), and starts all services.
 func NewAuditor(opts Options) (*Auditor, error) {
-	if opts.ScrapeTimeout <= 0 {
-		opts.ScrapeTimeout = 500 * time.Millisecond
+	if opts.Scrape.Timeout <= 0 {
+		opts.Scrape.Timeout = 500 * time.Millisecond
 	}
-	if opts.ScrapeWorkers <= 0 {
-		opts.ScrapeWorkers = 8
+	if opts.Scrape.Workers <= 0 {
+		opts.Scrape.Workers = 8
 	}
-	if opts.Solver == nil {
-		opts.Solver = &scraper.TwoCaptchaSim{CostPerSolve: 299}
+	if opts.Scrape.Solver == nil {
+		opts.Scrape.Solver = &scraper.TwoCaptchaSim{CostPerSolve: 299}
 	}
-	if opts.HoneypotSample <= 0 {
-		opts.HoneypotSample = 500
+	if opts.Honeypot.Sample <= 0 {
+		opts.Honeypot.Sample = 500
 	}
-	if opts.HoneypotConcurrency <= 0 {
-		opts.HoneypotConcurrency = 8
+	if opts.Honeypot.Concurrency <= 0 {
+		opts.Honeypot.Concurrency = 8
 	}
-	if opts.HoneypotSettle <= 0 {
-		opts.HoneypotSettle = 500 * time.Millisecond
+	if opts.Honeypot.Settle <= 0 {
+		opts.Honeypot.Settle = 500 * time.Millisecond
 	}
 
 	eco := opts.Ecosystem
 	if eco == nil {
 		eco = synth.Generate(synth.Config{Seed: opts.Seed, NumBots: opts.NumBots})
 	}
-	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs), journal: opts.Journal, faults: opts.Faults}
+	a := &Auditor{opts: opts, eco: eco, obs: obs.Or(opts.Obs), journal: opts.Journal}
+
+	a.faults = opts.Faults.Injector
+	if a.faults == nil && opts.Faults.Profile != "" {
+		prof, err := faults.Named(opts.Faults.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault profile: %w", err)
+		}
+		a.faults = faults.New(prof, opts.Faults.Seed, faults.Options{Obs: a.obs, Journal: opts.Journal})
+	}
+	a.breakers = opts.Breakers.Set
+	if a.breakers == nil && opts.Breakers.Enabled {
+		a.breakers = retry.NewBreakerSet(opts.Breakers.Config, retry.BreakerOptions{Obs: a.obs, Journal: opts.Journal})
+	}
+	if a.opts.Checkpoint.Store == nil && a.opts.Checkpoint.Dir != "" {
+		st, err := checkpoint.NewStore(a.opts.Checkpoint.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("core: checkpoint store: %w", err)
+		}
+		a.opts.Checkpoint.Store = st
+	}
+	if a.opts.Checkpoint.Resume != "" && a.opts.Checkpoint.Store == nil {
+		return nil, fmt.Errorf("core: checkpoint resume requires a store or dir")
+	}
 
 	var err error
-	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.AntiScrape, "127.0.0.1:0"); err != nil {
+	if a.listingSrv, err = listing.NewServer(listing.NewDirectory(eco.Bots), opts.Scrape.AntiScrape, "127.0.0.1:0"); err != nil {
 		return nil, fmt.Errorf("core: listing server: %w", err)
 	}
 	// Full operational surface on the listing server: /metrics plus
@@ -251,10 +352,10 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	a.canarySvc.SetJournal(opts.Journal)
 	if a.listClient, err = scraper.NewClient(scraper.ClientConfig{
 		BaseURL:  a.listingSrv.BaseURL(),
-		Timeout:  opts.ScrapeTimeout,
-		Solver:   opts.Solver,
+		Timeout:  opts.Scrape.Timeout,
+		Solver:   opts.Scrape.Solver,
 		Obs:      a.obs,
-		Breakers: opts.Breakers,
+		Breakers: a.breakers,
 	}); err != nil {
 		a.Close()
 		return nil, err
@@ -263,9 +364,9 @@ func NewAuditor(opts Options) (*Auditor, error) {
 	if a.codeClient, err = scraper.NewClient(scraper.ClientConfig{
 		BaseURL:  a.hostSrv.BaseURL(),
 		Timeout:  5 * time.Second,
-		Solver:   opts.Solver,
+		Solver:   opts.Scrape.Solver,
 		Obs:      a.obs,
-		Breakers: opts.Breakers,
+		Breakers: a.breakers,
 	}); err != nil {
 		a.Close()
 		return nil, err
@@ -289,6 +390,10 @@ func (a *Auditor) Obs() *obs.Registry { return a.obs }
 
 // Journal returns the configured event journal (nil when disabled).
 func (a *Auditor) Journal() *journal.Journal { return a.journal }
+
+// Breakers returns the resolved circuit-breaker set (nil when
+// disabled).
+func (a *Auditor) Breakers() *retry.BreakerSet { return a.breakers }
 
 // MetricsURL returns the Prometheus-style text exposition endpoint
 // mounted on the listing server.
@@ -323,32 +428,54 @@ func (a *Auditor) Close() {
 	}
 }
 
-// Collect runs stage 1: crawl the listing and decode permissions.
-func (a *Auditor) Collect() ([]*scraper.Record, error) {
-	return a.CollectContext(context.Background())
-}
-
-// CollectContext is Collect with cancellation.
+// CollectContext runs stage 1: crawl the listing and decode
+// permissions, failing fast on the first lost bot.
 func (a *Auditor) CollectContext(ctx context.Context) ([]*scraper.Record, error) {
-	records, err := scraper.CrawlContext(ctx, a.listClient, scraper.Config{Workers: a.opts.ScrapeWorkers})
+	res, err := scraper.CrawlResultContext(ctx, a.listClient, scraper.Config{
+		Workers: a.opts.Scrape.Workers,
+		Strict:  true,
+	})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
 		return nil, fmt.Errorf("core: collect: %w", err)
 	}
-	return records, nil
+	return res.Records, nil
 }
 
-// Traceability runs stage 2 over collected records: the Table 2
-// counts plus the ontology-based per-data-type refinement.
-func (a *Auditor) Traceability(records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
-	return a.TraceabilityContext(context.Background(), records)
+// auditOne folds one perms-valid record into the traceability
+// aggregates and emits its policy_audited event. Both executors route
+// every record through it, so per-record traceability is identical
+// whether it runs in a batch loop or interleaved per bot; the
+// aggregates themselves are commutative counters.
+func auditOne(ctx context.Context, an *traceability.Analyzer, d *report.Table2Data, dt *traceability.DataTypeResult, r *scraper.Record) {
+	d.ActiveBots++
+	if r.HasWebsite {
+		d.WebsiteLink++
+	}
+	if r.PolicyLinkFound {
+		d.PolicyLink++
+		if !r.PolicyLinkDead {
+			d.PolicyValid++
+		}
+	}
+	v := an.AnalyzePolicy(r.PolicyText, r.Perms)
+	d.Traceability.Add(v)
+	dt.Add(r.PolicyText, r.Perms)
+	journal.Emit(journal.WithBot(ctx, r.ID, r.Name), "core", journal.KindPolicyAudited, map[string]any{
+		"verdict":           v.Class.String(),
+		"has_policy":        v.HasPolicy,
+		"covered":           len(v.Covered),
+		"undisclosed_perms": len(v.UndisclosedPerms),
+	})
 }
 
-// TraceabilityContext is Traceability with a context carrying the run's
-// journal correlation: every audited policy becomes a policy_audited
-// event recording the bot and its disclosure verdict.
+// TraceabilityContext runs stage 2 over collected records — the
+// Table 2 counts plus the ontology-based per-data-type refinement —
+// with ctx carrying the run's journal correlation: every audited
+// policy becomes a policy_audited event recording the bot and its
+// disclosure verdict.
 func (a *Auditor) TraceabilityContext(ctx context.Context, records []*scraper.Record) (report.Table2Data, *traceability.DataTypeResult) {
 	var d report.Table2Data
 	var an traceability.Analyzer
@@ -357,86 +484,139 @@ func (a *Auditor) TraceabilityContext(ctx context.Context, records []*scraper.Re
 		if r == nil || !r.PermsValid {
 			continue
 		}
-		d.ActiveBots++
-		if r.HasWebsite {
-			d.WebsiteLink++
-		}
-		if r.PolicyLinkFound {
-			d.PolicyLink++
-			if !r.PolicyLinkDead {
-				d.PolicyValid++
-			}
-		}
-		v := an.AnalyzePolicy(r.PolicyText, r.Perms)
-		d.Traceability.Add(v)
-		dt.Add(r.PolicyText, r.Perms)
-		journal.Emit(journal.WithBot(ctx, r.ID, r.Name), "core", journal.KindPolicyAudited, map[string]any{
-			"verdict":           v.Class.String(),
-			"has_policy":        v.HasPolicy,
-			"covered":           len(v.Covered),
-			"undisclosed_perms": len(v.UndisclosedPerms),
-		})
+		auditOne(ctx, &an, &d, dt, r)
 	}
 	return d, dt
 }
 
-// CodeAnalysis runs stage 3 over collected records.
-func (a *Auditor) CodeAnalysis(records []*scraper.Record) (*codeanalysis.Result, []*codeanalysis.RepoAnalysis, error) {
-	return a.CodeAnalysisContext(context.Background(), records)
-}
-
-// CodeAnalysisContext is CodeAnalysis with cancellation.
+// CodeAnalysisContext runs stage 3 over collected records.
 func (a *Auditor) CodeAnalysisContext(ctx context.Context, records []*scraper.Record) (*codeanalysis.Result, []*codeanalysis.RepoAnalysis, error) {
-	return codeanalysis.AnalyzeContext(ctx, a.codeClient, records, a.opts.ScrapeWorkers)
+	return codeanalysis.AnalyzeContext(ctx, a.codeClient, records, a.opts.Scrape.Workers)
 }
 
-// DynamicAnalysis runs stage 4: the honeypot campaign over the
+// DynamicAnalysisContext runs stage 4: the honeypot campaign over the
 // most-voted sample.
-func (a *Auditor) DynamicAnalysis() (*honeypot.CampaignResult, error) {
-	return a.DynamicAnalysisContext(context.Background())
-}
-
-// DynamicAnalysisContext is DynamicAnalysis with cancellation.
 func (a *Auditor) DynamicAnalysisContext(ctx context.Context) (*honeypot.CampaignResult, error) {
-	return a.dynamicAnalysis(ctx, nil, nil)
+	return honeypot.CampaignContext(ctx, a.honeypotEnv(), a.eco, a.campaignConfig(nil, nil))
 }
 
-// dynamicAnalysis runs the campaign with optional checkpoint hooks: a
-// resume state replaying settled experiments and a settle observer
-// feeding the checkpointer.
-func (a *Auditor) dynamicAnalysis(ctx context.Context, resume *honeypot.CampaignResume, onSettled func(int, *honeypot.Verdict, error)) (*honeypot.CampaignResult, error) {
-	env := honeypot.Env{
+// honeypotEnv assembles the experiment environment shared by every
+// campaign this auditor runs.
+func (a *Auditor) honeypotEnv() honeypot.Env {
+	return honeypot.Env{
 		Platform: a.plat,
 		Gateway:  a.gw.Addr(),
 		Canary:   a.canarySvc,
 		Minter:   a.canarySvc.NewMinter("canary.invalid", nil),
 		Feed:     corpus.New(a.opts.Seed ^ 0xfeed),
 		Obs:      a.obs,
-		Breakers: a.opts.Breakers,
+		Breakers: a.breakers,
 	}
+}
+
+// campaignConfig assembles the campaign configuration with optional
+// checkpoint hooks: a resume state replaying settled experiments and a
+// settle observer feeding the checkpointer.
+func (a *Auditor) campaignConfig(resume *honeypot.CampaignResume, onSettled func(int, *honeypot.Verdict, error)) honeypot.CampaignConfig {
 	expCfg := honeypot.DefaultConfig()
-	expCfg.Settle = a.opts.HoneypotSettle
-	expCfg.Solver = a.opts.Solver
-	return honeypot.CampaignContext(ctx, env, a.eco, honeypot.CampaignConfig{
-		SampleSize:  a.opts.HoneypotSample,
-		Concurrency: a.opts.HoneypotConcurrency,
+	expCfg.Settle = a.opts.Honeypot.Settle
+	expCfg.Solver = a.opts.Scrape.Solver
+	return honeypot.CampaignConfig{
+		SampleSize:  a.opts.Honeypot.Sample,
+		Concurrency: a.opts.Honeypot.Concurrency,
 		Experiment:  expCfg,
-		Strict:      a.opts.Strict,
+		Strict:      a.opts.Exec.Strict,
 		Resume:      resume,
 		OnSettled:   onSettled,
+	}
+}
+
+// run carries one RunAllContext invocation's shared state between the
+// prologue, the chosen executor, and the epilogue.
+type run struct {
+	a     *Auditor
+	ctx   context.Context
+	res   *Results
+	trace *obs.Trace
+	ck    *ckptState
+
+	scrapeRes *scraper.ResumeState
+	codeRes   *codeanalysis.AnalyzeResume
+	hpRes     *honeypot.CampaignResume
+
+	collectBudget *retry.Budget
+	codeBudget    *retry.Budget
+	cDegraded     *obs.Counter
+}
+
+// stage opens a stage span with watchdog and journal brackets; the
+// returned func closes all three.
+func (r *run) stage(name string) (context.Context, func()) {
+	sp := r.trace.StartSpan(name)
+	sctx := obs.ContextWithSpan(r.ctx, sp)
+	stopWatchdog := func() {}
+	if dl := r.a.opts.Exec.StageSoftDeadline; dl > 0 {
+		var cancel context.CancelCauseFunc
+		sctx, cancel = context.WithCancelCause(sctx)
+		stopWatchdog = watchdog(sctx, name, dl, cancel)
+	}
+	journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{"stage": name})
+	return sctx, func() {
+		stopWatchdog()
+		sp.End()
+		journal.Emit(sctx, "core", journal.KindStageCompleted, map[string]any{
+			"stage":   name,
+			"seconds": sp.Duration().Seconds(),
+		})
+	}
+}
+
+// stageFail translates a stage error: watchdog stalls surface as
+// ErrStageStalled, outer cancellation as the context's error.
+func (r *run) stageFail(sctx context.Context, name string, err error) error {
+	if cause := context.Cause(sctx); cause != nil && errors.Is(cause, ErrStageStalled) {
+		return cause
+	}
+	if ctxErr := r.ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return fmt.Errorf("core: %s: %w", name, err)
+}
+
+// note records a stage's degradation tallies; a stage with absorbed
+// errors or quarantines marks the whole run degraded and emits one
+// stage_degraded event so the journal tells the story end to end.
+func (r *run) note(sctx context.Context, name string, d report.StageDegradation) {
+	r.res.Degradation[name] = d
+	if d.Quarantined == 0 && d.Errors == 0 {
+		return
+	}
+	r.res.Degraded = true
+	r.cDegraded.Inc()
+	journal.Emit(sctx, "core", journal.KindStageDegraded, map[string]any{
+		"stage":       name,
+		"quarantined": d.Quarantined,
+		"errors":      d.Errors,
+		"retries":     d.Retries,
 	})
 }
 
-// RunAll executes the full Figure 1 pipeline.
-func (a *Auditor) RunAll() (*Results, error) {
-	return a.RunAllContext(context.Background())
+func retriesOf(c *scraper.Client) int {
+	s := c.Stats()
+	return s.Retries + s.TransientRetries
 }
 
-// RunAllContext is RunAll with cancellation: cancelling ctx aborts the
-// pipeline at its next wait point and returns the context's error. The
-// run is recorded as a "pipeline" trace with one span per stage, and —
-// when a journal is configured — as a stream of correlated events
-// sharing one run ID, bracketed by stage_started/stage_completed pairs.
+// RunAllContext executes the full Figure 1 pipeline with cancellation:
+// cancelling ctx aborts the pipeline at its next wait point and
+// returns the context's error. The run is recorded as a "pipeline"
+// trace with one span per stage, and — when a journal is configured —
+// as a stream of correlated events sharing one run ID, bracketed by
+// stage_started/stage_completed pairs.
+//
+// With Options.Exec.Shards >= 1 the four analysis stages run on the
+// sharded work-stealing executor; fault-free runs produce verdicts,
+// quarantines, and aggregates identical to the sequential executor on
+// the same seed.
 func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	trace := a.obs.StartTrace("pipeline")
 	runID := fmt.Sprintf("run-%d", time.Now().UnixNano())
@@ -448,18 +628,15 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	var scrapeRes *scraper.ResumeState
 	var codeRes *codeanalysis.AnalyzeResume
 	var hpRes *honeypot.CampaignResume
-	if cc := a.opts.Checkpoint; cc != nil {
-		if cc.Store == nil {
-			return nil, fmt.Errorf("core: checkpoint config requires a store")
-		}
+	if cc := a.opts.Checkpoint; cc.Store != nil {
 		base := &checkpoint.Snapshot{
 			RunID:          runID,
 			Seed:           a.opts.Seed,
 			NumBots:        a.opts.NumBots,
-			HoneypotSample: a.opts.HoneypotSample,
+			HoneypotSample: a.opts.Honeypot.Sample,
 		}
 		if cc.Resume != "" {
-			snap, err := loadResume(cc, a.opts)
+			snap, err := a.loadResume()
 			if err != nil {
 				return nil, err
 			}
@@ -496,12 +673,23 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 		})
 	}
 
+	r := &run{
+		a:         a,
+		ctx:       ctx,
+		res:       res,
+		trace:     trace,
+		ck:        ck,
+		scrapeRes: scrapeRes,
+		codeRes:   codeRes,
+		hpRes:     hpRes,
+		cDegraded: a.obs.Counter("core_stages_degraded_total"),
+	}
+
 	// Per-stage retry budgets, restored to their checkpointed
 	// remainders on resume so a resumed run cannot out-retry an
 	// uninterrupted one.
-	var collectBudget, codeBudget *retry.Budget
-	if a.opts.StageRetryBudget > 0 {
-		nCollect, nCode := a.opts.StageRetryBudget, a.opts.StageRetryBudget
+	if a.opts.Exec.StageRetryBudget > 0 {
+		nCollect, nCode := a.opts.Exec.StageRetryBudget, a.opts.Exec.StageRetryBudget
 		if resumed != nil {
 			if left, ok := resumed.BudgetLeft["collect"]; ok {
 				nCollect = left
@@ -510,138 +698,25 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 				nCode = left
 			}
 		}
-		collectBudget = retry.NewBudget(nCollect)
-		codeBudget = retry.NewBudget(nCode)
-		a.listClient.SetRetryBudget(collectBudget)
-		a.codeClient.SetRetryBudget(codeBudget)
-		ck.trackBudget("collect", collectBudget)
-		ck.trackBudget("codeanalysis", codeBudget)
+		r.collectBudget = retry.NewBudget(nCollect)
+		r.codeBudget = retry.NewBudget(nCode)
+		a.listClient.SetRetryBudget(r.collectBudget)
+		a.codeClient.SetRetryBudget(r.codeBudget)
+		ck.trackBudget("collect", r.collectBudget)
+		ck.trackBudget("codeanalysis", r.codeBudget)
 	}
 
-	stage := func(name string) (context.Context, func()) {
-		sp := trace.StartSpan(name)
-		sctx := obs.ContextWithSpan(ctx, sp)
-		stopWatchdog := func() {}
-		if a.opts.StageSoftDeadline > 0 {
-			var cancel context.CancelCauseFunc
-			sctx, cancel = context.WithCancelCause(sctx)
-			stopWatchdog = watchdog(sctx, name, a.opts.StageSoftDeadline, cancel)
-		}
-		journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{"stage": name})
-		return sctx, func() {
-			stopWatchdog()
-			sp.End()
-			journal.Emit(sctx, "core", journal.KindStageCompleted, map[string]any{
-				"stage":   name,
-				"seconds": sp.Duration().Seconds(),
-			})
-		}
+	var err error
+	if a.opts.Exec.Shards > 0 {
+		err = a.runSharded(r)
+	} else {
+		err = a.runSequential(r)
 	}
-	// stageFail translates a stage error: watchdog stalls surface as
-	// ErrStageStalled, outer cancellation as the context's error.
-	stageFail := func(sctx context.Context, name string, err error) error {
-		if cause := context.Cause(sctx); cause != nil && errors.Is(cause, ErrStageStalled) {
-			return cause
-		}
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return fmt.Errorf("core: %s: %w", name, err)
-	}
-	cDegraded := a.obs.Counter("core_stages_degraded_total")
-	// note records a stage's degradation tallies; a stage with absorbed
-	// errors or quarantines marks the whole run degraded and emits one
-	// stage_degraded event so the journal tells the story end to end.
-	note := func(sctx context.Context, name string, d report.StageDegradation) {
-		res.Degradation[name] = d
-		if d.Quarantined == 0 && d.Errors == 0 {
-			return
-		}
-		res.Degraded = true
-		cDegraded.Inc()
-		journal.Emit(sctx, "core", journal.KindStageDegraded, map[string]any{
-			"stage":       name,
-			"quarantined": d.Quarantined,
-			"errors":      d.Errors,
-			"retries":     d.Retries,
-		})
-	}
-	retriesOf := func(c *scraper.Client) int {
-		s := c.Stats()
-		return s.Retries + s.TransientRetries
-	}
-
-	collectCtx, endCollect := stage("collect")
-	listRetries := retriesOf(a.listClient)
-	crawl, err := scraper.CrawlResultContext(collectCtx, a.listClient, scraper.Config{
-		Workers:   a.opts.ScrapeWorkers,
-		Strict:    a.opts.Strict,
-		Resume:    scrapeRes,
-		OnSettled: ck.noteCollect,
-		OnListed:  ck.noteListed,
-	})
-	endCollect()
 	if err != nil {
-		return nil, stageFail(collectCtx, "collect", err)
+		return nil, err
 	}
-	ck.boundary("collect")
-	res.Records = crawl.Records
-	d := report.StageDegradation{
-		Retries:     retriesOf(a.listClient) - listRetries,
-		Quarantined: len(crawl.Quarantined),
-		BudgetLeft:  collectBudget.Remaining(),
-	}
-	if crawl.ListErr != nil {
-		res.StageErrors["collect"] = crawl.ListErr
-		d.Errors++
-	}
-	for _, q := range crawl.Quarantined {
-		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "collect", BotID: q.BotID, Err: q.Err})
-	}
-	note(collectCtx, "collect", d)
-	res.PermDist = scraper.PermissionDistribution(res.Records)
-	res.Scraper = a.listClient.Stats()
 
-	traceCtx, endTrace := stage("traceability")
-	res.Table2, res.DataTypes = a.TraceabilityContext(traceCtx, res.Records)
-	endTrace()
-
-	codeCtx, endCode := stage("codeanalysis")
-	codeRetries := retriesOf(a.codeClient)
-	res.Code, res.Analyses, err = codeanalysis.AnalyzeOptionsContext(codeCtx, a.codeClient, res.Records, codeanalysis.AnalyzeOptions{
-		Workers: a.opts.ScrapeWorkers,
-		Resume:  codeRes,
-		OnLink:  ck.noteLink,
-	})
-	endCode()
-	if err != nil {
-		return nil, stageFail(codeCtx, "codeanalysis", err)
-	}
-	ck.boundary("codeanalysis")
-	d = report.StageDegradation{
-		Retries:     retriesOf(a.codeClient) - codeRetries,
-		Quarantined: len(res.Code.Quarantined),
-		BudgetLeft:  codeBudget.Remaining(),
-	}
-	for _, q := range res.Code.Quarantined {
-		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "codeanalysis", BotID: q.BotID, Link: q.Link, Err: q.Err})
-	}
-	note(codeCtx, "codeanalysis", d)
-
-	hpCtx, endHoneypot := stage("honeypot")
-	res.Honeypot, err = a.dynamicAnalysis(hpCtx, hpRes, ck.noteVerdict)
-	endHoneypot()
-	if err != nil {
-		return nil, stageFail(hpCtx, "honeypot", err)
-	}
-	ck.boundary("honeypot")
-	d = report.StageDegradation{Quarantined: len(res.Honeypot.Quarantined), BudgetLeft: -1}
-	for _, q := range res.Honeypot.Quarantined {
-		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "honeypot", BotID: q.BotID, Name: q.Name, Err: q.Err})
-	}
-	note(hpCtx, "honeypot", d)
-
-	_, endVet := stage("vetting")
+	_, endVet := r.stage("vetting")
 	res.Vetting, res.VettingSummary = vetting.VetAll(res.Records)
 	endVet()
 
@@ -654,6 +729,83 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 	}
 	ck.finish()
 	return res, nil
+}
+
+// runSequential is the historical stage-at-a-time executor: each stage
+// processes the whole population before the next begins.
+func (a *Auditor) runSequential(r *run) error {
+	res := r.res
+
+	collectCtx, endCollect := r.stage("collect")
+	listRetries := retriesOf(a.listClient)
+	crawl, err := scraper.CrawlResultContext(collectCtx, a.listClient, scraper.Config{
+		Workers:   a.opts.Scrape.Workers,
+		Strict:    a.opts.Exec.Strict,
+		Resume:    r.scrapeRes,
+		OnSettled: r.ck.noteCollect,
+		OnListed:  r.ck.noteListed,
+	})
+	endCollect()
+	if err != nil {
+		return r.stageFail(collectCtx, "collect", err)
+	}
+	r.ck.boundary("collect")
+	res.Records = crawl.Records
+	d := report.StageDegradation{
+		Retries:     retriesOf(a.listClient) - listRetries,
+		Quarantined: len(crawl.Quarantined),
+		BudgetLeft:  r.collectBudget.Remaining(),
+	}
+	if crawl.ListErr != nil {
+		res.StageErrors["collect"] = crawl.ListErr
+		d.Errors++
+	}
+	for _, q := range crawl.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "collect", BotID: q.BotID, Err: q.Err})
+	}
+	r.note(collectCtx, "collect", d)
+	res.PermDist = scraper.PermissionDistribution(res.Records)
+	res.Scraper = a.listClient.Stats()
+
+	traceCtx, endTrace := r.stage("traceability")
+	res.Table2, res.DataTypes = a.TraceabilityContext(traceCtx, res.Records)
+	endTrace()
+
+	codeCtx, endCode := r.stage("codeanalysis")
+	codeRetries := retriesOf(a.codeClient)
+	res.Code, res.Analyses, err = codeanalysis.AnalyzeOptionsContext(codeCtx, a.codeClient, res.Records, codeanalysis.AnalyzeOptions{
+		Workers: a.opts.Scrape.Workers,
+		Resume:  r.codeRes,
+		OnLink:  r.ck.noteLink,
+	})
+	endCode()
+	if err != nil {
+		return r.stageFail(codeCtx, "codeanalysis", err)
+	}
+	r.ck.boundary("codeanalysis")
+	d = report.StageDegradation{
+		Retries:     retriesOf(a.codeClient) - codeRetries,
+		Quarantined: len(res.Code.Quarantined),
+		BudgetLeft:  r.codeBudget.Remaining(),
+	}
+	for _, q := range res.Code.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "codeanalysis", BotID: q.BotID, Link: q.Link, Err: q.Err})
+	}
+	r.note(codeCtx, "codeanalysis", d)
+
+	hpCtx, endHoneypot := r.stage("honeypot")
+	res.Honeypot, err = honeypot.CampaignContext(hpCtx, a.honeypotEnv(), a.eco, a.campaignConfig(r.hpRes, r.ck.noteVerdict))
+	endHoneypot()
+	if err != nil {
+		return r.stageFail(hpCtx, "honeypot", err)
+	}
+	r.ck.boundary("honeypot")
+	d = report.StageDegradation{Quarantined: len(res.Honeypot.Quarantined), BudgetLeft: -1}
+	for _, q := range res.Honeypot.Quarantined {
+		res.Quarantined = append(res.Quarantined, QuarantinedBot{Stage: "honeypot", BotID: q.BotID, Name: q.Name, Err: q.Err})
+	}
+	r.note(hpCtx, "honeypot", d)
+	return nil
 }
 
 // Report renders every table and figure to w.
@@ -688,6 +840,10 @@ func (r *Results) Report(w io.Writer) {
 	if r.Trace != nil {
 		fmt.Fprintln(w)
 		report.StageTimingsDegraded(w, r.Trace, r.Degradation)
+	}
+	if r.Scale != nil {
+		fmt.Fprintln(w)
+		r.Scale.Report(w)
 	}
 	if len(r.FaultLog) > 0 {
 		byKind := make(map[string]int)

@@ -21,11 +21,13 @@ import (
 func newSmallAuditor(t *testing.T, n int) *Auditor {
 	t.Helper()
 	a, err := NewAuditor(Options{
-		Seed:                11,
-		NumBots:             n,
-		HoneypotSample:      20,
-		HoneypotConcurrency: 8,
-		HoneypotSettle:      400 * time.Millisecond,
+		Seed:    11,
+		NumBots: n,
+		Honeypot: HoneypotOptions{
+			Sample:      20,
+			Concurrency: 8,
+			Settle:      400 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +38,7 @@ func newSmallAuditor(t *testing.T, n int) *Auditor {
 
 func TestEndToEndPipeline(t *testing.T) {
 	a := newSmallAuditor(t, 150)
-	res, err := a.RunAll()
+	res, err := a.RunAllContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +85,7 @@ func TestEndToEndPipeline(t *testing.T) {
 
 func TestReportRendersAllSections(t *testing.T) {
 	a := newSmallAuditor(t, 120)
-	res, err := a.RunAll()
+	res, err := a.RunAllContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,15 +115,15 @@ func TestReportRendersAllSections(t *testing.T) {
 
 func TestStagesRunIndividually(t *testing.T) {
 	a := newSmallAuditor(t, 80)
-	records, err := a.Collect()
+	records, err := a.CollectContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, _ := a.Traceability(records)
+	d, _ := a.TraceabilityContext(context.Background(), records)
 	if d.ActiveBots == 0 {
 		t.Error("traceability saw no active bots")
 	}
-	code, analyses, err := a.CodeAnalysis(records)
+	code, analyses, err := a.CodeAnalysisContext(context.Background(), records)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,20 +136,22 @@ func TestAuditorWithDefences(t *testing.T) {
 	a, err := NewAuditor(Options{
 		Seed:    13,
 		NumBots: 60,
-		AntiScrape: listing.AntiScrape{
+		Scrape: ScrapeOptions{AntiScrape: listing.AntiScrape{
 			CaptchaEvery:      25,
 			FlakyEvery:        3,
 			RequestsPerSecond: 400,
 			Burst:             40,
+		}},
+		Honeypot: HoneypotOptions{
+			Sample: 5,
+			Settle: 300 * time.Millisecond,
 		},
-		HoneypotSample: 5,
-		HoneypotSettle: 300 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	records, err := a.Collect()
+	records, err := a.CollectContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +183,7 @@ func TestVettingRejectsTheHoneypotConfirmedBot(t *testing.T) {
 	// STATIC listing-time vetting rules — malicious bots don't publish
 	// policies or source (§5), which the rules punish.
 	a := newSmallAuditor(t, 150)
-	res, err := a.RunAll()
+	res, err := a.RunAllContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +203,7 @@ func TestVettingRejectsTheHoneypotConfirmedBot(t *testing.T) {
 
 func TestScrapedPermsMatchGroundTruth(t *testing.T) {
 	a := newSmallAuditor(t, 100)
-	records, err := a.Collect()
+	records, err := a.CollectContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,26 +226,28 @@ func TestScrapedPermsMatchGroundTruth(t *testing.T) {
 func TestObservabilityAcrossPipeline(t *testing.T) {
 	reg := obs.NewRegistry()
 	a, err := NewAuditor(Options{
-		Seed:                11,
-		NumBots:             200,
-		HoneypotSample:      10,
-		HoneypotConcurrency: 8,
-		HoneypotSettle:      400 * time.Millisecond,
-		Obs:                 reg,
+		Seed:    11,
+		NumBots: 200,
+		Honeypot: HoneypotOptions{
+			Sample:      10,
+			Concurrency: 8,
+			Settle:      400 * time.Millisecond,
+		},
+		Obs: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(a.Close)
 
-	res, err := a.RunAll()
+	res, err := a.RunAllContext(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// The run is recorded as a trace with one named span per stage.
 	if res.Trace == nil {
-		t.Fatal("RunAll produced no trace")
+		t.Fatal("RunAllContext produced no trace")
 	}
 	sum := res.Trace.Summary()
 	names := make(map[string]bool)
@@ -307,8 +313,8 @@ func TestRunAllContextCancelMidCrawl(t *testing.T) {
 		NumBots: 200,
 		// Throttle hard so the crawl alone would take many seconds:
 		// cancellation, not completion, must end the run.
-		AntiScrape: listing.AntiScrape{RequestsPerSecond: 20, Burst: 5},
-		Obs:        obs.NewRegistry(),
+		Scrape: ScrapeOptions{AntiScrape: listing.AntiScrape{RequestsPerSecond: 20, Burst: 5}},
+		Obs:    obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,12 +20,14 @@ import (
 func chaosAuditor(t *testing.T, inj *faults.Injector, bots, sample int) *Auditor {
 	t.Helper()
 	a, err := NewAuditor(Options{
-		Seed:                7,
-		NumBots:             bots,
-		HoneypotSample:      sample,
-		HoneypotConcurrency: 4,
-		HoneypotSettle:      300 * time.Millisecond,
-		Faults:              inj,
+		Seed:    7,
+		NumBots: bots,
+		Honeypot: HoneypotOptions{
+			Sample:      sample,
+			Concurrency: 4,
+			Settle:      300 * time.Millisecond,
+		},
+		Faults: FaultOptions{Injector: inj},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -155,12 +157,14 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	inj := faults.New(prof, 3, faults.Options{})
 	a, err := NewAuditor(Options{
-		Seed:                3,
-		NumBots:             40,
-		HoneypotSample:      4,
-		HoneypotConcurrency: 4,
-		HoneypotSettle:      200 * time.Millisecond,
-		Faults:              inj,
+		Seed:    3,
+		NumBots: 40,
+		Honeypot: HoneypotOptions{
+			Sample:      4,
+			Concurrency: 4,
+			Settle:      200 * time.Millisecond,
+		},
+		Faults: FaultOptions{Injector: inj},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -235,12 +239,14 @@ func TestChaosDeterministicLedger(t *testing.T) {
 func TestZeroFaultIdenticalResults(t *testing.T) {
 	run := func(inj *faults.Injector) *Results {
 		a, err := NewAuditor(Options{
-			Seed:                7,
-			NumBots:             80,
-			HoneypotSample:      8,
-			HoneypotConcurrency: 4,
-			HoneypotSettle:      700 * time.Millisecond,
-			Faults:              inj,
+			Seed:    7,
+			NumBots: 80,
+			Honeypot: HoneypotOptions{
+				Sample:      8,
+				Concurrency: 4,
+				Settle:      700 * time.Millisecond,
+			},
+			Faults: FaultOptions{Injector: inj},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -23,17 +23,22 @@ import (
 	"repro/internal/scraper"
 )
 
-// ResumeLatest is the CheckpointConfig.Resume sentinel selecting the
+// ResumeLatest is the CheckpointOptions.Resume sentinel selecting the
 // newest snapshot in the store instead of a specific run ID.
 const ResumeLatest = "latest"
 
 // ErrStageStalled is the cancellation cause the stage watchdog injects
-// when a stage exceeds its soft deadline (Options.StageSoftDeadline).
+// when a stage exceeds its soft deadline
+// (Options.Exec.StageSoftDeadline).
 var ErrStageStalled = errors.New("core: stage exceeded soft deadline")
 
-// CheckpointConfig enables crash-safe checkpointing on RunAllContext.
-type CheckpointConfig struct {
-	// Store persists the snapshots (required).
+// CheckpointOptions enables crash-safe checkpointing on RunAllContext.
+// Checkpointing is on when either Store or Dir is set.
+type CheckpointOptions struct {
+	// Dir names a snapshot directory; NewAuditor opens (creating if
+	// needed) a checkpoint.Store over it. Ignored when Store is set.
+	Dir string
+	// Store persists the snapshots; overrides Dir.
 	Store *checkpoint.Store
 	// Every writes a snapshot after that many freshly settled bots, in
 	// addition to the unconditional writes at stage boundaries
@@ -44,11 +49,12 @@ type CheckpointConfig struct {
 	Resume string
 }
 
-// loadResume fetches and validates the snapshot named by cfg.Resume.
-// Identity fields must match the live options: resuming a checkpoint
-// against a differently generated ecosystem would silently mix
-// incompatible work, which is worse than refusing.
-func loadResume(cfg *CheckpointConfig, opts Options) (*checkpoint.Snapshot, error) {
+// loadResume fetches and validates the snapshot named by
+// Checkpoint.Resume. Identity fields must match the live options:
+// resuming a checkpoint against a differently generated ecosystem
+// would silently mix incompatible work, which is worse than refusing.
+func (a *Auditor) loadResume() (*checkpoint.Snapshot, error) {
+	cfg := a.opts.Checkpoint
 	var snap *checkpoint.Snapshot
 	var err error
 	if cfg.Resume == ResumeLatest {
@@ -59,11 +65,11 @@ func loadResume(cfg *CheckpointConfig, opts Options) (*checkpoint.Snapshot, erro
 	if err != nil {
 		return nil, fmt.Errorf("core: resume: %w", err)
 	}
-	if snap.Seed != opts.Seed || snap.NumBots != opts.NumBots || snap.HoneypotSample != opts.HoneypotSample {
+	if snap.Seed != a.opts.Seed || snap.NumBots != a.opts.NumBots || snap.HoneypotSample != a.opts.Honeypot.Sample {
 		return nil, fmt.Errorf(
 			"core: resume: snapshot %s was written for seed=%d bots=%d sample=%d, run configured seed=%d bots=%d sample=%d",
 			snap.RunID, snap.Seed, snap.NumBots, snap.HoneypotSample,
-			opts.Seed, opts.NumBots, opts.HoneypotSample)
+			a.opts.Seed, a.opts.NumBots, a.opts.Honeypot.Sample)
 	}
 	return snap, nil
 }
@@ -129,7 +135,7 @@ type ckptState struct {
 
 // newCkptState builds the accumulator over a base snapshot — a loaded
 // one when resuming, a fresh identity-only one otherwise.
-func newCkptState(cfg *CheckpointConfig, base *checkpoint.Snapshot, reg *obs.Registry) *ckptState {
+func newCkptState(cfg CheckpointOptions, base *checkpoint.Snapshot, reg *obs.Registry) *ckptState {
 	every := cfg.Every
 	if every <= 0 {
 		every = 25
@@ -221,6 +227,49 @@ func (c *ckptState) noteVerdict(botID int, v *honeypot.Verdict, qerr error) {
 		c.snap.Verdicts = append(c.snap.Verdicts, v)
 	}
 	c.writeIfDueLocked("honeypot")
+	c.mu.Unlock()
+}
+
+// pendingOutcome is one settled per-bot outcome buffered by a sharded
+// worker between checkpoint flushes: either a collect outcome (Rec or
+// Qerr) or a honeypot outcome (V or Qerr), tagged by Stage.
+type pendingOutcome struct {
+	Stage string // "collect" or "honeypot"
+	BotID int
+	Rec   *scraper.Record
+	V     *honeypot.Verdict
+	Qerr  error
+}
+
+// noteBatch folds a worker's buffered outcomes into the snapshot under
+// one lock acquisition — the sharded executor settles bots from many
+// workers at once, and per-outcome locking plus per-outcome write
+// checks would serialize them on checkpoint state. The batch still
+// counts toward the periodic threshold, so durability lags by at most
+// one worker buffer.
+func (c *ckptState) noteBatch(batch []pendingOutcome) {
+	if c == nil || len(batch) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, p := range batch {
+		switch {
+		case p.Qerr != nil && p.Stage == "collect":
+			c.snap.CollectQuarantine = append(c.snap.CollectQuarantine,
+				checkpoint.QEntry{BotID: p.BotID, Err: p.Qerr.Error()})
+		case p.Qerr != nil:
+			c.snap.HoneypotQuarantine = append(c.snap.HoneypotQuarantine,
+				checkpoint.QEntry{BotID: p.BotID, Err: p.Qerr.Error()})
+		case p.Rec != nil:
+			c.snap.Records = append(c.snap.Records, p.Rec)
+		case p.V != nil:
+			c.snap.Verdicts = append(c.snap.Verdicts, p.V)
+		}
+	}
+	c.fresh += len(batch)
+	if c.fresh >= c.every {
+		c.writeLocked(batch[len(batch)-1].Stage)
+	}
 	c.mu.Unlock()
 }
 

@@ -24,13 +24,15 @@ func TestRunAllEmitsCorrelatedJournal(t *testing.T) {
 	reg := obs.NewRegistry()
 	j := journal.New(&buf, journal.Options{Obs: reg})
 	a, err := NewAuditor(Options{
-		Seed:                23,
-		NumBots:             80,
-		HoneypotSample:      5,
-		HoneypotConcurrency: 4,
-		HoneypotSettle:      200 * time.Millisecond,
-		Obs:                 reg,
-		Journal:             j,
+		Seed:    23,
+		NumBots: 80,
+		Honeypot: HoneypotOptions{
+			Sample:      5,
+			Concurrency: 4,
+			Settle:      200 * time.Millisecond,
+		},
+		Obs:     reg,
+		Journal: j,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,12 +45,14 @@ func TestKillResumeConvergesToBaseline(t *testing.T) {
 	)
 	newOpts := func() Options {
 		return Options{
-			Seed:                seed,
-			NumBots:             bots,
-			HoneypotSample:      sample,
-			HoneypotConcurrency: 4,
-			HoneypotSettle:      300 * time.Millisecond,
-			Obs:                 obs.NewRegistry(),
+			Seed:    seed,
+			NumBots: bots,
+			Honeypot: HoneypotOptions{
+				Sample:      sample,
+				Concurrency: 4,
+				Settle:      300 * time.Millisecond,
+			},
+			Obs: obs.NewRegistry(),
 		}
 	}
 
@@ -79,7 +81,7 @@ func TestKillResumeConvergesToBaseline(t *testing.T) {
 			t.Fatalf("pipeline did not converge after %d attempts", attempt)
 		}
 		opts := newOpts()
-		opts.Checkpoint = &CheckpointConfig{Store: st, Every: 3, Resume: resumeFrom}
+		opts.Checkpoint = CheckpointOptions{Store: st, Every: 3, Resume: resumeFrom}
 		var buf bytes.Buffer
 		jnl := journal.New(&buf, journal.Options{Obs: opts.Obs})
 		opts.Journal = jnl
@@ -266,15 +268,17 @@ func TestBreakerFailFastDeterministic(t *testing.T) {
 			},
 		})
 		a, err := NewAuditor(Options{
-			Seed:                7,
-			NumBots:             120,
-			HoneypotSample:      4,
-			HoneypotConcurrency: 4,
-			HoneypotSettle:      200 * time.Millisecond,
-			ScrapeWorkers:       1, // sequential crawl: deterministic breaker history
-			Faults:              inj,
-			Breakers:            bs,
-			Obs:                 obs.NewRegistry(),
+			Seed:    7,
+			NumBots: 120,
+			Honeypot: HoneypotOptions{
+				Sample:      4,
+				Concurrency: 4,
+				Settle:      200 * time.Millisecond,
+			},
+			Scrape:   ScrapeOptions{Workers: 1}, // sequential crawl: deterministic breaker history
+			Faults:   FaultOptions{Injector: inj},
+			Breakers: BreakerOptions{Set: bs},
+			Obs:      obs.NewRegistry(),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -342,13 +346,15 @@ func TestStageWatchdogStalls(t *testing.T) {
 	reg := obs.NewRegistry()
 	jnl := journal.New(&buf, journal.Options{Obs: reg})
 	a, err := NewAuditor(Options{
-		Seed:              7,
-		NumBots:           2000, // far more than 1ms of crawling
-		HoneypotSample:    2,
-		HoneypotSettle:    100 * time.Millisecond,
-		Journal:           jnl,
-		StageSoftDeadline: time.Millisecond,
-		Obs:               reg,
+		Seed:    7,
+		NumBots: 2000, // far more than 1ms of crawling
+		Honeypot: HoneypotOptions{
+			Sample: 2,
+			Settle: 100 * time.Millisecond,
+		},
+		Journal: jnl,
+		Exec:    ExecOptions{StageSoftDeadline: time.Millisecond},
+		Obs:     reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -395,13 +401,15 @@ func TestStageWatchdogStalls(t *testing.T) {
 // "Budget left" column; unbudgeted stages render "-".
 func TestStageBudgetSurfaced(t *testing.T) {
 	a, err := NewAuditor(Options{
-		Seed:                7,
-		NumBots:             40,
-		HoneypotSample:      3,
-		HoneypotConcurrency: 4,
-		HoneypotSettle:      200 * time.Millisecond,
-		StageRetryBudget:    50,
-		Obs:                 obs.NewRegistry(),
+		Seed:    7,
+		NumBots: 40,
+		Honeypot: HoneypotOptions{
+			Sample:      3,
+			Concurrency: 4,
+			Settle:      200 * time.Millisecond,
+		},
+		Exec: ExecOptions{StageRetryBudget: 50},
+		Obs:  obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPartitionCoversEveryItemOnce(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 4}, {1, 4}, {7, 3}, {100, 8}, {5, 5}, {3, 10}, {20915, 8},
+	} {
+		shards := Partition(tc.n, tc.k)
+		seen := make(map[int]bool)
+		for _, sh := range shards {
+			for _, it := range sh {
+				if seen[it] {
+					t.Fatalf("n=%d k=%d: item %d appears twice", tc.n, tc.k, it)
+				}
+				seen[it] = true
+			}
+		}
+		if len(seen) != tc.n {
+			t.Fatalf("n=%d k=%d: covered %d items", tc.n, tc.k, len(seen))
+		}
+		// Near-equal: sizes differ by at most one.
+		min, max := tc.n, 0
+		for _, sh := range shards {
+			if len(sh) < min {
+				min = len(sh)
+			}
+			if len(sh) > max {
+				max = len(sh)
+			}
+		}
+		if tc.n > 0 && max-min > 1 {
+			t.Errorf("n=%d k=%d: shard sizes range %d..%d", tc.n, tc.k, min, max)
+		}
+	}
+}
+
+func TestPartitionDegenerateShardCount(t *testing.T) {
+	if got := len(Partition(10, 0)); got != 1 {
+		t.Errorf("k=0 should clamp to one shard, got %d", got)
+	}
+	if got := len(Partition(3, 8)); got != 3 {
+		t.Errorf("k>n should clamp to n shards, got %d", got)
+	}
+}
+
+// TestWorkStealingFairness loads one shard far more heavily than the
+// rest: idle workers must steal, every item must run exactly once, and
+// every worker must end up with a share of the load.
+func TestWorkStealingFairness(t *testing.T) {
+	shards := [][]int{
+		make([]int, 120), // heavily loaded
+		{120, 121, 122, 123},
+		{124, 125},
+		{126},
+	}
+	for i := range shards[0] {
+		shards[0][i] = i
+	}
+	total := 127
+	counts := make([]int64, total)
+	st := Run(context.Background(), shards, 4, func(_ context.Context, _, item int) {
+		atomic.AddInt64(&counts[item], 1)
+		time.Sleep(200 * time.Microsecond) // give thieves time to drain their own shard
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d executed %d times", i, c)
+		}
+	}
+	var exec int64
+	for _, e := range st.Executed {
+		exec += e
+	}
+	if exec != int64(total) {
+		t.Fatalf("executed %d of %d", exec, total)
+	}
+	if st.Steals == 0 {
+		t.Error("skewed shards produced zero steals")
+	}
+	if st.Stolen[0] == 0 {
+		t.Error("nothing stolen from the loaded shard")
+	}
+	for w, n := range st.PerWorker {
+		if n == 0 {
+			t.Errorf("worker %d sat idle while shard 0 held %d items", w, len(shards[0]))
+		}
+	}
+}
+
+// TestGateBoundsConcurrency drives many workers through a narrow gate
+// and asserts (under -race) the occupancy bound holds.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const limit = 3
+	g := NewGate("collect", limit)
+	var inflight, peak int64
+	shards := Partition(60, 6)
+	Run(context.Background(), shards, 12, func(ctx context.Context, _, _ int) {
+		rel, err := g.Acquire(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cur := atomic.AddInt64(&inflight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&inflight, -1)
+		rel()
+	})
+	if peak > limit {
+		t.Fatalf("observed %d concurrent holders, gate limit %d", peak, limit)
+	}
+	st := g.Stats()
+	if st.Items != 60 {
+		t.Errorf("gate items = %d", st.Items)
+	}
+	if st.MaxInflight > limit {
+		t.Errorf("gate max inflight = %d > limit %d", st.MaxInflight, limit)
+	}
+	if st.BusyMS <= 0 || st.WallMS <= 0 || st.ItemsPerSec <= 0 {
+		t.Errorf("gate stats not populated: %+v", st)
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate("x", 1)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // double release must not free a second slot
+	if st := g.Stats(); st.Items != 1 {
+		t.Errorf("items = %d after double release", st.Items)
+	}
+	if _, err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateAcquireHonoursCancel(t *testing.T) {
+	g := NewGate("x", 1)
+	rel, _ := g.Acquire(context.Background())
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Acquire(ctx); err == nil {
+		t.Fatal("acquire on a full gate with cancelled ctx should fail")
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int64
+	var once sync.Once
+	st := Run(ctx, Partition(1000, 4), 4, func(ctx context.Context, _, _ int) {
+		atomic.AddInt64(&done, 1)
+		once.Do(cancel)
+	})
+	if done == 0 {
+		t.Fatal("nothing executed")
+	}
+	var exec int64
+	for _, e := range st.Executed {
+		exec += e
+	}
+	if exec >= 1000 {
+		t.Error("cancellation did not stop the scheduler early")
+	}
+}
+
+// TestRunDeterministicCoverage: regardless of scheduling, the set of
+// executed items is exactly the input set — the property the executor
+// parity test builds on.
+func TestRunDeterministicCoverage(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		n := 257
+		var mu sync.Mutex
+		got := make(map[int]int)
+		Run(context.Background(), Partition(n, 5), 9, func(_ context.Context, _, item int) {
+			mu.Lock()
+			got[item]++
+			mu.Unlock()
+		})
+		if len(got) != n {
+			t.Fatalf("trial %d: %d distinct items", trial, len(got))
+		}
+		for it, c := range got {
+			if c != 1 {
+				t.Fatalf("trial %d: item %d ran %d times", trial, it, c)
+			}
+		}
+	}
+}

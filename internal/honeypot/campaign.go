@@ -150,23 +150,27 @@ func RunnerForBehavior(b synth.Behavior) BotRunner {
 	}
 }
 
-// Campaign runs isolated experiments over the most-voted sample of an
-// ecosystem, mirroring the paper's 500-bot study.
-func Campaign(env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
-	return CampaignContext(context.Background(), env, eco, cfg)
+// CampaignRunner is the campaign's per-bot form for caller-scheduled
+// executors: the sharded pipeline applies the resume pass, then drives
+// RunBot for each sample index under its own scheduling, and assembles
+// the result with Result. CampaignContext is a thin worker pool over
+// the same machinery, so both executors settle bots identically.
+type CampaignRunner struct {
+	env Env
+	eco *synth.Ecosystem
+	cfg CampaignConfig
+
+	sample       []*listing.Bot
+	verdicts     []*Verdict
+	quarantined  []error
+	settled      []bool
+	cQuarantined *obs.Counter
 }
 
-// CampaignContext is Campaign with cancellation: no new experiments
-// launch after ctx is done, and in-flight experiments abort at their
-// next wait point. Each experiment runs under its own child span of
-// any span carried by ctx.
-//
-// By default a failed experiment quarantines its bot — counted,
-// journaled, skipped — and every completed verdict is kept; set
-// cfg.Strict to restore the historical first-error-discards-everything
-// behavior. Context cancellation always ends the campaign, but the
-// verdicts completed before the cut are returned alongside the error.
-func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
+// NewCampaignRunner selects the sample and prepares per-bot slots.
+// cfg's sample-size and concurrency defaults are applied here, before
+// the sample selection and feed derivation that depend on them.
+func NewCampaignRunner(env Env, eco *synth.Ecosystem, cfg CampaignConfig) *CampaignRunner {
 	if cfg.SampleSize <= 0 {
 		cfg.SampleSize = 500
 	}
@@ -174,117 +178,122 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 		cfg.Concurrency = 8
 	}
 	sample := SelectMostVoted(eco.Bots, cfg.SampleSize)
-	res := &CampaignResult{
-		GiveawayMessages: make(map[string][]string),
-		Diversity:        sampleDiversity(sample),
+	return &CampaignRunner{
+		env:          env,
+		eco:          eco,
+		cfg:          cfg,
+		sample:       sample,
+		verdicts:     make([]*Verdict, len(sample)),
+		quarantined:  make([]error, len(sample)),
+		settled:      make([]bool, len(sample)),
+		cQuarantined: obs.Or(env.Obs).Counter("honeypot_bots_quarantined_total"),
 	}
-	verdicts := make([]*Verdict, len(sample))
-	quarantined := make([]error, len(sample))
-	settled := make([]bool, len(sample))
-	cQuarantined := obs.Or(env.Obs).Counter("honeypot_bots_quarantined_total")
+}
 
-	// Apply the resume pass over the whole sample BEFORE launching any
-	// fresh experiment. This ordering is what makes Strict×resume safe:
-	// a checkpointed quarantine fails the campaign fast without
-	// re-running a single settled experiment or creating a new guild.
-	if cfg.Resume != nil {
-		for i, b := range sample {
-			if v, ok := cfg.Resume.Verdicts[b.ID]; ok {
-				verdicts[i] = v
-				settled[i] = true
-				journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
-					journal.KindWorkSkipped, map[string]any{
-						"stage":  "honeypot",
-						"reason": "settled in checkpoint",
-					})
-				continue
-			}
-			if qerr, ok := cfg.Resume.Quarantined[b.ID]; ok {
-				if cfg.Strict {
-					return nil, fmt.Errorf("honeypot: bot %s: %w", b.Name, qerr)
-				}
-				quarantined[i] = qerr
-				settled[i] = true
-				journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
-					journal.KindWorkSkipped, map[string]any{
-						"stage":  "honeypot",
-						"reason": "quarantined in checkpoint",
-					})
-			}
-		}
-	}
+// Sample returns the selected most-voted sample in campaign order.
+func (cr *CampaignRunner) Sample() []*listing.Bot { return cr.sample }
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Concurrency)
-	var firstErr error
-	var mu sync.Mutex
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+// Settled reports whether sample index i was settled by the resume
+// pass (no fresh experiment needed).
+func (cr *CampaignRunner) Settled(i int) bool { return cr.settled[i] }
+
+// ApplyResume replays checkpointed outcomes over the WHOLE sample
+// before any fresh experiment launches. This ordering is what makes
+// Strict×resume safe: a checkpointed quarantine fails the campaign
+// fast without re-running a single settled experiment or creating a
+// new guild.
+func (cr *CampaignRunner) ApplyResume(ctx context.Context) error {
+	if cr.cfg.Resume == nil {
+		return nil
 	}
-	for i, b := range sample {
-		if err := ctx.Err(); err != nil {
-			fail(err)
-			break
-		}
-		if settled[i] {
+	for i, b := range cr.sample {
+		if v, ok := cr.cfg.Resume.Verdicts[b.ID]; ok {
+			cr.verdicts[i] = v
+			cr.settled[i] = true
+			journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
+				journal.KindWorkSkipped, map[string]any{
+					"stage":  "honeypot",
+					"reason": "settled in checkpoint",
+				})
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, b *listing.Bot) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			sub := Subject{
-				ListingID: b.ID,
-				Name:      b.Name,
-				Perms:     b.Perms,
-				Prefix:    b.Prefix,
-				Runner:    RunnerForBehavior(eco.Behaviors[b.ID]),
+		if qerr, ok := cr.cfg.Resume.Quarantined[b.ID]; ok {
+			if cr.cfg.Strict {
+				return fmt.Errorf("honeypot: bot %s: %w", b.Name, qerr)
 			}
-			// Each experiment gets its own derived feed so concurrent
-			// guilds neither interleave one RNG stream nor lose
-			// per-experiment determinism.
-			expEnv := env
-			expEnv.Feed = corpus.Derive(int64(cfg.SampleSize), int64(b.ID))
-			expCtx, span := obs.StartChild(ctx, "experiment-"+b.Name)
-			expCtx = journal.WithBot(expCtx, b.ID, b.Name)
-			v, err := RunContext(expCtx, expEnv, cfg.Experiment, sub)
-			span.End()
-			if err != nil {
-				switch {
-				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-					fail(err)
-				case cfg.Strict:
-					fail(fmt.Errorf("honeypot: bot %s: %w", b.Name, err))
-				default:
-					quarantined[i] = err
-					cQuarantined.Inc()
-					journal.Emit(expCtx, "honeypot", journal.KindBotQuarantined, map[string]any{
-						"error": err.Error(),
-					})
-					if cfg.OnSettled != nil {
-						cfg.OnSettled(b.ID, nil, err)
-					}
-				}
-				return
-			}
-			verdicts[i] = v
-			if cfg.OnSettled != nil {
-				cfg.OnSettled(b.ID, v, nil)
-			}
-		}(i, b)
+			cr.quarantined[i] = qerr
+			cr.settled[i] = true
+			journal.Emit(journal.WithBot(ctx, b.ID, b.Name), "honeypot",
+				journal.KindWorkSkipped, map[string]any{
+					"stage":  "honeypot",
+					"reason": "quarantined in checkpoint",
+				})
+		}
 	}
-	wg.Wait()
+	return nil
+}
 
-	for i, v := range verdicts {
+// RunBot runs the fresh experiment for sample index i (a no-op for
+// resume-settled indexes), records the outcome in the runner's slots,
+// and returns it for checkpoint batching. The returned error is fatal:
+// context cancellation, or any failure under cfg.Strict.
+func (cr *CampaignRunner) RunBot(ctx context.Context, i int) (v *Verdict, qerr error, err error) {
+	if cr.settled[i] {
+		return nil, nil, nil
+	}
+	b := cr.sample[i]
+	sub := Subject{
+		ListingID: b.ID,
+		Name:      b.Name,
+		Perms:     b.Perms,
+		Prefix:    b.Prefix,
+		Runner:    RunnerForBehavior(cr.eco.Behaviors[b.ID]),
+	}
+	// Each experiment gets its own derived feed so concurrent guilds
+	// neither interleave one RNG stream nor lose per-experiment
+	// determinism — the same property makes verdicts independent of
+	// which executor (sequential or sharded) scheduled the experiment.
+	expEnv := cr.env
+	expEnv.Feed = corpus.Derive(int64(cr.cfg.SampleSize), int64(b.ID))
+	expCtx, span := obs.StartChild(ctx, "experiment-"+b.Name)
+	expCtx = journal.WithBot(expCtx, b.ID, b.Name)
+	verdict, rerr := RunContext(expCtx, expEnv, cr.cfg.Experiment, sub)
+	span.End()
+	if rerr != nil {
+		switch {
+		case errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded):
+			return nil, nil, rerr
+		case cr.cfg.Strict:
+			return nil, nil, fmt.Errorf("honeypot: bot %s: %w", b.Name, rerr)
+		}
+		cr.quarantined[i] = rerr
+		cr.cQuarantined.Inc()
+		journal.Emit(expCtx, "honeypot", journal.KindBotQuarantined, map[string]any{
+			"error": rerr.Error(),
+		})
+		if cr.cfg.OnSettled != nil {
+			cr.cfg.OnSettled(b.ID, nil, rerr)
+		}
+		return nil, rerr, nil
+	}
+	cr.verdicts[i] = verdict
+	if cr.cfg.OnSettled != nil {
+		cr.cfg.OnSettled(b.ID, verdict, nil)
+	}
+	return verdict, nil, nil
+}
+
+// Result assembles the campaign outcome in sample order.
+func (cr *CampaignRunner) Result() *CampaignResult {
+	res := &CampaignResult{
+		GiveawayMessages: make(map[string][]string),
+		Diversity:        sampleDiversity(cr.sample),
+	}
+	for i, v := range cr.verdicts {
 		if v == nil {
-			if quarantined[i] != nil {
+			if cr.quarantined[i] != nil {
 				res.Quarantined = append(res.Quarantined, Quarantine{
-					BotID: sample[i].ID, Name: sample[i].Name, Err: quarantined[i],
+					BotID: cr.sample[i].ID, Name: cr.sample[i].Name, Err: cr.quarantined[i],
 				})
 			}
 			continue
@@ -298,6 +307,57 @@ func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg Cam
 			res.GiveawayMessages[v.Subject.Name] = v.BotMessages
 		}
 	}
+	return res
+}
+
+// CampaignContext runs isolated experiments over the most-voted sample
+// of an ecosystem with cancellation, mirroring the paper's 500-bot
+// study: no new experiments launch after ctx is done, and in-flight
+// experiments abort at their next wait point. Each experiment runs
+// under its own child span of any span carried by ctx.
+//
+// By default a failed experiment quarantines its bot — counted,
+// journaled, skipped — and every completed verdict is kept; set
+// cfg.Strict to restore the historical first-error-discards-everything
+// behavior. Context cancellation always ends the campaign, but the
+// verdicts completed before the cut are returned alongside the error.
+func CampaignContext(ctx context.Context, env Env, eco *synth.Ecosystem, cfg CampaignConfig) (*CampaignResult, error) {
+	cr := NewCampaignRunner(env, eco, cfg)
+	if err := cr.ApplyResume(ctx); err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cr.cfg.Concurrency)
+	var firstErr error
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for i := range cr.sample {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
+		if cr.settled[i] {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, _, err := cr.RunBot(ctx, i); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res := cr.Result()
 	if firstErr != nil {
 		if cfg.Strict {
 			return nil, firstErr

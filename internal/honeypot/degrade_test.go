@@ -1,6 +1,7 @@
 package honeypot
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -49,7 +50,7 @@ func TestCampaignQuarantinesFailedExperiment(t *testing.T) {
 	}
 	cfg.Experiment.Solver = &flakySolver{failN: 1}
 
-	res, err := Campaign(env, eco, cfg)
+	res, err := CampaignContext(context.Background(), env, eco, cfg)
 	if err != nil {
 		t.Fatalf("lenient campaign errored: %v", err)
 	}
@@ -88,7 +89,7 @@ func TestCampaignStrictModeAborts(t *testing.T) {
 	}
 	cfg.Experiment.Solver = &flakySolver{failN: 1}
 
-	res, err := Campaign(env, eco, cfg)
+	res, err := CampaignContext(context.Background(), env, eco, cfg)
 	if err == nil {
 		t.Fatal("strict campaign should abort on the failed experiment")
 	}

@@ -1,6 +1,7 @@
 package honeypot
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -194,7 +195,7 @@ func TestCampaignFindsTheOneMaliciousBot(t *testing.T) {
 		Experiment:  testCfg(),
 	}
 	cfg.Experiment.Settle = 400 * time.Millisecond
-	res, err := Campaign(env, eco, cfg)
+	res, err := CampaignContext(context.Background(), env, eco, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func runBaseline(t *testing.T, cfg CampaignConfig, eco *synth.Ecosystem) (*Campa
 		}
 		resume.Verdicts[botID] = v
 	}
-	res, err := Campaign(newEnv(t), eco, cfg)
+	res, err := CampaignContext(context.Background(), newEnv(t), eco, cfg)
 	if err != nil {
 		t.Fatalf("baseline campaign: %v", err)
 	}
@@ -131,7 +131,7 @@ func TestCampaignResumePartial(t *testing.T) {
 		fresh[botID] = true
 		mu.Unlock()
 	}
-	res, err := Campaign(newEnv(t), eco, reCfg)
+	res, err := CampaignContext(context.Background(), newEnv(t), eco, reCfg)
 	if err != nil {
 		t.Fatalf("partially resumed campaign: %v", err)
 	}

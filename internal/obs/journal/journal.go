@@ -77,6 +77,11 @@ const (
 	KindBreakerOpened     Kind = "breaker_opened"
 	KindBreakerClosed     Kind = "breaker_closed"
 	KindStageStalled      Kind = "stage_stalled"
+
+	// Sharded executor: one shard's deque ran dry (its remaining items
+	// stolen or executed) — the scheduler-level milestone that lets a
+	// journal reader reconstruct shard balance after the fact.
+	KindShardDrained Kind = "shard_drained"
 )
 
 // Event is one journal line. Zero-valued correlation fields are omitted
@@ -187,6 +192,19 @@ func (j *Journal) Emit(e Event) {
 		default:
 			j.cDropped.Inc()
 		}
+	}
+}
+
+// EmitBatch appends a batch of events under one channel pass. It has
+// identical semantics to calling Emit per event — non-blocking, drops
+// counted individually — but gives batching emitters (the sharded
+// executor's per-shard drain) a single call site.
+func (j *Journal) EmitBatch(events []Event) {
+	if j == nil {
+		return
+	}
+	for _, e := range events {
+		j.Emit(e)
 	}
 }
 

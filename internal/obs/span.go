@@ -65,9 +65,23 @@ type Span struct {
 	trace *Trace
 	Name  string
 
-	start    time.Time
-	end      time.Time
-	children []*Span
+	start      time.Time
+	end        time.Time
+	children   []*Span
+	concurrent bool
+}
+
+// MarkConcurrent flags the span as one of several stages interleaving
+// over the same wall-clock window (the sharded executor's per-stage
+// spans). Reports render such spans by summed child-span time instead
+// of wall time, which would double-count the overlapped window.
+func (s *Span) MarkConcurrent() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.concurrent = true
+	s.trace.mu.Unlock()
 }
 
 // StartSpan opens a child span.
@@ -127,9 +141,14 @@ func (s *Span) Children() []*Span {
 
 // SpanSummary is the JSON shape of one span.
 type SpanSummary struct {
-	Name       string        `json:"name"`
-	StartMS    int64         `json:"start_ms"` // offset from trace start
-	DurationMS float64       `json:"duration_ms"`
+	Name       string  `json:"name"`
+	StartMS    int64   `json:"start_ms"` // offset from trace start
+	DurationMS float64 `json:"duration_ms"`
+	// Concurrent marks a stage span that interleaved with sibling
+	// stages; its DurationMS is a shared wall-clock window, and BusyMS
+	// (summed child-span time) is the honest per-stage figure.
+	Concurrent bool          `json:"concurrent,omitempty"`
+	BusyMS     float64       `json:"busy_ms,omitempty"`
 	Children   []SpanSummary `json:"children,omitempty"`
 }
 
@@ -138,9 +157,15 @@ func (s *Span) summaryLocked(traceStart time.Time) SpanSummary {
 		Name:       s.Name,
 		StartMS:    s.start.Sub(traceStart).Milliseconds(),
 		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+		Concurrent: s.concurrent,
 	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, c.summaryLocked(traceStart))
+	}
+	if s.concurrent {
+		for _, c := range out.Children {
+			out.BusyMS += c.DurationMS
+		}
 	}
 	return out
 }

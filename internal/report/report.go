@@ -299,6 +299,7 @@ func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegrad
 		Title:   fmt.Sprintf("Stage timings (trace %q)", sum.Name),
 		Headers: headers,
 	}
+	anyConcurrent := false
 	for _, s := range sum.Spans {
 		childCell, meanCell := "-", "-"
 		if n := len(s.Children); n > 0 {
@@ -309,7 +310,15 @@ func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegrad
 			childCell = fmt.Sprintf("%d", n)
 			meanCell = fmt.Sprintf("%.1fms", total/float64(n))
 		}
-		row := []string{s.Name, fmt.Sprintf("%.1fms", s.DurationMS), childCell, meanCell}
+		// A concurrent stage shares its wall-clock window with sibling
+		// stages; its honest per-stage figure is summed span time, marked
+		// so the asterisked column is never read as sequential wall time.
+		durCell := fmt.Sprintf("%.1fms", s.DurationMS)
+		if s.Concurrent {
+			durCell = fmt.Sprintf("%.1fms*", s.BusyMS)
+			anyConcurrent = true
+		}
+		row := []string{s.Name, durCell, childCell, meanCell}
 		if deg != nil {
 			d, ok := deg[s.Name]
 			if ok {
@@ -325,6 +334,9 @@ func StageTimingsDegraded(w io.Writer, tr *obs.Trace, deg map[string]StageDegrad
 		t.AddRow(row...)
 	}
 	t.Render(w)
+	if anyConcurrent {
+		fmt.Fprintln(w, "* concurrent stage: summed per-item span time; stages interleaved, so wall clock overlaps siblings")
+	}
 }
 
 // Honeypot renders a campaign summary.

@@ -50,10 +50,10 @@ type Client struct {
 	stats   Stats
 
 	// observability
-	cRequests  *obs.Counter
-	cThrottle  *obs.Counter
-	cCaptchas  *obs.Counter
-	cTimeouts  *obs.Counter
+	cRequests    *obs.Counter
+	cThrottle    *obs.Counter
+	cCaptchas    *obs.Counter
+	cTimeouts    *obs.Counter
 	cRetries     *obs.Counter
 	cTransient   *obs.Counter
 	cQuarantined *obs.Counter
@@ -158,19 +158,6 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}, nil
 }
 
-// NewClientLegacy builds a client from the pre-ClientConfig positional
-// arguments.
-//
-// Deprecated: use NewClient with a ClientConfig.
-func NewClientLegacy(baseURL string, timeout, minInterval time.Duration, solver Solver) (*Client, error) {
-	return NewClient(ClientConfig{
-		BaseURL:     baseURL,
-		Timeout:     timeout,
-		MinInterval: minInterval,
-		Solver:      solver,
-	})
-}
-
 // Stats returns a copy of the counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
@@ -226,26 +213,15 @@ func (c *Client) pace(ctx context.Context) error {
 	return ctx.Err()
 }
 
-// Get fetches a path (or absolute URL) and parses the response body as
-// HTML, transparently solving captchas and backing off on rate limits.
-func (c *Client) Get(ref string) (*htmlparse.Node, error) {
-	return c.GetContext(context.Background(), ref)
-}
-
-// GetContext is Get with cancellation.
+// GetContext fetches a path (or absolute URL) and parses the response
+// body as HTML, transparently solving captchas and backing off on rate
+// limits.
 func (c *Client) GetContext(ctx context.Context, ref string) (*htmlparse.Node, error) {
 	body, err := c.GetRawContext(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
 	return htmlparse.Parse(body), nil
-}
-
-// GetRaw fetches a path (or absolute URL) and returns the body
-// verbatim — for raw source files, which must not round-trip through
-// the HTML parser.
-func (c *Client) GetRaw(ref string) (string, error) {
-	return c.GetRawContext(context.Background(), ref)
 }
 
 // Retryable-failure classes GetRawContext distinguishes. Throttling

@@ -133,61 +133,148 @@ func (r *CrawlResult) Degraded() bool {
 	return r.ListErr != nil || len(r.Quarantined) > 0
 }
 
-// Crawl walks the whole listing and returns one record per bot,
-// ordered as listed.
-func Crawl(c *Client, cfg Config) ([]*Record, error) {
-	return CrawlContext(context.Background(), c, cfg)
+// Crawler exposes the crawl's per-bot machinery to caller-scheduled
+// executors: List discovers the work plan and Settle carries one bot
+// through scrape → quarantine → journal exactly as CrawlResultContext's
+// own workers do. The sharded pipeline drives a Crawler directly so the
+// scheduler, not this package, decides which bot runs when; Settle is
+// safe for concurrent use.
+type Crawler struct {
+	Client *Client
+	Cfg    Config
 }
 
-// CrawlContext is Crawl with cancellation: no new bot fetches start
-// after ctx is done, and in-flight fetches abort at their next wait.
-// When ctx carries an obs span, each listing page and bot fetch records
-// a child span.
-//
-// CrawlContext preserves the historical strict contract — the first
-// failed bot aborts the crawl. Degradation-aware callers should use
-// CrawlResultContext, which quarantines failures instead.
-func CrawlContext(ctx context.Context, c *Client, cfg Config) ([]*Record, error) {
-	cfg.Strict = true
-	res, err := CrawlResultContext(ctx, c, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return res.Records, nil
+// SettledBot is one bot's crawl outcome.
+type SettledBot struct {
+	// Rec is the scraped record, nil when the bot was quarantined.
+	Rec *Record
+	// Quarantine is the error that set the bot aside, nil on success.
+	Quarantine error
+	// Resumed marks an outcome replayed from Cfg.Resume rather than
+	// freshly scraped — already persisted, so not re-checkpointed.
+	Resumed bool
 }
 
-// CrawlResultContext walks the whole listing like CrawlContext, but
-// degrades instead of aborting: a bot whose scrape fails after
-// exhausting retries is quarantined (counted, journaled, skipped), and
-// a pagination failure yields the bots discovered so far with ListErr
-// set. The returned error is non-nil only for context cancellation —
-// or any failure at all when cfg.Strict is set.
-func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResult, error) {
+// NewCrawler builds a Crawler with cfg's worker/retry defaults applied.
+func NewCrawler(c *Client, cfg Config) *Crawler {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
 	}
-	var ids []int
-	var listErr error
-	if cfg.Resume != nil && len(cfg.Resume.IDs) > 0 {
+	return &Crawler{Client: c, Cfg: cfg}
+}
+
+// List returns the crawl's work plan: the resumed listing when the
+// checkpoint recorded one, otherwise a fresh pagination. listErr
+// carries a lenient-mode pagination failure (the listing is partial);
+// err is fatal (strict mode or cancellation).
+func (cr *Crawler) List(ctx context.Context) (ids []int, listErr, err error) {
+	if r := cr.Cfg.Resume; r != nil && len(r.IDs) > 0 {
 		// The interrupted run already paid for pagination; reuse its
 		// listing so the resumed run sees the identical work plan.
-		ids = cfg.Resume.IDs
+		ids = r.IDs
 	} else {
-		ids, listErr = ListBotIDsContext(ctx, c, cfg.MaxPages)
+		ids, listErr = ListBotIDsContext(ctx, cr.Client, cr.Cfg.MaxPages)
 		if listErr != nil {
-			if cfg.Strict || errors.Is(listErr, context.Canceled) || errors.Is(listErr, context.DeadlineExceeded) {
-				return nil, listErr
+			if cr.Cfg.Strict || errors.Is(listErr, context.Canceled) || errors.Is(listErr, context.DeadlineExceeded) {
+				return nil, nil, listErr
 			}
 		}
 	}
 	// A partial listing (pagination died mid-walk) is not a durable
 	// work plan: only a complete discovery is reported, so a resumed
 	// run re-paginates rather than inheriting the truncation.
-	if cfg.OnListed != nil && listErr == nil {
-		cfg.OnListed(ids)
+	if cr.Cfg.OnListed != nil && listErr == nil {
+		cr.Cfg.OnListed(ids)
+	}
+	return ids, listErr, nil
+}
+
+// resumed replays a checkpointed outcome for id when one exists.
+// ok=false means the bot is fresh work; err is fatal (a strict run hit
+// a checkpointed quarantine).
+func (cr *Crawler) resumed(ctx context.Context, id int) (out SettledBot, ok bool, err error) {
+	r := cr.Cfg.Resume
+	if r == nil {
+		return SettledBot{}, false, nil
+	}
+	if rec, found := r.Records[id]; found {
+		journal.Emit(journal.WithBot(ctx, id, rec.Name), "scraper",
+			journal.KindWorkSkipped, map[string]any{
+				"stage":  "collect",
+				"reason": "settled in checkpoint",
+			})
+		return SettledBot{Rec: rec, Resumed: true}, true, nil
+	}
+	if qerr, found := r.Quarantined[id]; found {
+		if cr.Cfg.Strict {
+			return SettledBot{}, false, fmt.Errorf("bot %d: %w", id, qerr)
+		}
+		journal.Emit(journal.WithBot(ctx, id, ""), "scraper",
+			journal.KindWorkSkipped, map[string]any{
+				"stage":  "collect",
+				"reason": "quarantined in checkpoint",
+			})
+		return SettledBot{Quarantine: qerr, Resumed: true}, true, nil
+	}
+	return SettledBot{}, false, nil
+}
+
+// Settle carries one listed bot to its outcome: a checkpointed replay,
+// a scraped record, or a quarantine. The returned error is fatal —
+// context cancellation, or any scrape failure under Cfg.Strict.
+func (cr *Crawler) Settle(ctx context.Context, id int) (SettledBot, error) {
+	if out, ok, err := cr.resumed(ctx, id); err != nil || ok {
+		return out, err
+	}
+	botCtx, sp := obs.StartChild(ctx, fmt.Sprintf("bot-%d", id))
+	defer sp.End()
+	botCtx = journal.WithBot(botCtx, id, "")
+	rec, err := ScrapeBotContext(botCtx, cr.Client, id, cr.Cfg.Retries)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return SettledBot{}, err
+		case cr.Cfg.Strict:
+			return SettledBot{}, fmt.Errorf("bot %d: %w", id, err)
+		}
+		cr.Client.cQuarantined.Inc()
+		journal.Emit(botCtx, "scraper", journal.KindBotQuarantined, map[string]any{
+			"error": err.Error(),
+		})
+		if cr.Cfg.OnSettled != nil {
+			cr.Cfg.OnSettled(id, nil, err)
+		}
+		return SettledBot{Quarantine: err}, nil
+	}
+	journal.Emit(journal.WithBot(botCtx, id, rec.Name), "scraper",
+		journal.KindBotDiscovered, map[string]any{
+			"perms_valid":    rec.PermsValid,
+			"invalid_reason": string(rec.InvalidReason),
+			"votes":          rec.Votes,
+			"has_policy":     rec.PolicyLinkFound && !rec.PolicyLinkDead,
+		})
+	if cr.Cfg.OnSettled != nil {
+		cr.Cfg.OnSettled(id, rec, nil)
+	}
+	return SettledBot{Rec: rec}, nil
+}
+
+// CrawlResultContext walks the whole listing and degrades instead of
+// aborting: a bot whose scrape fails after exhausting retries is
+// quarantined (counted, journaled, skipped), and a pagination failure
+// yields the bots discovered so far with ListErr set. The returned
+// error is non-nil only for context cancellation — or any failure at
+// all when cfg.Strict is set. This is the only crawl entry point; the
+// sharded executor schedules the same per-bot path via Crawler.
+func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResult, error) {
+	cr := NewCrawler(c, cfg)
+	cfg = cr.Cfg
+	ids, listErr, err := cr.List(ctx)
+	if err != nil {
+		return nil, err
 	}
 	records := make([]*Record, len(ids))
 	quarantined := make([]error, len(ids))
@@ -207,68 +294,24 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 			fail(err)
 			break
 		}
-		if cfg.Resume != nil {
-			if rec, ok := cfg.Resume.Records[id]; ok {
-				records[i] = rec
-				journal.Emit(journal.WithBot(ctx, id, rec.Name), "scraper",
-					journal.KindWorkSkipped, map[string]any{
-						"stage":  "collect",
-						"reason": "settled in checkpoint",
-					})
-				continue
-			}
-			if qerr, ok := cfg.Resume.Quarantined[id]; ok {
-				if cfg.Strict {
-					fail(fmt.Errorf("bot %d: %w", id, qerr))
-					break
-				}
-				quarantined[i] = qerr
-				journal.Emit(journal.WithBot(ctx, id, ""), "scraper",
-					journal.KindWorkSkipped, map[string]any{
-						"stage":  "collect",
-						"reason": "quarantined in checkpoint",
-					})
-				continue
-			}
+		if out, ok, rerr := cr.resumed(ctx, id); rerr != nil {
+			fail(rerr)
+			break
+		} else if ok {
+			records[i], quarantined[i] = out.Rec, out.Quarantine
+			continue
 		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			botCtx, sp := obs.StartChild(ctx, fmt.Sprintf("bot-%d", id))
-			defer sp.End()
-			botCtx = journal.WithBot(botCtx, id, "")
-			rec, err := ScrapeBotContext(botCtx, c, id, cfg.Retries)
+			out, err := cr.Settle(ctx, id)
 			if err != nil {
-				switch {
-				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-					fail(err)
-				case cfg.Strict:
-					fail(fmt.Errorf("bot %d: %w", id, err))
-				default:
-					quarantined[i] = err
-					c.cQuarantined.Inc()
-					journal.Emit(botCtx, "scraper", journal.KindBotQuarantined, map[string]any{
-						"error": err.Error(),
-					})
-					if cfg.OnSettled != nil {
-						cfg.OnSettled(id, nil, err)
-					}
-				}
+				fail(err)
 				return
 			}
-			records[i] = rec
-			journal.Emit(journal.WithBot(botCtx, id, rec.Name), "scraper",
-				journal.KindBotDiscovered, map[string]any{
-					"perms_valid":    rec.PermsValid,
-					"invalid_reason": string(rec.InvalidReason),
-					"votes":          rec.Votes,
-					"has_policy":     rec.PolicyLinkFound && !rec.PolicyLinkDead,
-				})
-			if cfg.OnSettled != nil {
-				cfg.OnSettled(id, rec, nil)
-			}
+			records[i], quarantined[i] = out.Rec, out.Quarantine
 		}(i, id)
 	}
 	wg.Wait()
@@ -285,12 +328,6 @@ func CrawlResultContext(ctx context.Context, c *Client, cfg Config) (*CrawlResul
 		}
 	}
 	return res, nil
-}
-
-// ListBotIDs pages through the "top chatbot" list collecting bot IDs in
-// listing order.
-func ListBotIDs(c *Client, maxPages int) ([]int, error) {
-	return ListBotIDsContext(context.Background(), c, maxPages)
 }
 
 // ListBotIDsContext is ListBotIDs with cancellation. On a page-fetch
@@ -330,13 +367,8 @@ func ListBotIDsContext(ctx context.Context, c *Client, maxPages int) ([]int, err
 	return ids, nil
 }
 
-// ScrapeBot fetches one bot's detail page, its invite consent page, and
-// its website policy, assembling the full record.
-func ScrapeBot(c *Client, id, retries int) (*Record, error) {
-	return ScrapeBotContext(context.Background(), c, id, retries)
-}
-
-// ScrapeBotContext is ScrapeBot with cancellation.
+// ScrapeBotContext fetches one bot's detail page, its invite consent
+// page, and its website policy, assembling the full record.
 func ScrapeBotContext(ctx context.Context, c *Client, id, retries int) (*Record, error) {
 	var doc *htmlparse.Node
 	var inviteHref string

@@ -131,7 +131,7 @@ func TestCrawlQuarantinesFailingBot(t *testing.T) {
 
 	// Strict mode restores the historical abort-on-first-failure.
 	c2 := newTestClient(t, srv.URL, nil)
-	if _, err := CrawlContext(context.Background(), c2, Config{Workers: 2, Retries: 1}); err == nil {
+	if _, err := CrawlResultContext(context.Background(), c2, Config{Workers: 2, Retries: 1, Strict: true}); err == nil {
 		t.Fatal("strict crawl should abort on the failing bot")
 	}
 }
@@ -171,7 +171,7 @@ func TestPartialListingSurvives(t *testing.T) {
 
 	// Strict mode propagates the pagination failure.
 	c2 := newTestClient(t, srv.URL, nil)
-	if _, err := CrawlContext(context.Background(), c2, Config{Workers: 2, Retries: 1}); err == nil {
+	if _, err := CrawlResultContext(context.Background(), c2, Config{Workers: 2, Retries: 1, Strict: true}); err == nil {
 		t.Fatal("strict crawl should fail on a dead listing page")
 	}
 }

@@ -3,12 +3,15 @@ package scraper
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// TestNewClientLegacyParity pins the deprecated positional constructor
-// to the ClientConfig one: both must configure the client identically,
-// so callers can migrate without behaviour change.
-func TestNewClientLegacyParity(t *testing.T) {
+// TestClientConfigWiring pins what the deleted positional constructor's
+// parity test used to: every ClientConfig field lands on the client,
+// defaults apply, and malformed input is rejected — so callers migrated
+// off NewClientLegacy keep identical behaviour.
+func TestClientConfigWiring(t *testing.T) {
 	solver := &TwoCaptchaSim{CostPerSolve: 299}
 	const (
 		base        = "http://listing.test:8080"
@@ -16,11 +19,7 @@ func TestNewClientLegacyParity(t *testing.T) {
 		minInterval = 25 * time.Millisecond
 	)
 
-	legacy, err := NewClientLegacy(base, timeout, minInterval, solver)
-	if err != nil {
-		t.Fatalf("NewClientLegacy: %v", err)
-	}
-	modern, err := NewClient(ClientConfig{
+	c, err := NewClient(ClientConfig{
 		BaseURL:     base,
 		Timeout:     timeout,
 		MinInterval: minInterval,
@@ -30,33 +29,46 @@ func TestNewClientLegacyParity(t *testing.T) {
 		t.Fatalf("NewClient: %v", err)
 	}
 
-	if got, want := legacy.base.String(), modern.base.String(); got != want {
-		t.Errorf("base URL: legacy %q, modern %q", got, want)
+	if got := c.base.String(); got != base {
+		t.Errorf("base URL = %q, want %q", got, base)
 	}
-	if got, want := legacy.http.Timeout, modern.http.Timeout; got != want {
-		t.Errorf("http timeout: legacy %v, modern %v", got, want)
+	if got := c.http.Timeout; got != timeout {
+		t.Errorf("http timeout = %v, want %v", got, timeout)
 	}
-	if got, want := legacy.minInterval, modern.minInterval; got != want {
-		t.Errorf("min interval: legacy %v, modern %v", got, want)
+	if got := c.minInterval; got != minInterval {
+		t.Errorf("min interval = %v, want %v", got, minInterval)
 	}
-	if legacy.solver != Solver(solver) || modern.solver != Solver(solver) {
-		t.Errorf("solver not passed through: legacy %v, modern %v", legacy.solver, modern.solver)
+	if c.solver != Solver(solver) {
+		t.Errorf("solver not passed through: %v", c.solver)
 	}
-
-	// Both route metrics to the same (default) registry, so the counter
-	// handles must be the very same objects.
-	if legacy.cRequests != modern.cRequests {
-		t.Error("request counters differ — legacy client reports to a different registry")
-	}
-	if legacy.hFetch != modern.hFetch {
-		t.Error("fetch histograms differ — legacy client reports to a different registry")
+	if c.transportRetries != 3 {
+		t.Errorf("transport retries default = %d, want 3", c.transportRetries)
 	}
 
-	// Both must reject the same malformed input the same way.
-	if _, err := NewClientLegacy("http://bad url\x7f", 0, 0, nil); err == nil {
-		t.Error("legacy constructor accepted a malformed base URL")
+	// Omitting Obs routes metrics to the default registry: two clients
+	// built that way must share the very same counter handles.
+	c2, err := NewClient(ClientConfig{BaseURL: base})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
 	}
+	if c.cRequests != c2.cRequests {
+		t.Error("request counters differ — default-registry clients should share counters")
+	}
+	if c.hFetch != c2.hFetch {
+		t.Error("fetch histograms differ — default-registry clients should share histograms")
+	}
+
+	// An explicit registry isolates the counters.
+	reg := obs.NewRegistry()
+	c3, err := NewClient(ClientConfig{BaseURL: base, Obs: reg})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if c3.cRequests == c.cRequests {
+		t.Error("explicit-registry client shares counters with the default registry")
+	}
+
 	if _, err := NewClient(ClientConfig{BaseURL: "http://bad url\x7f"}); err == nil {
-		t.Error("modern constructor accepted a malformed base URL")
+		t.Error("constructor accepted a malformed base URL")
 	}
 }

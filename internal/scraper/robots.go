@@ -2,6 +2,7 @@ package scraper
 
 import (
 	"bufio"
+	"context"
 	"strconv"
 	"strings"
 	"time"
@@ -134,8 +135,8 @@ func (p RobotsPolicy) Allowed(path string) bool {
 // LoadRobots fetches and parses the site's robots.txt for this client's
 // user agent, and — when the policy requests a crawl delay larger than
 // the client's current pacing — slows the client down to comply.
-func (c *Client) LoadRobots() (RobotsPolicy, error) {
-	body, err := c.GetRaw("/robots.txt")
+func (c *Client) LoadRobots(ctx context.Context) (RobotsPolicy, error) {
+	body, err := c.GetRawContext(ctx, "/robots.txt")
 	if err != nil {
 		// No robots.txt: everything allowed, no delay mandated.
 		return RobotsPolicy{}, nil

@@ -1,6 +1,7 @@
 package scraper
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -77,12 +78,12 @@ func TestLoadRobotsAdoptsCrawlDelay(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	// Exercise the deprecated positional shim on purpose.
-	c, err := NewClientLegacy(srv.BaseURL(), time.Second, 0, nil)
+	// The positional shim is gone; ClientConfig is the only constructor.
+	c, err := NewClient(ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pol, err := c.LoadRobots()
+	pol, err := c.LoadRobots(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestLoadRobotsAdoptsCrawlDelay(t *testing.T) {
 	// The client slowed itself to the mandated delay.
 	start := time.Now()
 	for i := 0; i < 3; i++ {
-		if _, err := c.Get("/bots?page=1"); err != nil {
+		if _, err := c.GetContext(context.Background(), "/bots?page=1"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func TestLoadRobotsAbsent(t *testing.T) {
 	}
 	defer srv.Close()
 	c, _ := NewClient(ClientConfig{BaseURL: srv.BaseURL(), Timeout: time.Second})
-	pol, err := c.LoadRobots()
+	pol, err := c.LoadRobots(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package scraper
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -9,6 +10,17 @@ import (
 	"repro/internal/permissions"
 	"repro/internal/synth"
 )
+
+// crawlStrict preserves the deleted Crawl wrapper's contract for these
+// tests: background context, first failed bot aborts the crawl.
+func crawlStrict(c *Client, cfg Config) ([]*Record, error) {
+	cfg.Strict = true
+	res, err := CrawlResultContext(context.Background(), c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
+}
 
 // startSite spins up a listing server over a synthetic population.
 func startSite(t *testing.T, n int, cfg listing.AntiScrape) (*listing.Server, *synth.Ecosystem) {
@@ -35,7 +47,7 @@ func newTestClient(t *testing.T, base string, solver Solver) *Client {
 func TestListBotIDsPagination(t *testing.T) {
 	srv, eco := startSite(t, 60, listing.AntiScrape{})
 	c := newTestClient(t, srv.BaseURL(), nil)
-	ids, err := ListBotIDs(c, 0)
+	ids, err := ListBotIDsContext(context.Background(), c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +62,7 @@ func TestListBotIDsPagination(t *testing.T) {
 		seen[id] = true
 	}
 	// MaxPages bound is respected.
-	capped, err := ListBotIDs(c, 1)
+	capped, err := ListBotIDsContext(context.Background(), c, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +84,7 @@ func TestScrapeBotExtractsAttributes(t *testing.T) {
 	if target == nil {
 		t.Skip("no suitable bot in this seed")
 	}
-	rec, err := ScrapeBot(c, target.ID, 2)
+	rec, err := ScrapeBotContext(context.Background(), c, target.ID, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +143,7 @@ func TestInvalidInviteTaxonomy(t *testing.T) {
 		{slow, InvalidTimeout},
 	}
 	for _, tc := range cases {
-		rec, err := ScrapeBot(c, tc.bot.ID, 1)
+		rec, err := ScrapeBotContext(context.Background(), c, tc.bot.ID, 1)
 		if err != nil {
 			t.Fatalf("bot %d (%s): %v", tc.bot.ID, tc.bot.InviteHealth, err)
 		}
@@ -159,7 +171,7 @@ func TestPolicyScraping(t *testing.T) {
 	if live == nil {
 		t.Fatal("seed lacks a live policy")
 	}
-	rec, err := ScrapeBot(c, live.ID, 1)
+	rec, err := ScrapeBotContext(context.Background(), c, live.ID, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +182,7 @@ func TestPolicyScraping(t *testing.T) {
 		t.Error("policy text empty")
 	}
 	if dead != nil {
-		rec2, err := ScrapeBot(c, dead.ID, 1)
+		rec2, err := ScrapeBotContext(context.Background(), c, dead.ID, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +195,7 @@ func TestPolicyScraping(t *testing.T) {
 func TestFlakyDetailRetries(t *testing.T) {
 	srv, eco := startSite(t, 80, listing.AntiScrape{FlakyEvery: 2})
 	c := newTestClient(t, srv.BaseURL(), nil)
-	recs, err := Crawl(c, Config{Workers: 4, Retries: 2})
+	recs, err := crawlStrict(c, Config{Workers: 4, Retries: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +228,7 @@ func TestCaptchaFlow(t *testing.T) {
 	srv, _ := startSite(t, 30, listing.AntiScrape{CaptchaEvery: 5})
 	solver := &TwoCaptchaSim{CostPerSolve: 299}
 	c := newTestClient(t, srv.BaseURL(), solver)
-	recs, err := Crawl(c, Config{Workers: 2})
+	recs, err := crawlStrict(c, Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,12 +249,12 @@ func TestCaptchaFlow(t *testing.T) {
 func TestCaptchaWithoutSolverFails(t *testing.T) {
 	srv, _ := startSite(t, 30, listing.AntiScrape{CaptchaEvery: 3})
 	c := newTestClient(t, srv.BaseURL(), nil)
-	_, err := Crawl(c, Config{Workers: 1})
+	_, err := crawlStrict(c, Config{Workers: 1})
 	if err == nil {
 		t.Fatal("crawl should fail when captchas cannot be solved")
 	}
 	c2 := newTestClient(t, srv.BaseURL(), FailingSolver{})
-	if _, err := Crawl(c2, Config{Workers: 1}); err == nil {
+	if _, err := crawlStrict(c2, Config{Workers: 1}); err == nil {
 		t.Fatal("crawl should fail when the solver errors")
 	}
 }
@@ -250,7 +262,7 @@ func TestCaptchaWithoutSolverFails(t *testing.T) {
 func TestRateLimitBackoff(t *testing.T) {
 	srv, _ := startSite(t, 30, listing.AntiScrape{RequestsPerSecond: 50, Burst: 5})
 	c := newTestClient(t, srv.BaseURL(), nil)
-	recs, err := Crawl(c, Config{Workers: 8})
+	recs, err := crawlStrict(c, Config{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +282,7 @@ func TestSelfPacing(t *testing.T) {
 	}
 	start := time.Now()
 	for i := 0; i < 5; i++ {
-		if _, err := c.Get("/bots?page=1"); err != nil {
+		if _, err := c.GetContext(context.Background(), "/bots?page=1"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -302,7 +314,7 @@ func TestPermissionDistribution(t *testing.T) {
 func TestErrGoneOnMissingBot(t *testing.T) {
 	srv, _ := startSite(t, 5, listing.AntiScrape{})
 	c := newTestClient(t, srv.BaseURL(), nil)
-	_, err := ScrapeBot(c, 424242, 1)
+	_, err := ScrapeBotContext(context.Background(), c, 424242, 1)
 	if !errors.Is(err, ErrGone) {
 		t.Errorf("missing bot err = %v", err)
 	}

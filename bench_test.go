@@ -14,6 +14,8 @@ import (
 	"context"
 	"flag"
 	"io"
+	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -843,4 +845,90 @@ func BenchmarkJournalEmitSaturated(b *testing.B) {
 		b.Fatal("saturated journal dropped nothing — Emit must have blocked")
 	}
 	b.ReportMetric(100*float64(dropped)/float64(emitted+dropped), "dropped_%")
+}
+
+// ---- evidence ledger write path ----
+
+// ledgerBenchWorkload writes n pipeline-shaped events through a journal
+// in the given ledger mode onto a real temp file and returns the
+// wall-clock time for the full path: Emit, marshal, hash chain, ledger
+// records, flush, seal.
+func ledgerBenchWorkload(tb testing.TB, mode journal.LedgerMode, n int) time.Duration {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "ledger.jsonl")
+	j, err := journal.Open(path, journal.Options{
+		Buffer: n + 1, // never drop: the comparison must write identical workloads
+		Obs:    obs.NewRegistry(),
+		Ledger: journal.LedgerOptions{Mode: mode, Batch: 64},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ev := journal.Event{
+		Kind: journal.KindPageFetched, Component: "bench", RunID: "bench-run",
+		Fields: map[string]any{"ref": "/bot/12345", "status": 200},
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e := ev
+		e.BotID = i + 1
+		j.Emit(e)
+	}
+	if err := j.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if mode != journal.LedgerOff {
+		res, err := journal.VerifyFile(path)
+		if err != nil || !res.OK {
+			tb.Fatalf("benched ledger does not verify: %v %s", err, res.Err)
+		}
+		if res.Events != n {
+			tb.Fatalf("benched ledger covers %d events, want %d", res.Events, n)
+		}
+	}
+	return elapsed
+}
+
+// BenchmarkJournalLedgerWrite measures what tamper-evidence costs on
+// the journal's write path, one sub-benchmark per mode. BENCH_LEDGER.json
+// (written by `botscan bench-ledger`) records the checked-in numbers at
+// the BENCH_SCALE workload.
+func BenchmarkJournalLedgerWrite(b *testing.B) {
+	for _, mode := range []journal.LedgerMode{journal.LedgerOff, journal.LedgerChain, journal.LedgerMerkle} {
+		b.Run(string(mode), func(b *testing.B) {
+			elapsed := ledgerBenchWorkload(b, mode, b.N)
+			b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/sec")
+			b.ReportMetric(float64(elapsed.Nanoseconds())/float64(b.N), "ns/event")
+		})
+	}
+}
+
+// TestLedgerOverheadSmoke is the CI guard on the ledger's write-path
+// cost: merkle mode must stay within 2x of off mode on a small
+// workload. The bound is deliberately loose — CI machines are noisy and
+// the workload short; the honest overhead number (< 15% at the
+// BENCH_SCALE workload) lives in BENCH_LEDGER.json, regenerated with
+// `botscan bench-ledger`. What this guard catches is a regression that
+// makes tamper-evidence wildly expensive (per-event fsync, quadratic
+// batch handling), not single-digit drift.
+func TestLedgerOverheadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke test")
+	}
+	const n = 20000
+	med := func(mode journal.LedgerMode) time.Duration {
+		ds := make([]time.Duration, 3)
+		for i := range ds {
+			ds[i] = ledgerBenchWorkload(t, mode, n)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[1]
+	}
+	off := med(journal.LedgerOff)
+	merkle := med(journal.LedgerMerkle)
+	t.Logf("off=%v merkle=%v overhead=%.1f%%", off, merkle, 100*float64(merkle-off)/float64(off))
+	if merkle > 2*off {
+		t.Fatalf("merkle ledger costs %v vs %v off — over the 2x smoke bound", merkle, off)
+	}
 }

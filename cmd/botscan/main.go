@@ -8,10 +8,13 @@
 //
 //	botscan -bots 2000 -sample 100 -seed 42
 //	botscan -bots 2000 -journal run.jsonl
+//	botscan -bots 2000 -journal run.jsonl -ledger-mode merkle   # tamper-evident
 //	botscan -bots 2000 -checkpoint-dir ckpt     # crash-safe snapshots
 //	botscan -bots 2000 -checkpoint-dir ckpt -resume latest
 //	botscan journal -file run.jsonl             # summarize a journal
 //	botscan journal -file run.jsonl -timeline   # per-bot replay
+//	botscan verify-ledger run.jsonl             # prove evidence integrity
+//	botscan bench-ledger -out BENCH_LEDGER.json # cost of tamper-evidence
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -38,9 +42,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "journal" {
-		journalMode(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "journal":
+			journalMode(os.Args[2:])
+			return
+		case "verify-ledger":
+			verifyLedgerMode(os.Args[2:])
+			return
+		case "bench-ledger":
+			benchLedgerMode(os.Args[2:])
+			return
+		}
 	}
 
 	var (
@@ -57,6 +70,9 @@ func main() {
 		exportDir    = flag.String("export-dir", "", "write records/code/verdicts/triggers as JSON Lines into this directory")
 		metricsAddr  = flag.String("metrics-addr", "", "also serve the operational endpoints (/metrics, /healthz, /debug/pprof) on this address")
 		journalPath  = flag.String("journal", "", "append every pipeline event to this JSONL journal (inspect with 'botscan journal')")
+		ledgerMode   = flag.String("ledger-mode", "off", "journal tamper-evidence: off, chain (per-event hash chain), or merkle (batched roots)")
+		ledgerBatch  = flag.Int("ledger-batch", 64, "merkle ledger batch size (events per committed root)")
+		ledgerWait   = flag.Int("ledger-wait-ms", 50, "commit a partial ledger batch after this many milliseconds")
 		faultProf    = flag.String("fault-profile", "", fmt.Sprintf("inject deterministic faults using this named profile (%s)", strings.Join(faults.Names(), ", ")))
 		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed (same seed + profile replays the same fault ledger)")
 		ckptDir      = flag.String("checkpoint-dir", "", "write crash-safe progress snapshots into this directory")
@@ -120,14 +136,33 @@ func main() {
 			FlakyEvery:        10,
 		}
 	}
+	var j *journal.Journal
 	if *journalPath != "" {
-		j, err := journal.Open(*journalPath, journal.Options{Obs: reg})
+		mode, err := journal.ParseLedgerMode(*ledgerMode)
+		if err != nil {
+			fatal("ledger mode", err)
+		}
+		j, err = journal.Open(*journalPath, journal.Options{
+			Obs: reg,
+			// A resumed run appends to the pre-crash journal (re-anchoring
+			// its hash chain on the prior segment) instead of destroying it.
+			Resume: *resumeRun != "",
+			Ledger: journal.LedgerOptions{
+				Mode:  mode,
+				Batch: *ledgerBatch,
+				Wait:  time.Duration(*ledgerWait) * time.Millisecond,
+			},
+		})
 		if err != nil {
 			fatal("open journal", err)
 		}
 		defer j.Close()
 		opts.Journal = j
-		logger.Info("journal enabled", "path", *journalPath)
+		logger.Info("journal enabled", "path", *journalPath, "ledger", string(mode))
+		if ls := j.Ledger(); ls.Resumed {
+			logger.Info("ledger re-anchored on prior segment",
+				"prior_events", ls.PriorEvents, "recovered_tail", ls.Recovered)
+		}
 	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -186,6 +221,212 @@ func main() {
 		logger.Info("scale benchmark appended", "path", *benchScale, "shards", res.Scale.Shards,
 			"bots_per_sec", fmt.Sprintf("%.1f", res.Scale.BotsPerSec))
 	}
+	// Close (idempotent with the defer) so the ledger seals before we
+	// report its head — the value to note out-of-band for true
+	// tamper-proofing, since a tamper-evident file alone can be
+	// rewritten wholesale.
+	if j != nil {
+		if err := j.Close(); err != nil {
+			fatal("close journal", err)
+		}
+		if ls := j.Ledger(); ls.Mode != "" && ls.Mode != journal.LedgerOff {
+			logger.Info("ledger sealed — note the chain head out-of-band",
+				"mode", string(ls.Mode), "events", ls.Seq, "records", ls.Records, "head", ls.Head)
+		}
+	}
+}
+
+// verifyLedgerMode is the forensic subcommand: replay a ledgered
+// journal, recompute its hash chain and Merkle roots, and report either
+// an intact-evidence verdict or the first unverifiable line.
+func verifyLedgerMode(args []string) {
+	fs := flag.NewFlagSet("botscan verify-ledger", flag.ExitOnError)
+	quiet := fs.Bool("q", false, "suppress the report; exit status only")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: botscan verify-ledger [-q] <journal.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	res, err := journal.VerifyFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "botscan: verify-ledger: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		report.LedgerVerdict(os.Stdout, path, res)
+	}
+	if !res.OK {
+		os.Exit(1)
+	}
+}
+
+// benchLedgerMode measures the write-path cost of tamper-evidence: it
+// replays a BENCH_SCALE-shaped synthetic event workload through a real
+// journal in each ledger mode and records throughput into a JSON file
+// (see EXPERIMENTS.md, LEDGER).
+func benchLedgerMode(args []string) {
+	fs := flag.NewFlagSet("botscan bench-ledger", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "BENCH_LEDGER.json", "write results to this JSON file")
+		events = fs.Int("events", 62745, "events per run (default ≈ 3 per bot at the paper's 20,915-bot scale)")
+		batch  = fs.Int("batch", 64, "merkle batch size")
+		waitMS = fs.Int("wait-ms", 50, "merkle partial-batch wait")
+		reps   = fs.Int("repeats", 3, "runs per mode; the median is recorded")
+	)
+	fs.Parse(args)
+	logger := journal.NewLogger("botscan", os.Stderr, slog.LevelInfo)
+	doc, err := benchLedger(*events, *batch, *waitMS, *reps)
+	if err != nil {
+		logger.Error("bench-ledger", "err", err)
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		logger.Error("bench-ledger", "err", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		logger.Error("bench-ledger", "err", err)
+		os.Exit(1)
+	}
+	for _, r := range doc.Runs {
+		logger.Info("ledger bench", "mode", r.Mode, "events_per_sec", fmt.Sprintf("%.0f", r.EventsPerSec),
+			"overhead_pct", fmt.Sprintf("%.1f", r.OverheadPct), "records", r.Records)
+	}
+	logger.Info("ledger benchmark written", "path", *out)
+}
+
+// ledgerBenchDoc is the BENCH_LEDGER.json shape.
+type ledgerBenchDoc struct {
+	Workload ledgerBenchWorkload `json:"workload"`
+	Runs     []ledgerBenchRun    `json:"runs"`
+}
+
+type ledgerBenchWorkload struct {
+	Events  int    `json:"events"`
+	Batch   int    `json:"batch"`
+	WaitMS  int    `json:"wait_ms"`
+	Repeats int    `json:"repeats"`
+	Source  string `json:"source"`
+}
+
+type ledgerBenchRun struct {
+	Mode         string  `json:"mode"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	Bytes        int64   `json:"journal_bytes"`
+	Records      int     `json:"ledger_records"`
+	OverheadPct  float64 `json:"overhead_pct_vs_off"`
+}
+
+// benchLedger runs the three-mode grid. Events mirror the pipeline's
+// real mix (fetch/discovery/audit/verdict shapes) so the marshal and
+// hash cost is representative, and every run writes through journal.New
+// onto a real temp file so the measured path is the production one.
+func benchLedger(events, batch, waitMS, reps int) (*ledgerBenchDoc, error) {
+	doc := &ledgerBenchDoc{
+		Workload: ledgerBenchWorkload{
+			Events:  events,
+			Batch:   batch,
+			WaitMS:  waitMS,
+			Repeats: reps,
+			Source:  "BENCH_SCALE.json 20,915-bot workload, ~3 journal events per bot",
+		},
+	}
+	var offNs float64
+	for _, mode := range []journal.LedgerMode{journal.LedgerOff, journal.LedgerChain, journal.LedgerMerkle} {
+		var nsSamples []float64
+		var bytes int64
+		var records int
+		for rep := 0; rep < reps; rep++ {
+			ns, b, recs, err := ledgerBenchRunOnce(mode, events, batch, waitMS)
+			if err != nil {
+				return nil, err
+			}
+			nsSamples = append(nsSamples, ns)
+			bytes, records = b, recs
+		}
+		ns := median(nsSamples)
+		run := ledgerBenchRun{
+			Mode:         string(mode),
+			EventsPerSec: 1e9 / ns,
+			NsPerEvent:   ns,
+			Bytes:        bytes,
+			Records:      records,
+		}
+		if mode == journal.LedgerOff {
+			offNs = ns
+		} else if offNs > 0 {
+			run.OverheadPct = 100 * (ns - offNs) / offNs
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
+	return doc, nil
+}
+
+// ledgerBenchRunOnce writes the synthetic workload through one journal
+// and returns ns/event, file size, and ledger record count.
+func ledgerBenchRunOnce(mode journal.LedgerMode, events, batch, waitMS int) (nsPerEvent float64, size int64, records int, err error) {
+	dir, err := os.MkdirTemp("", "ledgerbench")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.jsonl")
+	j, err := journal.Open(path, journal.Options{
+		// The buffer holds the whole workload so the comparison measures
+		// the write path, never drop accounting.
+		Buffer: events + 1,
+		Obs:    obs.NewRegistry(),
+		Ledger: journal.LedgerOptions{
+			Mode:  mode,
+			Batch: batch,
+			Wait:  time.Duration(waitMS) * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	shapes := benchEventShapes()
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		e := shapes[i%len(shapes)]
+		e.BotID = i%20915 + 1
+		j.Emit(e)
+	}
+	if err := j.Close(); err != nil {
+		return 0, 0, 0, err
+	}
+	elapsed := time.Since(start)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(events), fi.Size(), j.Ledger().Records, nil
+}
+
+// benchEventShapes mirrors the stage mix a real 20,915-bot run journals
+// (page fetches dominate, then policy audits, code flags, verdicts).
+func benchEventShapes() []journal.Event {
+	return []journal.Event{
+		{Kind: journal.KindPageFetched, Component: "scraper", RunID: "bench", Fields: map[string]any{"ref": "/bot/12345", "status": 200}},
+		{Kind: journal.KindPageFetched, Component: "scraper", RunID: "bench", Fields: map[string]any{"ref": "/bot/12345/policy", "status": 200}},
+		{Kind: journal.KindBotDiscovered, Component: "scraper", RunID: "bench", Bot: "HelperBot", Fields: map[string]any{"perms": 8}},
+		{Kind: journal.KindPolicyAudited, Component: "core", RunID: "bench", Bot: "HelperBot", Fields: map[string]any{"class": "broken", "covered": 1}},
+		{Kind: journal.KindCodeFlag, Component: "codeanalysis", RunID: "bench", Fields: map[string]any{"flag": "token_exfil", "file": "bot.py"}},
+		{Kind: journal.KindExperimentSettled, Component: "honeypot", RunID: "bench", ExperimentID: "hp-HelperBot", Fields: map[string]any{"verdict": "leaky", "personas": 5}},
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // appendBenchScale read-modify-writes the BENCH_SCALE.json run list so

@@ -664,13 +664,25 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 		ck.ctx = ctx
 	}
 	if resumed != nil {
-		journal.Emit(ctx, "core", journal.KindRunResumed, map[string]any{
+		fields := map[string]any{
 			"settled":     resumed.Settled(),
 			"records":     len(resumed.Records),
 			"code_links":  len(resumed.CodeLinks),
 			"verdicts":    len(resumed.Verdicts),
 			"quarantined": len(resumed.CollectQuarantine) + len(resumed.HoneypotQuarantine),
-		})
+		}
+		// When the journal is ledgered, stamp the resume event with the
+		// chain anchor so the evidence trail records, in-band, where the
+		// resumed segment attached to the pre-crash one.
+		if ls := a.journal.Ledger(); ls.Mode != "" && ls.Mode != journal.LedgerOff {
+			fields["ledger_mode"] = string(ls.Mode)
+			fields["ledger_anchor_seq"] = ls.PriorEvents
+			fields["ledger_recovered"] = ls.Recovered
+			if ls.PriorHead != "" {
+				fields["ledger_prior_head"] = ls.PriorHead
+			}
+		}
+		journal.Emit(ctx, "core", journal.KindRunResumed, fields)
 	}
 
 	r := &run{

@@ -16,13 +16,18 @@ const maxLine = 1 << 20
 // skipped and dropped, never returned as errors — a partially written
 // journal from a crashed run must still be inspectable. Events with
 // unknown kinds are kept verbatim (a newer writer's vocabulary is still
-// evidence). The error reports only reader-level failures.
+// evidence). Ledger records interleaved by a ledgered writer are part
+// of the format, not corruption: they are passed over silently, not
+// counted as skipped. The error reports only reader-level failures.
 func Decode(r io.Reader) (events []Event, skipped int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(trimSpace(line)) == 0 {
+			continue
+		}
+		if _, isRec := isRecordLine(line); isRec {
 			continue
 		}
 		var e Event

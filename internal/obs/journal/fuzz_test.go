@@ -1,8 +1,11 @@
 package journal
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // FuzzDecode guards the lenience contract: whatever bytes a crashed or
@@ -36,5 +39,59 @@ func FuzzDecode(f *testing.F) {
 		// Summarize and Filter must hold on arbitrary decoded output too.
 		_ = Summarize(events)
 		_ = Filter(events, Query{Kind: KindPageFetched})
+	})
+}
+
+// fuzzLedgerSeed produces a well-formed ledgered journal for the fuzz
+// corpus; mutation then explores the space around valid inputs, where
+// verifier bugs (accepting a forgery, panicking on a near-valid record)
+// would live.
+func fuzzLedgerSeed(mode LedgerMode, batch, n int) string {
+	var buf bytes.Buffer
+	j := New(&buf, Options{
+		Obs:    obs.NewRegistry(),
+		Ledger: LedgerOptions{Mode: mode, Batch: batch},
+	})
+	for i := 0; i < n; i++ {
+		j.Emit(Event{Kind: KindPageFetched, BotID: i + 1})
+	}
+	j.Close()
+	return buf.String()
+}
+
+// FuzzVerifyLedger guards the verifier the way FuzzDecode guards the
+// decoder: whatever bytes it is handed — valid ledgers, tampered ones,
+// record-shaped garbage, binary junk — Verify must neither panic nor
+// return an inconsistent verdict. It cannot prove forgery resistance
+// (that's the adversarial tests' job), but it pins the invariants every
+// verdict must satisfy.
+func FuzzVerifyLedger(f *testing.F) {
+	f.Add(fuzzLedgerSeed(LedgerChain, 1, 5))
+	f.Add(fuzzLedgerSeed(LedgerMerkle, 4, 10))
+	f.Add(fuzzLedgerSeed(LedgerMerkle, 64, 1))
+	f.Add(fuzzLedgerSeed(LedgerMerkle, 3, 0))
+	f.Add(`{"ledger":1,"lkind":"anchor","seq":0,"chain":"00","prev":""}`)
+	f.Add(`{"ledger":1,"lkind":"batch","seq":3,"n":3,"chain":"zz","root":"zz","prev":"00"}`)
+	f.Add(`{"ledger":99,"lkind":"from_the_future"}`)
+	f.Add(`{"ledger":1,"lkind":"seal","seq":0,"chain":"bad","prev":""}`)
+	f.Add("{\"schema\":1,\"kind\":\"page_fetched\"}\nnot json\n\x00\xff junk")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		res := Verify(strings.NewReader(input))
+		if res.OK && res.Err != "" {
+			t.Fatalf("OK verdict with error %q", res.Err)
+		}
+		if !res.OK && res.Err == "" {
+			t.Fatalf("failed verdict with no error: %+v", res)
+		}
+		if res.OK && (!res.Sealed || res.Uncovered != 0 || res.Records == 0) {
+			t.Fatalf("OK verdict on unsealed/uncovered input: %+v", res)
+		}
+		if res.FirstBad > res.BadEnd {
+			t.Fatalf("inverted blast radius [%d,%d]: %+v", res.FirstBad, res.BadEnd, res)
+		}
+		if res.Events+res.Records > res.Lines {
+			t.Fatalf("line accounting broken: %+v", res)
+		}
 	})
 }

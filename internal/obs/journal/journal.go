@@ -15,6 +15,11 @@
 // channel drained by a background flusher, and when the buffer is
 // saturated the event is dropped and counted on the obs.Registry
 // (`journal_events_dropped_total`) instead of stalling a hot path.
+//
+// With Options.Ledger enabled, the journal is also tamper-evident: the
+// flusher maintains a SHA-256 hash chain over every raw line and
+// interleaves ledger records (anchors, Merkle-batched commitments, a
+// closing seal) into the same file — see ledger.go and Verify.
 package journal
 
 import (
@@ -113,6 +118,14 @@ type Options struct {
 	Obs *obs.Registry
 	// Now supplies event timestamps; defaults to time.Now.
 	Now func() time.Time
+	// Ledger enables tamper-evident hash chaining over the written
+	// lines; the zero value leaves it off.
+	Ledger LedgerOptions
+	// Resume makes Open append to an existing journal instead of
+	// truncating it. With the ledger enabled, the prior file is scanned
+	// and the new segment's chain re-anchored on its head; a prior file
+	// that fails verification refuses to resume.
+	Resume bool
 }
 
 // Journal is the non-blocking JSONL writer. A nil *Journal is a valid
@@ -125,8 +138,22 @@ type Journal struct {
 	quit chan struct{} // closed by Close; tells the flusher to drain
 	done chan struct{} // closed when the flusher has flushed and exited
 
+	// emitMu fences Emit against Close: Close sets closed under the
+	// write lock before signalling the flusher, so no emitter can
+	// enqueue (and count) an event the final drain will never see.
+	emitMu sync.RWMutex
+	closed bool
+
 	closeOnce sync.Once
+	closeErr  error
 	closer    io.Closer // underlying file when opened via Open
+
+	ledger *ledgerState // nil when the ledger is off
+	// stats carries the ledger accounting: anchor fields are fixed
+	// before the flusher starts, the totals are written by the flusher
+	// at exit under statsMu.
+	statsMu sync.Mutex
+	stats   LedgerStats
 
 	cEmitted *obs.Counter
 	cDropped *obs.Counter
@@ -134,8 +161,17 @@ type Journal struct {
 }
 
 // New starts a journal writing JSONL to w. The caller must Close it to
-// flush buffered events; w is not closed.
+// flush buffered events; w is not closed. With Options.Ledger enabled
+// the stream starts at the genesis anchor; use Open for resume-aware
+// re-anchoring onto an existing file.
 func New(w io.Writer, opts Options) *Journal {
+	return newJournal(w, opts, resumeState{}, false)
+}
+
+// newJournal builds the journal and, when resuming, seeds the ledger
+// with the prior segment's state before the flusher goroutine starts —
+// the flusher writes the segment anchor as its first act.
+func newJournal(w io.Writer, opts Options, st resumeState, resumed bool) *Journal {
 	if opts.Buffer <= 0 {
 		opts.Buffer = 1024
 	}
@@ -152,18 +188,81 @@ func New(w io.Writer, opts Options) *Journal {
 		cDropped: reg.Counter("journal_events_dropped_total"),
 		cErrors:  reg.Counter("journal_write_errors_total"),
 	}
+	if opts.Ledger.enabled() {
+		l := newLedgerState(opts.Ledger, opts.Now)
+		if resumed {
+			l.resumed = true
+			l.priorSeq = st.seq
+			l.recovered = len(st.pending)
+			l.priorHead = st.lastRec
+			l.seq = st.seq
+			l.chain = st.chain
+			l.lastRec = st.lastRec
+			l.pending = st.pending
+		}
+		j.ledger = l
+		j.stats.Mode = l.opts.Mode
+		j.stats.Resumed = l.resumed
+		j.stats.PriorEvents = l.priorSeq
+		j.stats.Recovered = l.recovered
+		j.stats.PriorHead = l.priorHead
+	}
 	go j.flusher(w)
 	return j
 }
 
-// Open creates (or truncates) a journal file at path and starts a
-// journal over it. Close flushes and closes the file.
+// Open starts a journal over a file at path. Without Options.Resume the
+// file is created fresh (truncating any previous one); with Resume it
+// is opened append-only so a pre-crash journal survives. When both
+// Resume and the ledger are enabled, the existing file is verified and
+// the new segment's chain anchored on its head — committing any
+// uncovered tail the crashed segment left behind — so one file verifies
+// end-to-end across every segment boundary. A prior file that fails
+// verification (tampering, not crash damage) refuses to resume.
+// Close flushes and closes the file.
 func Open(path string, opts Options) (*Journal, error) {
-	f, err := os.Create(path)
+	if !opts.Resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("journal: open: %w", err)
+		}
+		j := New(f, opts)
+		j.closer = f
+		return j, nil
+	}
+
+	var st resumeState
+	if opts.Ledger.enabled() {
+		prior, err := os.Open(path)
+		switch {
+		case os.IsNotExist(err):
+			// First segment; nothing to anchor on.
+		case err != nil:
+			return nil, fmt.Errorf("journal: open: %w", err)
+		default:
+			st, err = resumeScan(prior)
+			prior.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open: %w", err)
 	}
-	j := New(f, opts)
+	if st.torn {
+		// The prior segment died mid-write: its final line has no
+		// newline. The scan hashed the partial bytes as a line, so
+		// completing it keeps file and chain consistent.
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: repair torn tail: %w", err)
+		}
+	}
+	resumed := st.priorRecords > 0 || st.seq > 0 || len(st.pending) > 0
+	j := newJournal(f, opts, st, resumed)
 	j.closer = f
 	return j, nil
 }
@@ -182,17 +281,23 @@ func (j *Journal) Emit(e Event) {
 	if e.At.IsZero() {
 		e.At = j.now()
 	}
-	select {
-	case <-j.quit:
+	// The read lock pins Close's closed-flag flip: once Emit passes the
+	// check, Close cannot complete the flip until Emit's send has
+	// landed, so every event counted as emitted is in the channel
+	// before the flusher's final drain begins.
+	j.emitMu.RLock()
+	if j.closed {
+		j.emitMu.RUnlock()
 		j.cDropped.Inc()
-	default:
-		select {
-		case j.ch <- e:
-			j.cEmitted.Inc()
-		default:
-			j.cDropped.Inc()
-		}
+		return
 	}
+	select {
+	case j.ch <- e:
+		j.cEmitted.Inc()
+	default:
+		j.cDropped.Inc()
+	}
+	j.emitMu.RUnlock()
 }
 
 // EmitBatch appends a batch of events under one channel pass. It has
@@ -208,37 +313,156 @@ func (j *Journal) EmitBatch(events []Event) {
 	}
 }
 
-// Close stops the flusher after draining every buffered event, then
-// closes the underlying file when the journal was opened via Open.
-// Emit after Close counts drops instead of panicking.
+// Close stops the flusher after draining every buffered event — with
+// the ledger enabled, committing the final batch and writing the seal
+// record — then closes the underlying file when the journal was opened
+// via Open. Emit after (or racing) Close counts drops instead of
+// losing counted events. Idempotent; later calls return the first
+// error.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	j.closeOnce.Do(func() { close(j.quit) })
+	j.closeOnce.Do(func() {
+		j.emitMu.Lock()
+		j.closed = true
+		j.emitMu.Unlock()
+		close(j.quit)
+		<-j.done
+		if j.closer != nil {
+			j.closeErr = j.closer.Close()
+		}
+	})
 	<-j.done
-	if j.closer != nil {
-		return j.closer.Close()
+	return j.closeErr
+}
+
+// Ledger reports the journal's ledger accounting. The resume-anchor
+// fields are valid from Open; Seq, Head, and Records settle once Close
+// has returned. The zero value (Mode "") means the ledger is off.
+func (j *Journal) Ledger() LedgerStats {
+	if j == nil {
+		return LedgerStats{}
+	}
+	j.statsMu.Lock()
+	defer j.statsMu.Unlock()
+	return j.stats
+}
+
+// lineSink adapts the flusher's bufio.Writer to the ledger's line
+// interface, counting write errors like event writes do.
+type lineSink struct {
+	bw *bufio.Writer
+	j  *Journal
+}
+
+func (s lineSink) writeLine(line []byte) error {
+	if _, err := s.bw.Write(line); err != nil {
+		s.j.cErrors.Inc()
+		return err
+	}
+	if err := s.bw.WriteByte('\n'); err != nil {
+		s.j.cErrors.Inc()
+		return err
 	}
 	return nil
 }
 
 // flusher drains the channel onto w, flushing whenever the buffer goes
-// idle so a live tail of the file stays current.
+// idle so a live tail of the file stays current. With the ledger
+// enabled it writes the segment anchor first, folds each line into the
+// hash chain, commits full batches inline, commits partial batches
+// after the ledger's Wait, and seals the stream on shutdown.
 func (j *Journal) flusher(w io.Writer) {
 	defer close(j.done)
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
+	sink := lineSink{bw: bw, j: j}
+	led := j.ledger
+
+	// waitC fires when a partial batch has sat uncommitted for the
+	// ledger's Wait; nil (blocks forever) while nothing is pending.
+	var waitTimer *time.Timer
+	var waitC <-chan time.Time
+	armWait := func() {
+		if led == nil || len(led.pending) == 0 {
+			return
+		}
+		if waitTimer == nil {
+			waitTimer = time.NewTimer(led.opts.Wait)
+		} else {
+			waitTimer.Reset(led.opts.Wait)
+		}
+		waitC = waitTimer.C
+	}
+	disarmWait := func() {
+		if waitTimer != nil && !waitTimer.Stop() {
+			select {
+			case <-waitTimer.C:
+			default:
+			}
+		}
+		waitC = nil
+	}
+
+	if led != nil {
+		if err := led.anchor(sink); err != nil {
+			j.cErrors.Inc()
+		}
+		bw.Flush()
+	}
+
 	write := func(e Event) {
-		if err := enc.Encode(e); err != nil {
+		line, err := json.Marshal(e)
+		if err != nil {
+			j.cErrors.Inc()
+			return
+		}
+		if err := sink.writeLine(line); err != nil {
+			return
+		}
+		if led != nil {
+			committed, err := led.note(sink, line)
+			if err != nil {
+				j.cErrors.Inc()
+			}
+			if committed {
+				disarmWait()
+			} else if waitC == nil {
+				armWait()
+			}
+		}
+	}
+	finish := func() {
+		if led != nil {
+			if err := led.seal(sink); err != nil {
+				j.cErrors.Inc()
+			}
+			j.statsMu.Lock()
+			j.stats.Seq = led.seq
+			j.stats.Head = hexDigest(led.chain)
+			j.stats.Records = led.records
+			j.statsMu.Unlock()
+		}
+		if err := bw.Flush(); err != nil {
 			j.cErrors.Inc()
 		}
 	}
+
 	for {
 		select {
 		case e := <-j.ch:
 			write(e)
 			if len(j.ch) == 0 {
+				if err := bw.Flush(); err != nil {
+					j.cErrors.Inc()
+				}
+			}
+		case <-waitC:
+			waitC = nil
+			if led != nil && len(led.pending) > 0 {
+				if err := led.commit(sink); err != nil {
+					j.cErrors.Inc()
+				}
 				if err := bw.Flush(); err != nil {
 					j.cErrors.Inc()
 				}
@@ -249,9 +473,8 @@ func (j *Journal) flusher(w io.Writer) {
 				case e := <-j.ch:
 					write(e)
 				default:
-					if err := bw.Flush(); err != nil {
-						j.cErrors.Inc()
-					}
+					disarmWait()
+					finish()
 					return
 				}
 			}

@@ -117,6 +117,53 @@ func TestEmitAfterCloseCountsDrop(t *testing.T) {
 	}
 }
 
+// TestEmitCloseRaceLosesNoCountedEvent guards the accounting invariant
+// that closes the Emit/Close window: an event counted in
+// journal_events_total must be on disk after Close returns. Before the
+// closed-flag fence, an emitter that had passed the quit check could
+// enqueue after the flusher's final drain — counted, never written.
+// Run under -race; the exact decoded == emitted assertion catches the
+// lost-event symptom even when the schedule doesn't trip the detector.
+func TestEmitCloseRaceLosesNoCountedEvent(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var buf bytes.Buffer
+		reg := obs.NewRegistry()
+		j := New(&buf, Options{Buffer: 8, Obs: reg})
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 25; i++ {
+					j.Emit(Event{Kind: KindPageFetched, BotID: i})
+				}
+			}()
+		}
+		close(start)
+		// Close while the emitters are mid-flight.
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		events, skipped, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil || skipped != 0 {
+			t.Fatalf("decode: err=%v skipped=%d", err, skipped)
+		}
+		emitted := reg.Counter("journal_events_total").Value()
+		dropped := reg.Counter("journal_events_dropped_total").Value()
+		if int64(len(events)) != emitted {
+			t.Fatalf("round %d: %d events written but %d counted as emitted (counted event lost in Emit/Close race)", round, len(events), emitted)
+		}
+		if emitted+dropped != 100 {
+			t.Fatalf("round %d: emitted %d + dropped %d != 100", round, emitted, dropped)
+		}
+	}
+}
+
 func TestNilJournalIsNoOp(t *testing.T) {
 	var j *Journal
 	j.Emit(Event{Kind: KindPageFetched})

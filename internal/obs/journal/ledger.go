@@ -1,0 +1,348 @@
+// The tamper-evident evidence ledger: a running SHA-256 hash chain over
+// the journal's raw JSONL lines, periodically committed as ledger
+// records interleaved in the same file. The journal's output is the
+// pipeline's security *evidence* (canary triggers, honeypot verdicts,
+// policy classifications), and the ledger makes that evidence
+// forensically trustworthy — any flipped byte, deleted line, reordered
+// line, or truncated tail after the fact is detectable, and the first
+// unverifiable line can be pinpointed.
+//
+// Three modes, selectable per run:
+//
+//   - LedgerOff:    today's plain JSONL — no chain, no records.
+//   - LedgerChain:  the direct ledger — one record per event, exact
+//     per-line tamper pinpointing, maximal write amplification.
+//   - LedgerMerkle: batched commitment — events accumulate into batches
+//     of LedgerOptions.Batch leaves (sealed early after
+//     LedgerOptions.Wait), each committed as one record carrying the
+//     batch's Merkle root; tampering localizes to a batch.
+//
+// The chain state after line i is C_i = SHA-256(C_{i-1} || line_i),
+// anchored at a fixed genesis constant (or, for a resumed segment, at
+// the prior segment's head — see Open). The Merkle tree for a batch is
+// built over the batch's chain states with domain-separated node
+// hashes, odd nodes promoted. Because leaves are chain states, one
+// hash per event covers both content and order.
+//
+// Ledger records are JSONL lines in the same file, distinguished from
+// events by their "ledger" field; Decode skips them silently, so every
+// existing journal reader keeps working. Records are linked to each
+// other through Prev (the chain value at the previous record), so
+// deleting or reordering whole batches — records included — breaks
+// continuity.
+//
+// The scheme is tamper-EVIDENT, not tamper-proof: an attacker who
+// rewrites the file from some point onward and recomputes every
+// subsequent hash produces a self-consistent file with a different
+// head. Anchor the head externally (verify-ledger prints it; so does
+// botscan at seal time) to close that hole.
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"time"
+)
+
+// LedgerMode selects the journal's tamper-evidence scheme.
+type LedgerMode string
+
+// The ledger modes.
+const (
+	LedgerOff    LedgerMode = "off"
+	LedgerChain  LedgerMode = "chain"
+	LedgerMerkle LedgerMode = "merkle"
+)
+
+// ParseLedgerMode resolves a -ledger-mode flag value; the empty string
+// means LedgerOff.
+func ParseLedgerMode(s string) (LedgerMode, error) {
+	switch LedgerMode(s) {
+	case "", LedgerOff:
+		return LedgerOff, nil
+	case LedgerChain:
+		return LedgerChain, nil
+	case LedgerMerkle:
+		return LedgerMerkle, nil
+	}
+	return LedgerOff, fmt.Errorf("journal: unknown ledger mode %q (want off, chain, or merkle)", s)
+}
+
+// LedgerOptions configures the tamper-evidence scheme of a Journal.
+type LedgerOptions struct {
+	// Mode selects the scheme; empty and LedgerOff disable the ledger.
+	Mode LedgerMode
+	// Batch is the Merkle batch size (default 64). LedgerChain behaves
+	// as Batch 1 regardless.
+	Batch int
+	// Wait bounds how long a partial batch may sit uncommitted before
+	// it is sealed early (default 50ms), so a live tail of the file is
+	// never more than Wait behind the chain.
+	Wait time.Duration
+}
+
+func (o LedgerOptions) enabled() bool { return o.Mode == LedgerChain || o.Mode == LedgerMerkle }
+
+// withDefaults resolves zero knobs.
+func (o LedgerOptions) withDefaults() LedgerOptions {
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Wait <= 0 {
+		o.Wait = 50 * time.Millisecond
+	}
+	if o.Mode == LedgerChain {
+		o.Batch = 1
+	}
+	return o
+}
+
+// LedgerSchema is the version stamped on every ledger record; verifiers
+// refuse records from future schemas rather than guessing.
+const LedgerSchema = 1
+
+// Record kinds: an anchor opens a segment (and, on resume, commits the
+// prior segment's uncovered tail), a batch commits a run of events, and
+// a seal closes the stream on a clean shutdown.
+const (
+	RecordAnchor = "anchor"
+	RecordBatch  = "batch"
+	RecordSeal   = "seal"
+)
+
+// Record is one ledger line. It never collides with an Event: events
+// have no "ledger" field, records have no "kind" field.
+type Record struct {
+	Ledger int        `json:"ledger"` // LedgerSchema
+	LKind  string     `json:"lkind"`  // anchor | batch | seal
+	Mode   LedgerMode `json:"mode,omitempty"`
+	// Seq is the chain sequence (1-based count of event lines since
+	// genesis, across all segments) this record covers up to.
+	Seq uint64 `json:"seq"`
+	// Count is how many event lines this record commits (the batch
+	// size; for an anchor, the recovered tail of the prior segment).
+	Count int `json:"n,omitempty"`
+	// Chain is the running chain head C_Seq, hex.
+	Chain string `json:"chain"`
+	// Root is the Merkle root over the committed batch's chain-state
+	// leaves, hex; omitted when Count is 0.
+	Root string `json:"root,omitempty"`
+	// Prev is the chain value at the previous record (continuity link);
+	// empty only on the very first record of a file.
+	Prev string    `json:"prev"`
+	At   time.Time `json:"at,omitempty"`
+}
+
+// isRecordLine reports whether a raw journal line is a ledger record,
+// decoding it when so.
+func isRecordLine(line []byte) (Record, bool) {
+	var r Record
+	if json.Unmarshal(line, &r) != nil || r.Ledger <= 0 {
+		return Record{}, false
+	}
+	return r, true
+}
+
+// digest is one SHA-256 state in the chain or tree.
+type digest = [sha256.Size]byte
+
+// genesis is the chain anchor for the first segment of every journal.
+func genesis() digest {
+	return sha256.Sum256([]byte("repro/obs/journal/ledger-genesis/v1"))
+}
+
+// chainHasher folds lines into the chain with one reusable SHA-256
+// state, so the per-event hot path (every journal write when the ledger
+// is on) allocates nothing.
+type chainHasher struct{ h hash.Hash }
+
+func newChainHasher() chainHasher { return chainHasher{h: sha256.New()} }
+
+// step computes C_i = SHA-256(C_{i-1} || line).
+func (c chainHasher) step(prev digest, line []byte) digest {
+	c.h.Reset()
+	c.h.Write(prev[:])
+	c.h.Write(line)
+	var out digest
+	c.h.Sum(out[:0])
+	return out
+}
+
+// chainStep is the one-shot form, for tests and non-hot-path callers.
+func chainStep(prev digest, line []byte) digest {
+	return newChainHasher().step(prev, line)
+}
+
+// merkleNode hashes one interior node with domain separation from the
+// chain: SHA-256(0x01 || left || right). One-shot Sum256 over a stack
+// buffer — ~1 node per leaf, so this is as hot as step.
+func merkleNode(l, r digest) digest {
+	var buf [1 + 2*sha256.Size]byte
+	buf[0] = 0x01
+	copy(buf[1:], l[:])
+	copy(buf[1+sha256.Size:], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+// merkleRoot builds the batch commitment over chain-state leaves, odd
+// nodes promoted. A single leaf is its own root, which makes chain-mode
+// records (Batch 1) a degenerate Merkle commitment verified by the same
+// code path. Levels are folded in place over a scratch slice the caller
+// may reuse across batches.
+func merkleRoot(leaves []digest) digest {
+	return merkleRootInto(nil, leaves)
+}
+
+func merkleRootInto(scratch, leaves []digest) digest {
+	if len(leaves) == 0 {
+		return digest{}
+	}
+	level := append(scratch[:0], leaves...)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			next = append(next, merkleNode(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func hexDigest(d digest) string { return hex.EncodeToString(d[:]) }
+
+// ledgerState is the writer-side chain accumulator, owned entirely by
+// the flusher goroutine (no locking needed). The flusher feeds it each
+// event line's raw bytes and asks it to commit batches, anchors, and
+// the final seal as ledger record lines on the same writer.
+type ledgerState struct {
+	opts LedgerOptions
+	now  func() time.Time
+	h    chainHasher
+	tree []digest // merkleRootInto scratch, sized to one batch
+
+	seq     uint64
+	chain   digest
+	lastRec string // chain hex at the last record written (Prev link)
+	pending []digest
+	records int
+
+	// anchor captures what Open learned about the prior segment when
+	// resuming; zero for a fresh file.
+	resumed   bool
+	priorSeq  uint64 // seq at the resume anchor (events inherited)
+	recovered int    // prior uncovered tail lines the anchor commits
+	priorHead string
+}
+
+// newLedgerState starts a fresh-segment accumulator.
+func newLedgerState(opts LedgerOptions, now func() time.Time) *ledgerState {
+	opts = opts.withDefaults()
+	return &ledgerState{
+		opts:  opts,
+		now:   now,
+		h:     newChainHasher(),
+		tree:  make([]digest, 0, opts.Batch),
+		chain: genesis(),
+	}
+}
+
+// record marshals and writes one ledger record line, updating the
+// continuity link.
+func (l *ledgerState) record(w lineWriter, kind string, count int, root string) error {
+	rec := Record{
+		Ledger: LedgerSchema,
+		LKind:  kind,
+		Mode:   l.opts.Mode,
+		Seq:    l.seq,
+		Count:  count,
+		Chain:  hexDigest(l.chain),
+		Root:   root,
+		Prev:   l.lastRec,
+		At:     l.now(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := w.writeLine(line); err != nil {
+		return err
+	}
+	l.lastRec = rec.Chain
+	l.records++
+	return nil
+}
+
+// lineWriter is the flusher-side sink for raw JSONL lines.
+type lineWriter interface {
+	writeLine(line []byte) error
+}
+
+// anchor opens the segment: a fresh file gets a genesis anchor, a
+// resumed one an anchor that commits the prior segment's uncovered
+// tail and links back to its last record.
+func (l *ledgerState) anchor(w lineWriter) error {
+	root := ""
+	if len(l.pending) > 0 {
+		root = hexDigest(merkleRootInto(l.tree, l.pending))
+	}
+	count := len(l.pending)
+	l.pending = l.pending[:0]
+	return l.record(w, RecordAnchor, count, root)
+}
+
+// note folds one written event line into the chain and commits a batch
+// record when the batch is full. It reports whether a record was
+// written (so the flusher can disarm its wait timer).
+func (l *ledgerState) note(w lineWriter, line []byte) (committed bool, err error) {
+	l.seq++
+	l.chain = l.h.step(l.chain, line)
+	l.pending = append(l.pending, l.chain)
+	if len(l.pending) >= l.opts.Batch {
+		return true, l.commit(w)
+	}
+	return false, nil
+}
+
+// commit seals the pending batch as one record; a no-op when the batch
+// is empty.
+func (l *ledgerState) commit(w lineWriter) error {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	root := hexDigest(merkleRootInto(l.tree, l.pending))
+	n := len(l.pending)
+	l.pending = l.pending[:0]
+	return l.record(w, RecordBatch, n, root)
+}
+
+// seal commits any pending batch and closes the stream with a seal
+// record — the mark Verify requires to treat a journal as complete.
+func (l *ledgerState) seal(w lineWriter) error {
+	if err := l.commit(w); err != nil {
+		return err
+	}
+	return l.record(w, RecordSeal, 0, "")
+}
+
+// LedgerStats is the journal's ledger accounting, exposed by
+// Journal.Ledger. The anchor fields (Resumed, PriorEvents, Recovered,
+// PriorHead) are fixed at Open; Seq, Head, and Records settle when
+// Close returns.
+type LedgerStats struct {
+	Mode    LedgerMode
+	Seq     uint64 // event lines covered by the chain
+	Head    string // final chain head, hex (valid after Close)
+	Records int    // ledger records written by this segment
+
+	Resumed     bool
+	PriorEvents uint64 // chain seq inherited from the prior segment(s)
+	Recovered   int    // prior uncovered tail lines the anchor committed
+	PriorHead   string // chain head at the last prior record
+}

@@ -1,0 +1,316 @@
+package journal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// VerifyResult is the outcome of replaying a journal's ledger. When OK
+// is false, Err says what failed and FirstBad/BadEnd bound where: in
+// chain mode (batch size 1) FirstBad is the exact corrupted line; in
+// merkle mode the failure localizes to [FirstBad, BadEnd] — the failing
+// batch's first uncommitted event line through the record that rejected
+// it.
+type VerifyResult struct {
+	Mode LedgerMode // mode of the last record seen
+
+	Lines    int // total lines (events + records)
+	Events   int // event lines folded into the chain
+	Records  int // ledger record lines
+	Batches  int // batch records
+	Segments int // anchor records (1 fresh + 1 per resume)
+	Seals    int // seal records
+
+	Seq  uint64 // final chain sequence
+	Head string // final chain head, hex
+
+	Sealed    bool // stream ends in a seal with nothing pending
+	Uncovered int  // event lines after the last record (crash tail)
+
+	OK       bool
+	Err      string
+	FirstBad int // 1-based line number bounding the failure (0 = none)
+	BadEnd   int // last line of the failing range (0 = none)
+}
+
+// fail stamps the result as a verification failure.
+func (v *VerifyResult) fail(first, end int, format string, args ...any) {
+	v.OK = false
+	v.Err = fmt.Sprintf(format, args...)
+	v.FirstBad = first
+	v.BadEnd = end
+}
+
+// verifier replays a ledgered journal line by line, recomputing the
+// chain and checking every record against it. The same machine backs
+// Verify (forensic check) and the resume scan in Open (state
+// extraction), so a journal that resumes is by construction one that
+// verifies.
+type verifier struct {
+	res VerifyResult
+
+	h       chainHasher
+	chain   digest
+	lastRec string
+	pending []digest
+	// pendingStart is the 1-based line number of the first event in the
+	// pending batch — the start of the blast radius if its record fails.
+	pendingStart int
+
+	lastSealed bool // last record seen was a seal
+}
+
+func newVerifier() *verifier {
+	return &verifier{h: newChainHasher(), chain: genesis()}
+}
+
+// line folds one raw line (no trailing newline) into the verifier.
+// It returns false when verification has already failed and further
+// lines are pointless.
+func (v *verifier) line(raw []byte) bool {
+	if v.res.Err != "" {
+		return false
+	}
+	v.res.Lines++
+	n := v.res.Lines
+
+	rec, ok := isRecordLine(raw)
+	if !ok {
+		// Every non-record line — valid event, malformed garbage,
+		// anything — is chained. The ledger covers bytes, not schema.
+		if v.lastSealed && v.res.Seals > 0 {
+			v.res.fail(n, n, "event line %d after seal (appended post-close without re-anchoring)", n)
+			return false
+		}
+		v.res.Events++
+		v.res.Seq++
+		v.chain = v.h.step(v.chain, raw)
+		if len(v.pending) == 0 {
+			v.pendingStart = n
+		}
+		v.pending = append(v.pending, v.chain)
+		return true
+	}
+
+	if rec.Ledger > LedgerSchema {
+		v.res.fail(n, n, "line %d: ledger record schema %d is newer than supported %d", n, rec.Ledger, LedgerSchema)
+		return false
+	}
+	v.res.Records++
+	v.res.Mode = rec.Mode
+	badStart := v.pendingStart
+	if badStart == 0 {
+		badStart = n
+	}
+
+	if rec.Prev != v.lastRec {
+		v.res.fail(badStart, n, "line %d: record continuity broken — prev %s does not match last record chain %s (record deleted or reordered)", n, abbrev(rec.Prev), abbrev(v.lastRec))
+		return false
+	}
+
+	switch rec.LKind {
+	case RecordAnchor:
+		// An anchor opens a segment. Mid-file anchors (resume) must
+		// commit exactly the uncovered tail of the prior segment.
+		v.res.Segments++
+		if rec.Count != len(v.pending) {
+			v.res.fail(badStart, n, "line %d: anchor covers %d recovered lines but %d are uncommitted (lines lost across resume)", n, rec.Count, len(v.pending))
+			return false
+		}
+		if !v.checkCommit(rec, n, badStart) {
+			return false
+		}
+		v.lastSealed = false
+	case RecordBatch:
+		if v.res.Segments == 0 {
+			v.res.fail(badStart, n, "line %d: batch record before any anchor", n)
+			return false
+		}
+		if v.lastSealed {
+			v.res.fail(badStart, n, "line %d: batch record after seal without re-anchoring", n)
+			return false
+		}
+		if rec.Count != len(v.pending) {
+			v.res.fail(badStart, n, "line %d: batch commits %d events but %d are pending (line deleted or injected)", n, rec.Count, len(v.pending))
+			return false
+		}
+		if !v.checkCommit(rec, n, badStart) {
+			return false
+		}
+		v.res.Batches++
+	case RecordSeal:
+		if v.res.Segments == 0 {
+			v.res.fail(badStart, n, "line %d: seal before any anchor", n)
+			return false
+		}
+		if len(v.pending) != 0 {
+			v.res.fail(badStart, n, "line %d: seal with %d uncommitted events", n, len(v.pending))
+			return false
+		}
+		if rec.Seq != v.res.Seq || rec.Chain != hexDigest(v.chain) {
+			v.res.fail(badStart, n, "line %d: seal chain mismatch (recomputed %s, recorded %s)", n, abbrev(hexDigest(v.chain)), abbrev(rec.Chain))
+			return false
+		}
+		v.res.Seals++
+		v.lastRec = rec.Chain
+		v.lastSealed = true
+	default:
+		v.res.fail(n, n, "line %d: unknown ledger record kind %q", n, rec.LKind)
+		return false
+	}
+	return true
+}
+
+// checkCommit validates a committing record (anchor or batch) against
+// the recomputed chain and pending leaves, then consumes the batch.
+func (v *verifier) checkCommit(rec Record, n, badStart int) bool {
+	if rec.Seq != v.res.Seq {
+		v.res.fail(badStart, n, "line %d: record seq %d, recomputed %d (lines deleted, injected, or reordered across a batch)", n, rec.Seq, v.res.Seq)
+		return false
+	}
+	if rec.Chain != hexDigest(v.chain) {
+		v.res.fail(badStart, n, "line %d: chain mismatch — a line in [%d,%d] was altered or reordered (recomputed %s, recorded %s)", n, badStart, n, abbrev(hexDigest(v.chain)), abbrev(rec.Chain))
+		return false
+	}
+	wantRoot := ""
+	if len(v.pending) > 0 {
+		wantRoot = hexDigest(merkleRoot(v.pending))
+	}
+	if rec.Root != wantRoot {
+		v.res.fail(badStart, n, "line %d: merkle root mismatch over lines [%d,%d] (recomputed %s, recorded %s)", n, badStart, n, abbrev(wantRoot), abbrev(rec.Root))
+		return false
+	}
+	v.pending = v.pending[:0]
+	v.pendingStart = 0
+	v.lastRec = rec.Chain
+	return true
+}
+
+// finish closes the replay and renders the verdict. torn reports that
+// the final line had no trailing newline (a torn write).
+func (v *verifier) finish(torn bool) VerifyResult {
+	v.res.Head = hexDigest(v.chain)
+	v.res.Uncovered = len(v.pending)
+	v.res.Sealed = v.lastSealed && len(v.pending) == 0
+	if v.res.Err != "" {
+		return v.res
+	}
+	switch {
+	case v.res.Lines == 0:
+		v.res.fail(0, 0, "empty journal")
+	case v.res.Records == 0:
+		v.res.fail(0, 0, "no ledger records (journal written with -ledger-mode off)")
+	case torn:
+		v.res.fail(v.res.Lines, v.res.Lines, "line %d: torn final write (no trailing newline)", v.res.Lines)
+	case !v.lastSealed:
+		v.res.fail(v.pendingStart, v.res.Lines, "unsealed journal: %d event lines after the last record are uncommitted (run crashed, or seal was truncated)", len(v.pending))
+	default:
+		v.res.OK = true
+	}
+	return v.res
+}
+
+// Verify replays a ledgered journal stream and checks every hash-chain
+// and Merkle commitment in it. It fails on any tampering (flipped
+// bytes, deleted/injected/reordered lines), on truncation (missing
+// seal), and on journals written without a ledger.
+func Verify(r io.Reader) VerifyResult {
+	v := newVerifier()
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		torn := err == io.EOF && len(line) > 0
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		if len(line) > 0 {
+			if !v.line(line) && !torn {
+				return v.finish(false)
+			}
+		}
+		if err == io.EOF {
+			return v.finish(torn)
+		}
+		if err != nil {
+			res := v.finish(false)
+			if res.OK {
+				res.fail(0, 0, "read: %v", err)
+			}
+			return res
+		}
+	}
+}
+
+// VerifyFile opens and verifies a journal file on disk.
+func VerifyFile(path string) (VerifyResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return VerifyResult{}, err
+	}
+	defer f.Close()
+	return Verify(f), nil
+}
+
+// resumeScan replays an existing journal to extract the chain state a
+// resumed segment must anchor on. It tolerates exactly two departures
+// from a verifying file — an uncovered tail (the prior run crashed
+// before committing) and a torn final line (crashed mid-write, repaired
+// by repairTail) — and refuses anything that looks like tampering.
+//
+// A prior file written with the ledger off (no records at all) is also
+// accepted: the resume anchor then commits every prior line as
+// recovered tail, upgrading the file to ledgered from that point on.
+func resumeScan(r io.Reader) (st resumeState, err error) {
+	v := newVerifier()
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		} else if rerr == io.EOF && n > 0 {
+			st.torn = true
+		}
+		if len(line) > 0 && !v.line(line) {
+			return st, fmt.Errorf("journal: refusing to resume onto a tampered journal: %s", v.res.Err)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return st, fmt.Errorf("journal: resume scan: %w", rerr)
+		}
+	}
+	if v.res.Err != "" {
+		return st, fmt.Errorf("journal: refusing to resume onto a tampered journal: %s", v.res.Err)
+	}
+	st.seq = v.res.Seq
+	st.chain = v.chain
+	st.lastRec = v.lastRec
+	st.pending = append(st.pending, v.pending...)
+	st.priorRecords = v.res.Records
+	return st, nil
+}
+
+// resumeState is what a resumed segment inherits from the prior file.
+type resumeState struct {
+	seq          uint64
+	chain        digest
+	lastRec      string
+	pending      []digest // prior uncovered tail, to be committed by the anchor
+	torn         bool     // final line lacked '\n'; append one before writing
+	priorRecords int
+}
+
+// abbrev shortens a hash for error messages; full values are in the
+// file itself.
+func abbrev(h string) string {
+	if h == "" {
+		return "<none>"
+	}
+	if len(h) > 12 {
+		return h[:12] + "…"
+	}
+	return h
+}

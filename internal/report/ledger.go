@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs/journal"
+)
+
+// LedgerVerdict renders a ledger verification outcome — the output of
+// `botscan verify-ledger` — as a human-readable verdict plus the
+// accounting a forensic reader wants: how much evidence the chain
+// covers, across how many segments, and where the chain head to anchor
+// out-of-band sits. On failure it prints the first unverifiable line
+// (exact in chain mode, batch-bounded in merkle mode) and why.
+func LedgerVerdict(w io.Writer, path string, res journal.VerifyResult) {
+	t := &Table{
+		Title:   fmt.Sprintf("Ledger verification: %s", path),
+		Headers: []string{"Field", "Value"},
+	}
+	verdict := "FAILED"
+	if res.OK {
+		verdict = "OK"
+	}
+	t.AddRow("verdict", verdict)
+	if res.Mode != "" {
+		t.AddRow("mode", string(res.Mode))
+	}
+	t.AddRow("lines", fmt.Sprintf("%d", res.Lines))
+	t.AddRow("events covered", fmt.Sprintf("%d", res.Events))
+	t.AddRow("ledger records", fmt.Sprintf("%d (%d batches)", res.Records, res.Batches))
+	t.AddRow("segments", fmt.Sprintf("%d", res.Segments))
+	t.AddRow("sealed", fmt.Sprintf("%v", res.Sealed))
+	if res.Uncovered > 0 {
+		t.AddRow("uncovered tail", fmt.Sprintf("%d lines", res.Uncovered))
+	}
+	if res.Head != "" {
+		t.AddRow("chain head", res.Head)
+	}
+	t.Render(w)
+
+	if res.OK {
+		fmt.Fprintf(w, "Evidence intact: %d events across %d segment(s), chain head %s\n",
+			res.Events, res.Segments, res.Head)
+		fmt.Fprintln(w, "Note the chain head out-of-band; the ledger is tamper-evident, not tamper-proof.")
+		return
+	}
+	fmt.Fprintf(w, "Evidence NOT verifiable: %s\n", res.Err)
+	if res.FirstBad > 0 {
+		// Chain mode commits every event individually, so the blast
+		// radius is one event plus its record — FirstBad IS the line.
+		if res.FirstBad == res.BadEnd || res.Mode == journal.LedgerChain {
+			fmt.Fprintf(w, "First unverifiable line: %d\n", res.FirstBad)
+		} else {
+			fmt.Fprintf(w, "First unverifiable line in [%d, %d] (re-run in chain mode for per-line pinpointing)\n", res.FirstBad, res.BadEnd)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/codeanalysis"
 	"repro/internal/honeypot"
+	"repro/internal/obs/journal"
 	"repro/internal/permissions"
 	"repro/internal/scraper"
 	"repro/internal/traceability"
@@ -156,5 +157,54 @@ func TestHoneypotRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("honeypot report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestLedgerVerdictRendering(t *testing.T) {
+	var buf bytes.Buffer
+	LedgerVerdict(&buf, "run.jsonl", journal.VerifyResult{
+		OK: true, Mode: journal.LedgerMerkle,
+		Lines: 110, Events: 100, Records: 10, Batches: 8, Segments: 2,
+		Sealed: true, Head: "abc123",
+	})
+	out := buf.String()
+	for _, want := range []string{"OK", "merkle", "100", "2 segment(s)", "abc123", "out-of-band"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verdict report missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	LedgerVerdict(&buf, "run.jsonl", journal.VerifyResult{
+		OK: false, Mode: journal.LedgerChain,
+		Err: "line 7: chain mismatch", FirstBad: 7, BadEnd: 7,
+	})
+	out = buf.String()
+	for _, want := range []string{"FAILED", "chain mismatch", "First unverifiable line: 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failure report missing %q:\n%s", want, out)
+		}
+	}
+
+	// Chain mode's blast radius is one event plus its record, so the
+	// event line is reported exactly even when BadEnd is the record.
+	buf.Reset()
+	LedgerVerdict(&buf, "run.jsonl", journal.VerifyResult{
+		OK: false, Mode: journal.LedgerChain,
+		Err: "line 43: chain mismatch", FirstBad: 42, BadEnd: 43,
+	})
+	out = buf.String()
+	if !strings.Contains(out, "First unverifiable line: 42") {
+		t.Errorf("chain mode did not pinpoint the exact line:\n%s", out)
+	}
+
+	buf.Reset()
+	LedgerVerdict(&buf, "run.jsonl", journal.VerifyResult{
+		OK: false, Mode: journal.LedgerMerkle,
+		Err: "line 20: merkle root mismatch", FirstBad: 12, BadEnd: 20, Uncovered: 3,
+	})
+	out = buf.String()
+	if !strings.Contains(out, "[12, 20]") || !strings.Contains(out, "uncovered tail") {
+		t.Errorf("batch blast radius missing:\n%s", out)
 	}
 }

@@ -12,6 +12,7 @@ package traceability
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/permissions"
 	"repro/internal/policygen"
@@ -63,20 +64,48 @@ func tokenize(text string) []string {
 	})
 }
 
+// isWordRune mirrors tokenize's definition of a word character, so
+// phrase boundaries and single-word boundaries agree.
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-'
+}
+
+// containsPhrase reports whether phrase occurs in the lower-cased text
+// on word boundaries: the characters adjacent to the occurrence must
+// not be word characters, so "use data" does not match inside "abuse
+// database" and "third party" does not match "third partygoers".
+func containsPhrase(lower, phrase string) bool {
+	for start := 0; ; {
+		i := strings.Index(lower[start:], phrase)
+		if i < 0 {
+			return false
+		}
+		i += start
+		before, _ := utf8.DecodeLastRuneInString(lower[:i])
+		after, _ := utf8.DecodeRuneInString(lower[i+len(phrase):])
+		if (i == 0 || !isWordRune(before)) &&
+			(i+len(phrase) == len(lower) || !isWordRune(after)) {
+			return true
+		}
+		start = i + 1
+	}
+}
+
 // matchCategory returns the keywords of category c found in text.
 func (a *Analyzer) matchCategory(c policygen.Category, lower string, words map[string]bool) []string {
 	var hits []string
 	for _, kw := range c.Keywords() {
-		if strings.ContainsRune(kw, ' ') || strings.ContainsRune(kw, '-') {
-			// Phrase keywords match as substrings of the lower-cased
-			// text (word-internal hyphens normalized).
+		if a.Substring {
+			// Ablation baseline: everything is a naive substring scan.
 			if strings.Contains(lower, kw) {
 				hits = append(hits, kw)
 			}
 			continue
 		}
-		if a.Substring {
-			if strings.Contains(lower, kw) {
+		if strings.ContainsRune(kw, ' ') || strings.ContainsRune(kw, '-') {
+			// Phrase keywords scan the raw lower-cased text (tokenize
+			// would split them), but only on word boundaries.
+			if containsPhrase(lower, kw) {
 				hits = append(hits, kw)
 			}
 			continue

@@ -106,6 +106,66 @@ func TestPhraseKeywords(t *testing.T) {
 	}
 }
 
+func TestPhraseWordBoundaries(t *testing.T) {
+	var a Analyzer
+	// Phrase keywords must respect word boundaries on both ends:
+	// "third party" inside "third partygoers" (suffix growth) or
+	// "a-third party" (hyphenated prefix, a word character under
+	// tokenize's rules) is not a disclosure statement.
+	for _, policy := range []string{
+		"The third partygoers had a great time.",
+		"We photographed thirdparty logos.",
+		"Our not-quite-third-party-ish mascot waved.",
+	} {
+		v := a.AnalyzePolicy(policy, permissions.None)
+		if len(v.Hits[policygen.Disclose]) != 0 {
+			t.Errorf("phrase matched inside larger word: %q -> %+v", policy, v.Hits)
+		}
+	}
+	// Genuine boundaries still match: start/end of text, punctuation,
+	// and plain spaces.
+	for _, policy := range []string{
+		"third party processors receive data",
+		"data goes to a third party",
+		"we disclose to a third party, never more",
+		"(third parties) may receive metadata",
+	} {
+		v := a.AnalyzePolicy(policy, permissions.None)
+		if len(v.Hits[policygen.Disclose]) == 0 {
+			t.Errorf("legitimate phrase missed: %q", policy)
+		}
+	}
+	// The substring ablation keeps the naive behavior, preserving the
+	// baseline the boundary matcher is measured against.
+	sub := Analyzer{Substring: true}
+	v := sub.AnalyzePolicy("The third partygoers had a great time.", permissions.None)
+	if len(v.Hits[policygen.Disclose]) == 0 {
+		t.Error("substring mode unexpectedly boundary-checked the phrase")
+	}
+}
+
+func TestContainsPhrase(t *testing.T) {
+	for _, tc := range []struct {
+		text, phrase string
+		want         bool
+	}{
+		{"abuse database", "use data", false}, // the motivating false positive
+		{"we use data well", "use data", true},
+		{"use data", "use data", true},
+		{"reuse data", "use data", false},
+		{"use database", "use data", false},
+		{"third-party", "third-party", true},
+		{"non-third-party", "third-party", false},
+		{"x third party y third party z", "third party", true},
+		{"athird party, third partyb, third party!", "third party", true},
+		{"", "use data", false},
+	} {
+		if got := containsPhrase(tc.text, tc.phrase); got != tc.want {
+			t.Errorf("containsPhrase(%q, %q) = %v, want %v", tc.text, tc.phrase, got, tc.want)
+		}
+	}
+}
+
 func TestCaseInsensitivity(t *testing.T) {
 	var a Analyzer
 	v := a.AnalyzePolicy("WE COLLECT DATA. We Store it. we SHARE nothing. It is USED well.", permissions.None)

@@ -11,10 +11,15 @@
 //	botscan -bots 2000 -journal run.jsonl -ledger-mode merkle   # tamper-evident
 //	botscan -bots 2000 -checkpoint-dir ckpt     # crash-safe snapshots
 //	botscan -bots 2000 -checkpoint-dir ckpt -resume latest
+//	botscan -bots 2000 -shards 8 -trace-out traces/run1   # per-bot tracing
 //	botscan journal -file run.jsonl             # summarize a journal
 //	botscan journal -file run.jsonl -timeline   # per-bot replay
+//	botscan trace summary -file traces/run1/spans.jsonl   # span-log views
+//	botscan trace slowest -file traces/run1/spans.jsonl -n 10
+//	botscan trace critical-path -file traces/run1/spans.jsonl
 //	botscan verify-ledger run.jsonl             # prove evidence integrity
 //	botscan bench-ledger -out BENCH_LEDGER.json # cost of tamper-evidence
+//	botscan bench-trace -out BENCH_TRACE.json   # cost of per-bot tracing
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -38,7 +44,9 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
+	bottrace "repro/internal/obs/trace"
 	"repro/internal/report"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -52,6 +60,12 @@ func main() {
 			return
 		case "bench-ledger":
 			benchLedgerMode(os.Args[2:])
+			return
+		case "trace":
+			traceMode(os.Args[2:])
+			return
+		case "bench-trace":
+			benchTraceMode(os.Args[2:])
 			return
 		}
 	}
@@ -79,6 +93,8 @@ func main() {
 		ckptEvery    = flag.Int("checkpoint-every", 25, "also snapshot after this many freshly settled bots (stage boundaries always snapshot)")
 		resumeRun    = flag.String("resume", "", "resume a checkpointed run: a run ID, or 'latest' (requires -checkpoint-dir)")
 		breakers     = flag.Bool("breakers", false, "wrap scraper/code-host/gateway transports in per-endpoint-class circuit breakers")
+		traceOut     = flag.String("trace-out", "", "write per-bot trace artifacts (spans.jsonl, trace.json, profile.json) into this directory")
+		traceLevel   = flag.String("trace-level", "", "per-bot tracing level: off, bots, or full (defaults to full when -trace-out is set)")
 		stageDL      = flag.Duration("stage-deadline", 0, "soft per-stage watchdog deadline (0 disables; a stalled stage is dumped and cancelled)")
 		verbose      = flag.Bool("v", false, "debug-level logging")
 	)
@@ -127,6 +143,17 @@ func main() {
 	}
 	if *fullScale {
 		opts.NumBots = 0 // defaults to 20,915
+	}
+	levelName := *traceLevel
+	if levelName == "" && *traceOut != "" {
+		levelName = "full"
+	}
+	if levelName != "" {
+		lvl, err := bottrace.ParseLevel(levelName)
+		if err != nil {
+			fatal("trace level", err)
+		}
+		opts.Trace.Level = lvl
 	}
 	if *defences {
 		opts.Scrape.AntiScrape = listing.AntiScrape{
@@ -210,6 +237,16 @@ func main() {
 			fatal("export", err)
 		}
 		logger.Info("datasets written", "dir", *exportDir)
+	}
+	if *traceOut != "" {
+		if res.BotTrace == nil {
+			fatal("trace-out", fmt.Errorf("-trace-out requires a tracing level other than off"))
+		}
+		if err := writeTraceArtifacts(*traceOut, res.BotTrace); err != nil {
+			fatal("trace-out", err)
+		}
+		logger.Info("trace artifacts written", "dir", *traceOut,
+			"spans", res.BotTrace.Len(), "level", res.BotTrace.Level().String())
 	}
 	if *benchScale != "" {
 		if res.Scale == nil {
@@ -448,6 +485,232 @@ func appendBenchScale(path string, s *core.ScaleStats) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// writeTraceArtifacts materialises a run's tracer as the three
+// -trace-out files: the JSONL span log (for `botscan trace`), the
+// Chrome trace-event JSON (load trace.json in Perfetto / chrome://
+// tracing), and the timing profile that seeds the scheduler.
+func writeTraceArtifacts(dir string, tr *bottrace.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("spans.jsonl", tr.WriteJSONL); err != nil {
+		return err
+	}
+	if err := write("trace.json", tr.WriteChromeTrace); err != nil {
+		return err
+	}
+	return write("profile.json", func(w io.Writer) error {
+		return bottrace.WriteProfile(w, tr.BuildProfile())
+	})
+}
+
+// traceMode is the span-log inspection subcommand: decode a
+// spans.jsonl written by -trace-out and render one of the four views.
+func traceMode(args []string) {
+	usage := func() {
+		fmt.Fprintln(os.Stderr, "usage: botscan trace <summary|slowest|by-stage|critical-path> -file spans.jsonl [-n 10]")
+	}
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		usage()
+		os.Exit(2)
+	}
+	view := args[0]
+	fs := flag.NewFlagSet("botscan trace "+view, flag.ExitOnError)
+	var (
+		file = fs.String("file", "", "span log to inspect (spans.jsonl from -trace-out; required)")
+		topN = fs.Int("n", 10, "bots to list under 'slowest'")
+	)
+	fs.Parse(args[1:])
+	logger := journal.NewLogger("botscan", os.Stderr, slog.LevelInfo)
+	if *file == "" {
+		usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		logger.Error("open span log", "err", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	h, spans, skipped, err := bottrace.DecodeJSONL(f)
+	if err != nil {
+		logger.Error("decode span log", "err", err)
+		os.Exit(1)
+	}
+	if skipped > 0 {
+		logger.Warn("skipped undecodable lines", "skipped", skipped)
+	}
+	switch view {
+	case "summary":
+		report.TraceSummary(os.Stdout, bottrace.Summarize(h, spans))
+	case "slowest":
+		report.TraceSlowest(os.Stdout, bottrace.SlowestBots(spans, *topN))
+	case "by-stage":
+		report.TraceByStage(os.Stdout, bottrace.ByStage(h, spans))
+	case "critical-path":
+		report.TraceCriticalPath(os.Stdout, bottrace.CriticalPath(spans))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// benchTraceMode measures what per-bot tracing costs end to end: the
+// real sharded pipeline runs once per level (off, bots, full) on the
+// same workload and the throughput delta vs off lands in a JSON file
+// (see EXPERIMENTS.md, TRACE).
+func benchTraceMode(args []string) {
+	fs := flag.NewFlagSet("botscan bench-trace", flag.ExitOnError)
+	var (
+		out    = fs.String("out", "BENCH_TRACE.json", "write results to this JSON file")
+		bots   = fs.Int("bots", 0, "listing population (0 = the paper's 20,915)")
+		sample = fs.Int("sample", 500, "honeypot sample size")
+		shards = fs.Int("shards", 8, "sharded-executor shard count")
+		settle = fs.Duration("settle", 200*time.Millisecond, "honeypot trigger-watch window per bot")
+		seed   = fs.Int64("seed", 2022, "ecosystem generation seed")
+		reps   = fs.Int("repeats", 1, "runs per level; the median is recorded")
+		smoke  = fs.Int("smoke", 0, "smoke mode: use this small population with a scaled-down sample and settle (tier-1 CI)")
+	)
+	fs.Parse(args)
+	logger := journal.NewLogger("botscan", os.Stderr, slog.LevelInfo)
+	if *smoke > 0 {
+		*bots = *smoke
+		if *sample > *smoke/4 {
+			*sample = *smoke / 4
+		}
+		if *sample < 1 {
+			*sample = 1
+		}
+		*settle = 5 * time.Millisecond
+	}
+	doc, err := benchTrace(*bots, *sample, *shards, *settle, *seed, *reps)
+	if err != nil {
+		logger.Error("bench-trace", "err", err)
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		logger.Error("bench-trace", "err", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		logger.Error("bench-trace", "err", err)
+		os.Exit(1)
+	}
+	for _, r := range doc.Runs {
+		logger.Info("trace bench", "level", r.Level, "bots_per_sec", fmt.Sprintf("%.1f", r.BotsPerSec),
+			"overhead_pct", fmt.Sprintf("%.1f", r.OverheadPct), "spans", r.Spans)
+	}
+	logger.Info("trace benchmark written", "path", *out)
+}
+
+// traceBenchDoc is the BENCH_TRACE.json shape.
+type traceBenchDoc struct {
+	Workload traceBenchWorkload `json:"workload"`
+	Runs     []traceBenchRun    `json:"runs"`
+}
+
+type traceBenchWorkload struct {
+	Bots     int    `json:"bots"`
+	Sample   int    `json:"sample"`
+	Shards   int    `json:"shards"`
+	SettleMS int    `json:"settle_ms"`
+	Seed     int64  `json:"seed"`
+	Repeats  int    `json:"repeats"`
+	Source   string `json:"source"`
+}
+
+type traceBenchRun struct {
+	Level       string  `json:"level"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	BotsPerSec  float64 `json:"bots_per_sec"`
+	Spans       int     `json:"spans"`
+	OverheadPct float64 `json:"overhead_pct_vs_off"`
+}
+
+// benchTrace runs the three-level grid over the real sharded pipeline.
+func benchTrace(bots, sample, shards int, settle time.Duration, seed int64, reps int) (*traceBenchDoc, error) {
+	declared := bots
+	if declared == 0 {
+		declared = synth.PaperPopulation
+	}
+	doc := &traceBenchDoc{
+		Workload: traceBenchWorkload{
+			Bots: declared, Sample: sample, Shards: shards,
+			SettleMS: int(settle.Milliseconds()), Seed: seed, Repeats: reps,
+			Source: "full sharded pipeline, level off vs bots vs full",
+		},
+	}
+	var offSec float64
+	for _, lvl := range []bottrace.Level{bottrace.LevelOff, bottrace.LevelBots, bottrace.LevelFull} {
+		var elapsed, persec []float64
+		var spans int
+		for rep := 0; rep < reps; rep++ {
+			ems, bps, n, err := benchTraceRunOnce(lvl, bots, sample, shards, settle, seed)
+			if err != nil {
+				return nil, err
+			}
+			elapsed = append(elapsed, ems)
+			persec = append(persec, bps)
+			spans = n
+		}
+		run := traceBenchRun{
+			Level:      lvl.String(),
+			ElapsedMS:  median(elapsed),
+			BotsPerSec: median(persec),
+			Spans:      spans,
+		}
+		if lvl == bottrace.LevelOff {
+			offSec = run.BotsPerSec
+		} else if offSec > 0 {
+			// Throughput loss vs the untraced run; negative means the
+			// traced run was faster (noise).
+			run.OverheadPct = 100 * (offSec - run.BotsPerSec) / offSec
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
+	return doc, nil
+}
+
+// benchTraceRunOnce runs the pipeline once at one tracing level.
+func benchTraceRunOnce(lvl bottrace.Level, bots, sample, shards int, settle time.Duration, seed int64) (elapsedMS, botsPerSec float64, spans int, err error) {
+	a, err := core.NewAuditor(core.Options{
+		Seed:    seed,
+		NumBots: bots,
+		Honeypot: core.HoneypotOptions{
+			Sample:      sample,
+			Concurrency: 16,
+			Settle:      settle,
+		},
+		Exec:  core.ExecOptions{Shards: shards},
+		Trace: core.TraceOptions{Level: lvl},
+		Obs:   obs.NewRegistry(),
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer a.Close()
+	res, err := a.RunAllContext(context.Background())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if res.Scale == nil {
+		return 0, 0, 0, fmt.Errorf("bench-trace: sharded run reported no scale stats")
+	}
+	return res.Scale.ElapsedMS, res.Scale.BotsPerSec, res.BotTrace.Len(), nil
 }
 
 // journalMode is the inspection subcommand: decode a journal written by

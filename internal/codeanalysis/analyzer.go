@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/obs/trace"
 	"repro/internal/scraper"
 )
 
@@ -79,7 +80,9 @@ func (az *Analyzer) resolve(ctx context.Context, link string) (*linkFlight, erro
 		}
 	}
 	linkCtx, span := obs.StartChild(ctx, "link-"+link)
+	endOp := trace.StartOpDetail(linkCtx, "codehost_fetch", link)
 	ra, err := AnalyzeLinkContext(linkCtx, az.Client, 0, link)
+	endOp()
 	span.End()
 	if err != nil {
 		f.err = err
@@ -102,6 +105,8 @@ func (az *Analyzer) resolve(ctx context.Context, link string) (*linkFlight, erro
 // the same per-bot journal milestones as the batch path. The returned
 // error is fatal (context cancellation only).
 func (az *Analyzer) SettleBot(ctx context.Context, botID int, link string) (SettledLink, error) {
+	ctx = trace.WithBot(ctx, botID, "")
+	defer trace.StartStage(ctx)()
 	f, err := az.resolve(ctx, link)
 	if err != nil {
 		return SettledLink{}, err

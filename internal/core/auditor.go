@@ -41,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
+	bottrace "repro/internal/obs/trace"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/retry"
@@ -119,6 +120,22 @@ type ExecOptions struct {
 	StageRetryBudget int
 }
 
+// TraceOptions configures the per-bot tracing layer: a span per bot
+// per stage plus (at full level) sub-operation spans, collected into
+// per-shard buffers and exported as a JSONL span log, a
+// Perfetto-loadable Chrome trace, and the profile.json timing artifact
+// that seeds the steal-aware partitioner.
+type TraceOptions struct {
+	// Level selects recording depth: off (default, near-zero cost),
+	// bots (one span per bot per stage + scheduler events), or full
+	// (adds sub-operation spans: page fetches, retries, captcha solves,
+	// invite redirects, policy audits, honeypot settles, codehost
+	// fetches).
+	Level bottrace.Level
+	// Tracer overrides the run-built tracer (tests and benchmarks).
+	Tracer *bottrace.Tracer
+}
+
 // FaultOptions configures deterministic fault injection. When enabled
 // the injector is installed as middleware on the listing server and
 // code host and as the gateway's event-fault policy, so the whole
@@ -173,6 +190,8 @@ type Options struct {
 	Checkpoint CheckpointOptions
 	// Breakers configures transport circuit breakers.
 	Breakers BreakerOptions
+	// Trace configures per-bot tracing (off by default).
+	Trace TraceOptions
 
 	// Obs receives every stage's counters, histograms, and pipeline
 	// traces; nil uses the process-default registry. Its text exposition
@@ -245,6 +264,12 @@ type Results struct {
 	// Trace is the pipeline's stage-span tree; Report renders it as a
 	// per-stage timing table.
 	Trace *obs.Trace
+
+	// BotTrace is the per-bot tracer (nil when Options.Trace.Level is
+	// off): every bot-stage span, sub-operation, and scheduler event
+	// the run recorded, exportable via its WriteJSONL /
+	// WriteChromeTrace / BuildProfile methods.
+	BotTrace *bottrace.Tracer
 
 	// RunID is the correlation identifier stamped on every journal event
 	// this run emitted (empty when no journal is configured — the ID is
@@ -450,6 +475,8 @@ func (a *Auditor) CollectContext(ctx context.Context) ([]*scraper.Record, error)
 // whether it runs in a batch loop or interleaved per bot; the
 // aggregates themselves are commutative counters.
 func auditOne(ctx context.Context, an *traceability.Analyzer, d *report.Table2Data, dt *traceability.DataTypeResult, r *scraper.Record) {
+	ctx = bottrace.WithBot(ctx, r.ID, r.Name)
+	defer bottrace.StartStage(ctx)()
 	d.ActiveBots++
 	if r.HasWebsite {
 		d.WebsiteLink++
@@ -460,7 +487,7 @@ func auditOne(ctx context.Context, an *traceability.Analyzer, d *report.Table2Da
 			d.PolicyValid++
 		}
 	}
-	v := an.AnalyzePolicy(r.PolicyText, r.Perms)
+	v := an.AnalyzePolicyContext(ctx, r.PolicyText, r.Perms)
 	d.Traceability.Add(v)
 	dt.Add(r.PolicyText, r.Perms)
 	journal.Emit(journal.WithBot(ctx, r.ID, r.Name), "core", journal.KindPolicyAudited, map[string]any{
@@ -534,11 +561,12 @@ func (a *Auditor) campaignConfig(resume *honeypot.CampaignResume, onSettled func
 // run carries one RunAllContext invocation's shared state between the
 // prologue, the chosen executor, and the epilogue.
 type run struct {
-	a     *Auditor
-	ctx   context.Context
-	res   *Results
-	trace *obs.Trace
-	ck    *ckptState
+	a      *Auditor
+	ctx    context.Context
+	res    *Results
+	trace  *obs.Trace
+	tracer *bottrace.Tracer
+	ck     *ckptState
 
 	scrapeRes *scraper.ResumeState
 	codeRes   *codeanalysis.AnalyzeResume
@@ -554,6 +582,8 @@ type run struct {
 func (r *run) stage(name string) (context.Context, func()) {
 	sp := r.trace.StartSpan(name)
 	sctx := obs.ContextWithSpan(r.ctx, sp)
+	sctx = bottrace.ContextWithStage(sctx, r.tracer, name)
+	endRunSpan := r.tracer.StartRunSpan(name)
 	stopWatchdog := func() {}
 	if dl := r.a.opts.Exec.StageSoftDeadline; dl > 0 {
 		var cancel context.CancelCauseFunc
@@ -563,6 +593,7 @@ func (r *run) stage(name string) (context.Context, func()) {
 	journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{"stage": name})
 	return sctx, func() {
 		stopWatchdog()
+		endRunSpan()
 		sp.End()
 		journal.Emit(sctx, "core", journal.KindStageCompleted, map[string]any{
 			"stage":   name,
@@ -685,11 +716,24 @@ func (a *Auditor) RunAllContext(ctx context.Context) (*Results, error) {
 		journal.Emit(ctx, "core", journal.KindRunResumed, fields)
 	}
 
+	// Per-bot tracer: sharded by the executor's worker count (the
+	// sequential executor hashes bots across the same buffer count).
+	tracer := a.opts.Trace.Tracer
+	if tracer == nil && a.opts.Trace.Level != bottrace.LevelOff {
+		shards := a.opts.Exec.Shards
+		if shards <= 0 {
+			shards = a.opts.Scrape.Workers
+		}
+		tracer = bottrace.New(runID, shards, a.opts.Trace.Level)
+	}
+	res.BotTrace = tracer
+
 	r := &run{
 		a:         a,
 		ctx:       ctx,
 		res:       res,
 		trace:     trace,
+		tracer:    tracer,
 		ck:        ck,
 		scrapeRes: scrapeRes,
 		codeRes:   codeRes,

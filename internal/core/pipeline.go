@@ -27,6 +27,7 @@ import (
 	"repro/internal/honeypot"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	bottrace "repro/internal/obs/trace"
 	"repro/internal/report"
 	"repro/internal/scraper"
 	"repro/internal/traceability"
@@ -81,11 +82,12 @@ type workItem struct {
 // executor: its (concurrent) trace span, its watchdog-armed context,
 // and its concurrency gate.
 type shardStage struct {
-	name string
-	span *obs.Span
-	ctx  context.Context
-	gate *sched.Gate
-	stop func()
+	name   string
+	span   *obs.Span
+	ctx    context.Context
+	gate   *sched.Gate
+	stop   func()
+	endRun func() // closes the stage's run-level trace span
 }
 
 func shardImbalance(executed []int64) float64 {
@@ -134,6 +136,7 @@ func (a *Auditor) runSharded(r *run) error {
 		sp := r.trace.StartSpan(name)
 		sp.MarkConcurrent()
 		sctx := obs.ContextWithSpan(pctx, sp)
+		sctx = bottrace.ContextWithStage(sctx, r.tracer, name)
 		stop := func() {}
 		if dl := a.opts.Exec.StageSoftDeadline; dl > 0 {
 			stop = watchdog(sctx, name, dl, cancel)
@@ -141,7 +144,10 @@ func (a *Auditor) runSharded(r *run) error {
 		journal.Emit(sctx, "core", journal.KindStageStarted, map[string]any{
 			"stage": name, "concurrent": true,
 		})
-		return &shardStage{name: name, span: sp, ctx: sctx, gate: sched.NewGate(name, limit), stop: stop}
+		return &shardStage{
+			name: name, span: sp, ctx: sctx, gate: sched.NewGate(name, limit),
+			stop: stop, endRun: r.tracer.StartRunSpan(name),
+		}
 	}
 	stCollect := mkStage("collect", sw.Collect)
 	stTrace := mkStage("traceability", workers)
@@ -153,6 +159,7 @@ func (a *Auditor) runSharded(r *run) error {
 		cleanupOnce.Do(func() {
 			for _, st := range stages {
 				st.stop()
+				st.endRun()
 				st.span.End()
 				gs := st.gate.Stats()
 				journal.Emit(st.ctx, "core", journal.KindStageCompleted, map[string]any{
@@ -277,7 +284,7 @@ func (a *Auditor) runSharded(r *run) error {
 			if err != nil {
 				return
 			}
-			out, err := crawler.Settle(stCollect.ctx, it.botID)
+			out, err := crawler.Settle(bottrace.WithWorker(stCollect.ctx, w), it.botID)
 			release()
 			if err != nil {
 				fatal("collect", err)
@@ -295,7 +302,7 @@ func (a *Auditor) runSharded(r *run) error {
 				return
 			}
 			traceMu.Lock()
-			auditOne(stTrace.ctx, &an, &t2, dt, rec)
+			auditOne(bottrace.WithWorker(stTrace.ctx, w), &an, &t2, dt, rec)
 			traceMu.Unlock()
 			release()
 			if rec.GitHubURL != "" {
@@ -303,7 +310,7 @@ func (a *Auditor) runSharded(r *run) error {
 				if err != nil {
 					return
 				}
-				sl, serr := az.SettleBot(stCode.ctx, rec.ID, rec.GitHubURL)
+				sl, serr := az.SettleBot(bottrace.WithWorker(stCode.ctx, w), rec.ID, rec.GitHubURL)
 				release()
 				if serr != nil {
 					fatal("codeanalysis", serr)
@@ -317,7 +324,7 @@ func (a *Auditor) runSharded(r *run) error {
 			if err != nil {
 				return
 			}
-			v, qerr, rerr := camp.RunBot(stHp.ctx, it.sampleIdx)
+			v, qerr, rerr := camp.RunBot(bottrace.WithWorker(stHp.ctx, w), it.sampleIdx)
 			release()
 			if rerr != nil {
 				fatal("honeypot", rerr)
@@ -329,7 +336,8 @@ func (a *Auditor) runSharded(r *run) error {
 		}
 	}
 
-	stats := sched.Run(pctx, sched.Partition(len(items), shards), workers, fn)
+	stats := sched.RunHooked(pctx, sched.Partition(len(items), shards), workers, fn,
+		sched.Hooks{Obs: a.obs, Tracer: r.tracer, Stage: "sharded"})
 	elapsed := time.Since(phaseStart)
 
 	// Drain the worker buffers before deciding anything: even a failed

@@ -2,10 +2,14 @@ package sched
 
 import (
 	"context"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 func TestPartitionCoversEveryItemOnce(t *testing.T) {
@@ -201,5 +205,87 @@ func TestRunDeterministicCoverage(t *testing.T) {
 				t.Fatalf("trial %d: item %d ran %d times", trial, it, c)
 			}
 		}
+	}
+}
+
+// TestRunHookedPublishesMetricsAndTraceEvents drives a skewed workload
+// through RunHooked and asserts the live registry instruments and the
+// tracer's shard-track events agree exactly with the run's Stats.
+func TestRunHookedPublishesMetricsAndTraceEvents(t *testing.T) {
+	shards := [][]int{
+		make([]int, 80), // heavily loaded
+		{80, 81},
+		{82},
+		{83},
+	}
+	for i := range shards[0] {
+		shards[0][i] = i
+	}
+	total := 84
+	reg := obs.NewRegistry()
+	tr := trace.New("run-hooked", len(shards), trace.LevelBots)
+	st := RunHooked(context.Background(), shards, 4, func(_ context.Context, _, _ int) {
+		time.Sleep(200 * time.Microsecond)
+	}, Hooks{Obs: reg, Tracer: tr, Stage: "sharded"})
+
+	if st.Steals == 0 {
+		t.Fatal("skewed shards produced zero steals")
+	}
+	if got := reg.Counter("sched_steals_total").Value(); got != st.Steals {
+		t.Errorf("sched_steals_total = %d, want %d", got, st.Steals)
+	}
+	var execMetric int64
+	for s := range shards {
+		label := `{shard="` + strconv.Itoa(s) + `"}`
+		execMetric += reg.Counter("sched_shard_executed_total" + label).Value()
+		if got := reg.Counter("sched_shard_stolen_total" + label).Value(); got != st.Stolen[s] {
+			t.Errorf("shard %d stolen metric = %d, want %d", s, got, st.Stolen[s])
+		}
+	}
+	if execMetric != int64(total) {
+		t.Errorf("executed metrics sum %d, want %d", execMetric, total)
+	}
+	var busy int64
+	for w := 0; w < st.Workers; w++ {
+		busy += reg.Counter(`sched_worker_busy_us_total{worker="` + strconv.Itoa(w) + `"}`).Value()
+	}
+	if busy == 0 {
+		t.Error("worker busy time not accounted")
+	}
+
+	steals, depths := 0, 0
+	for _, op := range tr.Ops() {
+		switch {
+		case op.Kind == trace.KindInstant && op.Name == "steal":
+			steals++
+			if op.Stage != "sharded" {
+				t.Errorf("steal instant carries stage %q", op.Stage)
+			}
+		case op.Kind == trace.KindCounter && op.Name == "queue_depth":
+			depths++
+		}
+	}
+	if int64(steals) != st.Steals {
+		t.Errorf("traced %d steals, stats say %d", steals, st.Steals)
+	}
+	if depths != total {
+		t.Errorf("traced %d depth samples, want one per item (%d)", depths, total)
+	}
+}
+
+// TestRunHookedZeroHooksMatchesRun keeps the hookless path identical.
+func TestRunHookedZeroHooksMatchesRun(t *testing.T) {
+	shards := Partition(50, 4)
+	counts := make([]int64, 50)
+	st := RunHooked(context.Background(), shards, 0, func(_ context.Context, _, item int) {
+		atomic.AddInt64(&counts[item], 1)
+	}, Hooks{})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("item %d executed %d times", i, c)
+		}
+	}
+	if st.Workers != 4 {
+		t.Errorf("workers defaulted to %d, want shard count 4", st.Workers)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/listing"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/obs/trace"
 	"repro/internal/synth"
 )
 
@@ -257,7 +258,10 @@ func (cr *CampaignRunner) RunBot(ctx context.Context, i int) (v *Verdict, qerr e
 	expEnv.Feed = corpus.Derive(int64(cr.cfg.SampleSize), int64(b.ID))
 	expCtx, span := obs.StartChild(ctx, "experiment-"+b.Name)
 	expCtx = journal.WithBot(expCtx, b.ID, b.Name)
+	expCtx = trace.WithBot(expCtx, b.ID, b.Name)
+	endStage := trace.StartStage(expCtx)
 	verdict, rerr := RunContext(expCtx, expEnv, cr.cfg.Experiment, sub)
+	endStage()
 	span.End()
 	if rerr != nil {
 		switch {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/obs/trace"
 	"repro/internal/permissions"
 	"repro/internal/platform"
 	"repro/internal/retry"
@@ -152,7 +153,10 @@ func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict
 	// "To add a chatbot to the guild, we need to solve a Google
 	// reCAPTCHA" — paid out to the solving service.
 	if cfg.Solver != nil {
-		if _, err := scraper.SolveContext(ctx, cfg.Solver, installChallenge(sub.Name)); err != nil {
+		endSolve := trace.StartOpDetail(ctx, "captcha_solve", sub.Name)
+		_, err := scraper.SolveContext(ctx, cfg.Solver, installChallenge(sub.Name))
+		endSolve()
+		if err != nil {
 			return nil, fmt.Errorf("honeypot: install captcha: %w", err)
 		}
 	}
@@ -211,7 +215,10 @@ func RunContext(ctx context.Context, env Env, cfg Config, sub Subject) (*Verdict
 	// Watch for triggers until every kind fired or the settle window
 	// elapses.
 	settleStart := time.Now()
-	if err := watchTriggers(ctx, env, guildTag, len(tokens), cfg); err != nil {
+	endSettle := trace.StartOpDetail(ctx, "honeypot_settle", guildTag)
+	err = watchTriggers(ctx, env, guildTag, len(tokens), cfg)
+	endSettle()
+	if err != nil {
 		return nil, err
 	}
 	reg.Histogram("honeypot_settle_seconds").Observe(time.Since(settleStart))

@@ -243,3 +243,46 @@ func TestOrDefault(t *testing.T) {
 		t.Error("Or(r) did not pass through")
 	}
 }
+
+func TestConcurrentBusyMSNestedConcurrentChild(t *testing.T) {
+	tr := NewTrace("pipeline")
+	base := tr.started
+	cur := base
+	tr.now = func() time.Time { return cur }
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+	outer := tr.StartSpan("stages")
+	outer.MarkConcurrent()
+
+	// Concurrent child: two grandchildren overlap the same 100ms
+	// window, so its wall is 100ms but its busy time is 200ms.
+	inner := outer.StartSpan("collect")
+	inner.MarkConcurrent()
+	g1 := inner.StartSpan("bot-1")
+	g2 := inner.StartSpan("bot-2")
+	cur = at(100)
+	g1.End()
+	g2.End()
+	inner.End()
+
+	// Plain sibling: 50ms of wall time.
+	sib := outer.StartSpan("code")
+	cur = at(150)
+	sib.End()
+	outer.End()
+
+	sum := tr.Summary()
+	root := sum.Spans[0]
+	if !root.Concurrent || len(root.Children) != 2 {
+		t.Fatalf("root summary = %+v", root)
+	}
+	if root.Children[0].BusyMS != 200 {
+		t.Fatalf("inner BusyMS = %v, want 200 (two overlapped 100ms bots)", root.Children[0].BusyMS)
+	}
+	// The concurrent child contributes its BusyMS (200), not its wall
+	// window (100), so the outer figure counts the overlapped
+	// grandchildren exactly once each: 200 + 50.
+	if root.BusyMS != 250 {
+		t.Fatalf("outer BusyMS = %v, want 250", root.BusyMS)
+	}
+}

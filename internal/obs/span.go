@@ -164,7 +164,15 @@ func (s *Span) summaryLocked(traceStart time.Time) SpanSummary {
 	}
 	if s.concurrent {
 		for _, c := range out.Children {
-			out.BusyMS += c.DurationMS
+			// A concurrent child's wall duration is itself a shared
+			// window; its BusyMS is the de-overlapped figure. Summing
+			// DurationMS there would count overlapped grandchildren
+			// twice.
+			if c.Concurrent && c.BusyMS > 0 {
+				out.BusyMS += c.BusyMS
+			} else {
+				out.BusyMS += c.DurationMS
+			}
 		}
 	}
 	return out

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current renderer output")
+
+// loadFixtureSpans decodes the handcrafted span log the trace
+// renderers are goldened against.
+func loadFixtureSpans(t *testing.T) (trace.Header, []trace.Op) {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "trace_spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, ops, skipped, err := trace.DecodeJSONL(f)
+	if err != nil || skipped != 0 {
+		t.Fatalf("fixture decode: skipped %d, err %v", skipped, err)
+	}
+	return h, ops
+}
+
+// TestTraceSummaryGolden pins the exact `botscan trace summary` output
+// for a fixed span log, so rendering regressions show up as a readable
+// text diff. Regenerate with: go test ./internal/report -run Golden -update
+func TestTraceSummaryGolden(t *testing.T) {
+	h, ops := loadFixtureSpans(t)
+	var buf bytes.Buffer
+	TraceSummary(&buf, trace.Summarize(h, ops))
+	golden := filepath.Join("testdata", "trace_summary.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("trace summary drifted from golden file\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestTraceSlowestRendersStageColumns(t *testing.T) {
+	_, ops := loadFixtureSpans(t)
+	var buf bytes.Buffer
+	TraceSlowest(&buf, trace.SlowestBots(ops, 2))
+	out := buf.String()
+	// The fixture's most expensive bot is BetaQuizzer2 (29ms across
+	// three stages), then GammaScribe3 (25ms of collect).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("short output:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "BetaQuizzer2") {
+		t.Errorf("row 1 should be BetaQuizzer2:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "GammaScribe3") {
+		t.Errorf("row 2 should be GammaScribe3:\n%s", out)
+	}
+	for _, col := range []string{"collect", "honeypot", "traceability"} {
+		if !strings.Contains(lines[1], col) {
+			t.Errorf("missing stage column %q:\n%s", col, out)
+		}
+	}
+}
+
+func TestTraceCriticalPathEndsAtLastSpan(t *testing.T) {
+	_, ops := loadFixtureSpans(t)
+	var buf bytes.Buffer
+	TraceCriticalPath(&buf, trace.CriticalPath(ops))
+	out := buf.String()
+	// The last-finishing bot span is GammaScribe3's collect (ends at
+	// 36ms on shard 0); the chain starts at AlphaGreeter1.
+	if !strings.Contains(out, "GammaScribe3") || !strings.Contains(out, "AlphaGreeter1") {
+		t.Errorf("critical path missing chain endpoints:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0") {
+		t.Errorf("critical path should sit on shard 0:\n%s", out)
+	}
+	if !strings.Contains(out, "gap") {
+		t.Errorf("expected an idle gap between the two collect spans:\n%s", out)
+	}
+}
+
+func TestTraceByStageOrdersByTotal(t *testing.T) {
+	h, ops := loadFixtureSpans(t)
+	var buf bytes.Buffer
+	TraceByStage(&buf, trace.ByStage(h, ops))
+	out := buf.String()
+	// collect (39ms) > honeypot (22ms) > traceability (2ms).
+	ci := strings.Index(out, "collect")
+	hi := strings.Index(out, "honeypot")
+	ti := strings.Index(out, "traceability")
+	if !(ci < hi && hi < ti) {
+		t.Errorf("stages out of cost order (collect=%d honeypot=%d traceability=%d):\n%s", ci, hi, ti, out)
+	}
+}

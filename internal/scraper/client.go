@@ -15,6 +15,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/obs/trace"
 	"repro/internal/retry"
 )
 
@@ -287,7 +288,13 @@ func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) 
 			// of burning the backoff schedule on a known-down endpoint.
 			return retry.Permanent(fmt.Errorf("%w: %s: %v", ErrUnavailable, ref, berr))
 		}
+		opName := "page_fetch"
+		if attempts > 1 {
+			opName = "retry_attempt"
+		}
+		endOp := trace.StartOpDetail(ctx, opName, ref)
 		out, err := c.fetchOnce(ctx, ref)
+		endOp()
 		// Only transient transport faults condemn the endpoint class:
 		// throttling, captchas, and 404s prove the endpoint is alive.
 		var bte *transientError
@@ -298,7 +305,9 @@ func (c *Client) GetRawContext(ctx context.Context, ref string) (string, error) 
 		}
 		var ch *captchaChallenge
 		if errors.As(err, &ch) {
+			endSolve := trace.StartOpDetail(ctx, "captcha_solve", ref)
 			serr := c.solveCaptcha(ctx, ch.node)
+			endSolve()
 			if serr != nil && !errors.Is(serr, errStaleChallenge) {
 				// A stale challenge just means another worker cleared
 				// the gate — anything else is fatal for this fetch.

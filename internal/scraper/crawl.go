@@ -13,6 +13,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
+	"repro/internal/obs/trace"
 	"repro/internal/permissions"
 )
 
@@ -232,6 +233,12 @@ func (cr *Crawler) Settle(ctx context.Context, id int) (SettledBot, error) {
 	botCtx, sp := obs.StartChild(ctx, fmt.Sprintf("bot-%d", id))
 	defer sp.End()
 	botCtx = journal.WithBot(botCtx, id, "")
+	botCtx = trace.WithBot(botCtx, id, "")
+	// The bot's display name is only known once the scrape succeeds;
+	// the named closer back-fills it onto the collect span.
+	botName := ""
+	endStage := trace.StartStageNamed(botCtx)
+	defer func() { endStage(botName) }()
 	rec, err := ScrapeBotContext(botCtx, cr.Client, id, cr.Cfg.Retries)
 	if err != nil {
 		switch {
@@ -249,6 +256,7 @@ func (cr *Crawler) Settle(ctx context.Context, id int) (SettledBot, error) {
 		}
 		return SettledBot{Quarantine: err}, nil
 	}
+	botName = rec.Name
 	journal.Emit(journal.WithBot(botCtx, id, rec.Name), "scraper",
 		journal.KindBotDiscovered, map[string]any{
 			"perms_valid":    rec.PermsValid,
@@ -445,7 +453,9 @@ func scrapeInvite(ctx context.Context, c *Client, rec *Record, href string) erro
 		rec.InvalidReason = InvalidMissingLink
 		return nil
 	}
+	endOp := trace.StartOpDetail(ctx, "invite_redirect", href)
 	doc, err := c.GetContext(ctx, href)
+	endOp()
 	switch {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return err

@@ -10,10 +10,12 @@
 package traceability
 
 import (
+	"context"
 	"strings"
 	"unicode"
 	"unicode/utf8"
 
+	"repro/internal/obs/trace"
 	"repro/internal/permissions"
 	"repro/internal/policygen"
 )
@@ -115,6 +117,13 @@ func (a *Analyzer) matchCategory(c policygen.Category, lower string, words map[s
 		}
 	}
 	return hits
+}
+
+// AnalyzePolicyContext is AnalyzePolicy recorded as a policy_audit
+// sub-operation on the context's trace scope.
+func (a *Analyzer) AnalyzePolicyContext(ctx context.Context, policy string, requested permissions.Permission) Verdict {
+	defer trace.StartOp(ctx, "policy_audit")()
+	return a.AnalyzePolicy(policy, requested)
 }
 
 // AnalyzePolicy classifies one policy document against the permissions

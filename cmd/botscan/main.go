@@ -20,6 +20,7 @@
 //	botscan verify-ledger run.jsonl             # prove evidence integrity
 //	botscan bench-ledger -out BENCH_LEDGER.json # cost of tamper-evidence
 //	botscan bench-trace -out BENCH_TRACE.json   # cost of per-bot tracing
+//	botscan bench-gateway -out BENCH_GATEWAY.json # traffic plane under load
 package main
 
 import (
@@ -40,7 +41,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/gateway"
 	"repro/internal/listing"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/obs/journal"
 	"repro/internal/obs/ops"
@@ -66,6 +69,9 @@ func main() {
 			return
 		case "bench-trace":
 			benchTraceMode(os.Args[2:])
+			return
+		case "bench-gateway":
+			benchGatewayMode(os.Args[2:])
 			return
 		}
 	}
@@ -711,6 +717,149 @@ func benchTraceRunOnce(lvl bottrace.Level, bots, sample, shards int, settle time
 		return 0, 0, 0, fmt.Errorf("bench-trace: sharded run reported no scale stats")
 	}
 	return res.Scale.ElapsedMS, res.Scale.BotsPerSec, res.BotTrace.Len(), nil
+}
+
+// benchGatewayMode measures the traffic plane under load: the loadgen
+// engine runs once per fault profile (none, then moderate) against the
+// full overload configuration — admission cap, identify throttle,
+// per-tenant request limits, bounded drop-oldest send queues, heartbeat
+// reaping, and a deliberately stalled client — and records sustained
+// msgs/sec plus connected sessions into BENCH_GATEWAY.json
+// (see EXPERIMENTS.md, GATEWAY).
+func benchGatewayMode(args []string) {
+	fs := flag.NewFlagSet("botscan bench-gateway", flag.ExitOnError)
+	var (
+		out      = fs.String("out", "BENCH_GATEWAY.json", "write results to this JSON file")
+		sessions = fs.Int("sessions", 1000, "bot sessions to connect per run")
+		guilds   = fs.Int("guilds", 16, "guild count")
+		users    = fs.Int("users", 30, "chatting users per guild")
+		tenants  = fs.Int("tenants", 32, "distinct bot owners the fleet divides into")
+		duration = fs.Duration("duration", 10*time.Second, "publishing window per run")
+		msgRate  = fs.Float64("msg-rate", 40, "user messages/sec per guild")
+		reqRate  = fs.Float64("req-rate", 2, "requests/sec per responder bot")
+		stalled  = fs.Int("stalled", 1, "deliberately stalled clients per run")
+		seed     = fs.Int64("seed", 2022, "workload and fault seed")
+		smoke    = fs.Int("smoke", 0, "smoke mode: use this many sessions with a scaled-down topology and window (tier-1 CI)")
+	)
+	fs.Parse(args)
+	logger := journal.NewLogger("botscan", os.Stderr, slog.LevelInfo)
+	if *smoke > 0 {
+		*sessions = *smoke
+		*guilds = 4
+		*users = 5
+		*tenants = 4
+		*duration = 1500 * time.Millisecond
+		*msgRate = 20
+	}
+	doc, err := benchGateway(*sessions, *guilds, *users, *tenants, *stalled, *duration, *msgRate, *reqRate, *seed, logger)
+	if err != nil {
+		logger.Error("bench-gateway", "err", err)
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		logger.Error("bench-gateway", "err", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+		logger.Error("bench-gateway", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("gateway benchmark written", "path", *out)
+}
+
+// gatewayBenchDoc is the BENCH_GATEWAY.json shape.
+type gatewayBenchDoc struct {
+	Workload gatewayBenchWorkload `json:"workload"`
+	Runs     []*loadgen.Result    `json:"runs"`
+}
+
+type gatewayBenchWorkload struct {
+	Sessions           int     `json:"sessions"`
+	Guilds             int     `json:"guilds"`
+	UsersPerGuild      int     `json:"users_per_guild"`
+	Tenants            int     `json:"tenants"`
+	Stalled            int     `json:"stalled_clients"`
+	DurationMS         int     `json:"duration_ms"`
+	MsgRate            float64 `json:"msg_rate_per_guild"`
+	ReqRate            float64 `json:"req_rate_per_responder"`
+	MaxSessions        int     `json:"max_sessions"`
+	IdentifyRPS        float64 `json:"identify_rps"`
+	TenantRPS          float64 `json:"tenant_rps"`
+	SendQueue          int     `json:"send_queue"`
+	SlowConsumer       string  `json:"slow_consumer"`
+	WriteTimeoutMS     int     `json:"write_timeout_ms"`
+	HeartbeatTimeoutMS int     `json:"heartbeat_timeout_ms"`
+	Seed               int64   `json:"seed"`
+	Source             string  `json:"source"`
+}
+
+// benchGateway runs the clean-network baseline and then the moderate
+// fault profile over the same topology and overload knobs.
+func benchGateway(sessions, guilds, users, tenants, stalled int, duration time.Duration,
+	msgRate, reqRate float64, seed int64, logger *slog.Logger) (*gatewayBenchDoc, error) {
+	limits := gateway.Limits{
+		// Headroom above the fleet so the bench measures sustained
+		// throughput at full strength; the dial storm itself is paced by
+		// the identify throttle (shed dials retry on the server's hint).
+		MaxSessions:      sessions + stalled + 16,
+		IdentifyRPS:      400,
+		IdentifyBurst:    200,
+		TenantRPS:        10,
+		TenantBurst:      20,
+		SendQueue:        128,
+		SlowConsumer:     gateway.SlowDropOldest,
+		WriteTimeout:     2 * time.Second,
+		HeartbeatTimeout: 10 * time.Second,
+	}
+	doc := &gatewayBenchDoc{
+		Workload: gatewayBenchWorkload{
+			Sessions: sessions, Guilds: guilds, UsersPerGuild: users, Tenants: tenants,
+			Stalled: stalled, DurationMS: int(duration.Milliseconds()),
+			MsgRate: msgRate, ReqRate: reqRate,
+			MaxSessions: limits.MaxSessions, IdentifyRPS: limits.IdentifyRPS,
+			TenantRPS: limits.TenantRPS, SendQueue: limits.SendQueue,
+			SlowConsumer:       limits.SlowConsumer.String(),
+			WriteTimeoutMS:     int(limits.WriteTimeout.Milliseconds()),
+			HeartbeatTimeoutMS: int(limits.HeartbeatTimeout.Milliseconds()),
+			Seed:               seed,
+			Source:             "live TCP fleet via internal/loadgen, profile none vs moderate",
+		},
+	}
+	for _, profile := range []string{"none", "moderate"} {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			Guilds:        guilds,
+			UsersPerGuild: users,
+			Sessions:      sessions,
+			Tenants:       tenants,
+			Stalled:       stalled,
+			Duration:      duration,
+			MsgRate:       msgRate,
+			ReqRate:       reqRate,
+			FaultProfile:  profile,
+			FaultSeed:     seed,
+			Limits:        limits,
+			Seed:          seed,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), "profile", profile)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench-gateway: profile %s: %w", profile, err)
+		}
+		if res.Delivered == 0 {
+			return nil, fmt.Errorf("bench-gateway: profile %s delivered no events", profile)
+		}
+		logger.Info("gateway bench",
+			"profile", profile,
+			"sessions", fmt.Sprintf("%d/%d", res.SessionsConnected, res.SessionsTarget),
+			"msgs_per_sec", fmt.Sprintf("%.1f", res.PublishedPerSec),
+			"delivered_per_sec", fmt.Sprintf("%.1f", res.DeliveredPerSec),
+			"delivery_ratio", fmt.Sprintf("%.3f", res.DeliveryRatio),
+			"shed", res.Shed, "dropped", res.EventsDropped, "reaped", res.Reaped)
+		doc.Runs = append(doc.Runs, res)
+	}
+	return doc, nil
 }
 
 // journalMode is the inspection subcommand: decode a journal written by

@@ -12,6 +12,7 @@ package botsdk
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/permissions"
+	"repro/internal/retry"
 )
 
 // Errors returned by the SDK.
@@ -78,6 +80,28 @@ type Options struct {
 	// DialTimeout bounds the TCP connect and the identify handshake;
 	// default 5s.
 	DialTimeout time.Duration
+	// Retry governs the backoff applied when the gateway rate-limits a
+	// request: the gateway's RetryAfterMS hint is honoured (clamped to
+	// the policy's RetryAfterCap) with jittered exponential backoff
+	// between attempts, and a shared Retry.Budget lets a fleet of
+	// sessions (loadgen, the honeypot campaign) bound total retry work.
+	// The zero value uses defaultRetryPolicy.
+	Retry retry.Policy
+}
+
+// defaultRetryPolicy is tuned for gateway rate limits: short base
+// delays (hints dominate), enough attempts to ride out a sustained
+// throttle, and deterministic jitter.
+func defaultRetryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:   8,
+		BaseDelay:     2 * time.Millisecond,
+		MaxDelay:      time.Second,
+		Multiplier:    2,
+		Jitter:        0.2,
+		Seed:          1,
+		RetryAfterCap: 2 * time.Second,
+	}
 }
 
 // Session is one authenticated bot connection.
@@ -91,16 +115,19 @@ type Session struct {
 	botName string
 	guilds  []string
 
-	reqTimeout time.Duration
-	nextID     int64
+	reqTimeout  time.Duration
+	retryPolicy retry.Policy
+	nextID      int64
 
 	mu       sync.Mutex
 	pending  map[int64]chan gateway.Frame
 	handlers map[string][]Handler
 	closed   bool
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	done   chan struct{}
+	ctx    context.Context // cancelled on Close; bounds retry waits
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 }
 
 // Dial connects to a gateway address and identifies with the bot token.
@@ -111,19 +138,29 @@ func Dial(addr, token string, opts Options) (*Session, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 5 * time.Second
 	}
+	if opts.Retry.MaxAttempts == 0 && opts.Retry.BaseDelay == 0 {
+		budget := opts.Retry.Budget
+		opts.Retry = defaultRetryPolicy()
+		opts.Retry.Budget = budget
+	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("botsdk: dial %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{
-		conn:       conn,
-		enc:        json.NewEncoder(conn),
-		reqTimeout: opts.RequestTimeout,
-		pending:    make(map[int64]chan gateway.Frame),
-		handlers:   make(map[string][]Handler),
-		done:       make(chan struct{}),
+		conn:        conn,
+		enc:         json.NewEncoder(conn),
+		reqTimeout:  opts.RequestTimeout,
+		retryPolicy: opts.Retry,
+		pending:     make(map[int64]chan gateway.Frame),
+		handlers:    make(map[string][]Handler),
+		done:        make(chan struct{}),
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	if err := s.send(gateway.Frame{Op: gateway.OpIdentify, Token: token}); err != nil {
+		cancel()
 		conn.Close()
 		return nil, err
 	}
@@ -131,12 +168,17 @@ func Dial(addr, token string, opts Options) (*Session, error) {
 	conn.SetReadDeadline(time.Now().Add(opts.DialTimeout))
 	var ready gateway.Frame
 	if err := dec.Decode(&ready); err != nil {
+		cancel()
 		conn.Close()
 		return nil, fmt.Errorf("%w: %v", ErrIdentify, err)
 	}
 	conn.SetReadDeadline(time.Time{})
 	if ready.Op != gateway.OpReady {
+		cancel()
 		conn.Close()
+		if ready.Err == gateway.ErrShedding {
+			return nil, &ShedError{RetryAfter: time.Duration(ready.RetryAfterMS) * time.Millisecond}
+		}
 		return nil, fmt.Errorf("%w: %s", ErrIdentify, ready.Err)
 	}
 	s.botID, s.botName, s.guilds = ready.BotID, ready.BotName, ready.GuildIDs
@@ -187,6 +229,7 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	close(s.done)
+	s.cancel()
 	for id, ch := range s.pending {
 		close(ch)
 		delete(s.pending, id)
@@ -289,27 +332,51 @@ func fromWire(wm *gateway.WireMessage) *Message {
 // exhausted.
 var ErrRateLimited = errors.New("botsdk: rate limited")
 
+// ErrShedding surfaces when the gateway refuses a connection outright
+// under admission control (session cap or identify-rate throttle).
+var ErrShedding = errors.New("botsdk: gateway shedding load")
+
+// ShedError carries the gateway's shed refusal plus its backoff hint;
+// errors.Is(err, ErrShedding) matches it.
+type ShedError struct {
+	// RetryAfter is the gateway's suggested wait before redialling.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("botsdk: gateway shedding load (retry after %v)", e.RetryAfter)
+}
+
+func (e *ShedError) Unwrap() error { return ErrShedding }
+
 // request performs one round-trip, transparently backing off and
 // retrying when the gateway rate-limits the session (like Discord SDKs
-// honouring Retry-After).
+// honouring Retry-After). Backoff policy — jittered exponential delays,
+// the gateway's RetryAfterMS hint, and the optional shared retry budget
+// — comes from Options.Retry via internal/retry, so SDK clients degrade
+// the same way every other stage of the pipeline does.
 func (s *Session) request(method string, args map[string]any) (map[string]any, error) {
-	const maxRetries = 6
-	var lastWait time.Duration
-	for attempt := 0; ; attempt++ {
-		res, retryAfter, err := s.requestOnce(method, args)
-		if retryAfter <= 0 || attempt >= maxRetries {
-			if retryAfter > 0 {
-				return nil, fmt.Errorf("%w after %d retries", ErrRateLimited, attempt)
-			}
-			return res, err
+	var res map[string]any
+	err := retry.Do(s.ctx, s.retryPolicy, func(context.Context) error {
+		r, retryAfter, err := s.requestOnce(method, args)
+		if err != nil {
+			// Anything but a throttle (platform denial, timeout, closed
+			// session) is not retryable at this layer.
+			return retry.Permanent(err)
 		}
-		lastWait = retryAfter + time.Duration(attempt)*5*time.Millisecond
-		select {
-		case <-time.After(lastWait):
-		case <-s.done:
+		if retryAfter > 0 {
+			return retry.After(ErrRateLimited, retryAfter)
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
 			return nil, ErrClosed
 		}
+		return nil, err
 	}
+	return res, nil
 }
 
 // requestOnce performs one round-trip. A positive retryAfter means the

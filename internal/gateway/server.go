@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -29,7 +30,13 @@ type Server struct {
 	intercept func(bot *platform.User, method string, args map[string]any) error
 	faults    FaultPolicy
 
-	// rate limiting (zero = disabled)
+	// traffic plane (admission, backpressure, liveness)
+	limits      Limits
+	admitted    int // connections holding an admission slot (incl. handshakes)
+	identBucket bucket
+	tenants     map[platform.ID]*bucket
+
+	// per-session rate limiting (zero = disabled)
 	rateRPS   float64
 	rateBurst float64
 
@@ -38,6 +45,13 @@ type Server struct {
 	cReconnects  *obs.Counter
 	cEventsOut   *obs.Counter
 	cRequests    *obs.Counter
+	cShed        *obs.Counter
+	cDropped     *obs.Counter
+	cSubDropped  *obs.Counter
+	cReaped      *obs.Counter
+	cSlowClosed  *obs.Counter
+	cThrottled   *obs.Counter
+	cTenantThrot *obs.Counter
 	gSessions    *obs.Gauge
 	journal      *journal.Journal
 
@@ -55,12 +69,20 @@ func (s *Server) SetObs(r *obs.Registry) {
 	s.cReconnects = reg.Counter("gateway_reconnects_total")
 	s.cEventsOut = reg.Counter("gateway_events_out_total")
 	s.cRequests = reg.Counter("gateway_requests_total")
+	s.cShed = reg.Counter("gateway_sessions_shed_total")
+	s.cDropped = reg.Counter("gateway_events_dropped_total")
+	s.cSubDropped = reg.Counter("gateway_sub_events_dropped_total")
+	s.cReaped = reg.Counter("gateway_sessions_reaped_total")
+	s.cSlowClosed = reg.Counter("gateway_slow_consumer_disconnects_total")
+	s.cThrottled = reg.Counter("gateway_requests_throttled_total")
+	s.cTenantThrot = reg.Counter("gateway_tenant_throttled_total")
 	s.gSessions = reg.Gauge("gateway_sessions")
 }
 
-// SetJournal attaches an event journal: every bot request denied for
-// missing permissions is recorded as a permission_denied event carrying
-// the bot's name and the attempted method. A nil journal disables
+// SetJournal attaches an event journal: session lifecycle
+// (session_opened/session_closed), shedding (session_shed), slow-consumer
+// losses (events_dropped), and every bot request denied for missing
+// permissions (permission_denied) are recorded. A nil journal disables
 // emission.
 func (s *Server) SetJournal(j *journal.Journal) {
 	s.mu.Lock()
@@ -111,6 +133,24 @@ func (s *Server) SetRateLimit(rps float64, burst int) {
 	}
 }
 
+// SetLimits installs the traffic-plane configuration: admission caps,
+// identify throttling, per-tenant rate limits, bounded send queues with
+// a slow-consumer policy, write deadlines, and heartbeat liveness.
+// Call it before bots connect; already-established sessions keep the
+// limits they were admitted under.
+func (s *Server) SetLimits(l Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l.withDefaults()
+}
+
+// Limits reports the active traffic-plane configuration.
+func (s *Server) Limits() Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limits
+}
+
 // SetInterceptor installs a runtime policy hook consulted before every
 // bot request. A non-nil error denies the request with that message.
 // Discord ships no such enforcer (the paper's central observation);
@@ -140,6 +180,8 @@ func NewServer(p *platform.Platform, addr string) (*Server, error) {
 		ln:       ln,
 		sessions: make(map[*session]struct{}),
 		seenBots: make(map[platform.ID]bool),
+		tenants:  make(map[platform.ID]*bucket),
+		limits:   Limits{}.withDefaults(),
 		Logf:     func(string, ...any) {},
 	}
 	s.SetObs(nil)
@@ -166,7 +208,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	for _, sess := range sessions {
-		sess.close()
+		sess.closeWith("server_closed")
 	}
 	s.wg.Wait()
 	return err
@@ -187,64 +229,293 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// session is one authenticated bot connection.
+// admit reserves an admission slot for a fresh connection, applying the
+// session cap and the identify-rate throttle. On refusal it returns the
+// shed reason and a backoff hint for the client.
+func (s *Server) admit() (limits Limits, reason string, retryAfter time.Duration, ok bool) {
+	s.mu.Lock()
+	limits = s.limits
+	if s.closed {
+		s.mu.Unlock()
+		return limits, "server_closed", 0, false
+	}
+	if limits.MaxSessions > 0 && s.admitted >= limits.MaxSessions {
+		s.mu.Unlock()
+		return limits, "max_sessions", 250 * time.Millisecond, false
+	}
+	s.admitted++
+	s.mu.Unlock()
+	if wait, limited := s.identBucket.take(limits.IdentifyRPS, float64(limits.IdentifyBurst)); limited {
+		s.releaseAdmit()
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		return limits, "identify_rate", wait, false
+	}
+	return limits, "", 0, true
+}
+
+func (s *Server) releaseAdmit() {
+	s.mu.Lock()
+	s.admitted--
+	s.mu.Unlock()
+}
+
+// shed refuses a connection with an explicit shedding frame so clients
+// can distinguish overload (back off and retry) from rejection.
+func (s *Server) shed(conn net.Conn, enc *json.Encoder, reason string, retryAfter, writeTimeout time.Duration) {
+	s.cShed.Inc()
+	s.getJournal().Emit(journal.Event{
+		Kind:      journal.KindSessionShed,
+		Component: "gateway",
+		Fields: map[string]any{
+			"reason":         reason,
+			"remote":         conn.RemoteAddr().String(),
+			"retry_after_ms": retryAfter.Milliseconds(),
+		},
+	})
+	writeFrame(conn, enc, Frame{
+		Op: OpError, Err: ErrShedding, RetryAfterMS: retryAfter.Milliseconds(),
+	}, writeTimeout)
+}
+
+// tenantBucket returns the shared rate bucket for a bot owner.
+func (s *Server) tenantBucket(owner platform.ID) *bucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.tenants[owner]
+	if !ok {
+		b = &bucket{}
+		s.tenants[owner] = b
+	}
+	return b
+}
+
+// writeFrame encodes one frame under a write deadline — the only way
+// any byte ever leaves the gateway. Pre-session handshake errors and
+// shed refusals use it directly; established sessions funnel every
+// frame through their writer goroutine, which also lands here.
+func writeFrame(conn net.Conn, enc *json.Encoder, f Frame, timeout time.Duration) error {
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return enc.Encode(f)
+}
+
+// session is one authenticated bot connection. A dedicated writer
+// goroutine owns the socket's write side; everything else enqueues into
+// one of two bounded channels — control (ready frames, responses, acks;
+// enqueue blocks with a deadline) and events (dispatch frames; the
+// slow-consumer policy decides what a full queue means).
 type session struct {
+	srv  *Server
 	conn net.Conn
 	bot  *platform.User
 	sub  *platform.Subscription
+	enc  *json.Encoder
 
-	writeMu sync.Mutex
-	enc     *json.Encoder
+	limits  Limits
+	control chan Frame
+	events  chan Frame
+	done    chan struct{}
 
-	rateMu     sync.Mutex
-	rateTokens float64
-	rateLast   time.Time
+	lastRecv atomic.Int64 // unix nanos of the last frame read
+	sent     atomic.Int64 // frames written to the socket
+	dropped  atomic.Int64 // dispatch frames evicted by drop-oldest
 
-	closeOnce sync.Once
+	rate bucket
+
+	closeOnce   sync.Once
+	reasonMu    sync.Mutex
+	closeReason string
 }
 
-// throttled applies the server's per-session token bucket; it returns
-// the suggested backoff when the request must be rejected.
+var errSessionClosed = errors.New("gateway: session closed")
+
+// closeWith tears the session down once, remembering why for the
+// session_closed journal event.
+func (sess *session) closeWith(reason string) {
+	sess.closeOnce.Do(func() {
+		sess.reasonMu.Lock()
+		sess.closeReason = reason
+		sess.reasonMu.Unlock()
+		close(sess.done)
+		sess.conn.Close()
+	})
+}
+
+func (sess *session) reason() string {
+	sess.reasonMu.Lock()
+	defer sess.reasonMu.Unlock()
+	if sess.closeReason == "" {
+		return "peer_closed"
+	}
+	return sess.closeReason
+}
+
+// writeLoop is the session's single socket writer. Control frames are
+// preferred over event frames so a flood of dispatches can never starve
+// a response or heartbeat ack.
+func (sess *session) writeLoop() {
+	for {
+		select {
+		case f := <-sess.control:
+			if !sess.write(f) {
+				return
+			}
+		default:
+			select {
+			case f := <-sess.control:
+				if !sess.write(f) {
+					return
+				}
+			case f := <-sess.events:
+				if !sess.write(f) {
+					return
+				}
+				sess.srv.cEventsOut.Inc()
+			case <-sess.done:
+				return
+			}
+		}
+	}
+}
+
+func (sess *session) write(f Frame) bool {
+	if err := writeFrame(sess.conn, sess.enc, f, sess.limits.WriteTimeout); err != nil {
+		sess.closeWith("write_error")
+		return false
+	}
+	sess.sent.Add(1)
+	return true
+}
+
+// send enqueues a control frame (ready, response, ack, error), blocking
+// up to the write timeout. A session that cannot absorb its own control
+// traffic within the deadline is disconnected.
+func (sess *session) send(f Frame) error {
+	select {
+	case sess.control <- f:
+		return nil
+	case <-sess.done:
+		return errSessionClosed
+	default:
+	}
+	t := time.NewTimer(sess.limits.WriteTimeout)
+	defer t.Stop()
+	select {
+	case sess.control <- f:
+		return nil
+	case <-sess.done:
+		return errSessionClosed
+	case <-t.C:
+		sess.srv.cSlowClosed.Inc()
+		sess.closeWith("slow_consumer")
+		return errSessionClosed
+	}
+}
+
+// sendEvent enqueues a dispatch frame under the slow-consumer policy.
+func (sess *session) sendEvent(f Frame) error {
+	select {
+	case sess.events <- f:
+		return nil
+	case <-sess.done:
+		return errSessionClosed
+	default:
+	}
+	switch sess.limits.SlowConsumer {
+	case SlowDropOldest:
+		for {
+			select {
+			case sess.events <- f:
+				return nil
+			case <-sess.done:
+				return errSessionClosed
+			default:
+			}
+			// Evict the oldest queued dispatch to make room; the events
+			// channel only ever carries dispatch frames, so control
+			// traffic can never be a casualty.
+			select {
+			case <-sess.events:
+				sess.noteDropped(1)
+			default:
+			}
+		}
+	case SlowDisconnect:
+		sess.srv.cSlowClosed.Inc()
+		sess.closeWith("slow_consumer")
+		return errSessionClosed
+	default: // SlowBlock
+		t := time.NewTimer(sess.limits.WriteTimeout)
+		defer t.Stop()
+		select {
+		case sess.events <- f:
+			return nil
+		case <-sess.done:
+			return errSessionClosed
+		case <-t.C:
+			sess.srv.cSlowClosed.Inc()
+			sess.closeWith("slow_consumer")
+			return errSessionClosed
+		}
+	}
+}
+
+func (sess *session) noteDropped(n int64) {
+	sess.dropped.Add(n)
+	sess.srv.cDropped.Add(n)
+}
+
+// reapLoop enforces server-side heartbeat liveness: a session that goes
+// silent past the heartbeat timeout is disconnected, freeing its
+// admission slot for a live client.
+func (sess *session) reapLoop(timeout time.Duration) {
+	tick := timeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-sess.done:
+			return
+		case <-t.C:
+			last := time.Unix(0, sess.lastRecv.Load())
+			if time.Since(last) > timeout {
+				sess.srv.cReaped.Inc()
+				sess.closeWith("heartbeat_timeout")
+				return
+			}
+		}
+	}
+}
+
+// throttled applies the per-session token bucket; it returns the
+// suggested backoff when the request must be rejected.
 func (s *Server) throttled(sess *session) (time.Duration, bool) {
 	s.mu.Lock()
 	rps, burst := s.rateRPS, s.rateBurst
 	s.mu.Unlock()
-	if rps <= 0 {
-		return 0, false
-	}
-	sess.rateMu.Lock()
-	defer sess.rateMu.Unlock()
-	now := time.Now()
-	if sess.rateLast.IsZero() {
-		sess.rateTokens = burst
-	} else {
-		sess.rateTokens += now.Sub(sess.rateLast).Seconds() * rps
-		if sess.rateTokens > burst {
-			sess.rateTokens = burst
-		}
-	}
-	sess.rateLast = now
-	if sess.rateTokens < 1 {
-		deficit := 1 - sess.rateTokens
-		return time.Duration(deficit / rps * float64(time.Second)), true
-	}
-	sess.rateTokens--
-	return 0, false
-}
-
-func (sess *session) send(f Frame) error {
-	sess.writeMu.Lock()
-	defer sess.writeMu.Unlock()
-	return sess.enc.Encode(f)
-}
-
-func (sess *session) close() {
-	sess.closeOnce.Do(func() { sess.conn.Close() })
+	return sess.rate.take(rps, burst)
 }
 
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
+	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	limits, reason, retryAfter, ok := s.admit()
+	if !ok {
+		if reason != "server_closed" {
+			s.shed(conn, enc, reason, retryAfter, limits.WriteTimeout)
+		}
+		return
+	}
+	defer s.releaseAdmit()
 
 	// First frame must identify within a deadline.
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
@@ -254,16 +525,26 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 	if hello.Op != OpIdentify {
-		json.NewEncoder(conn).Encode(Frame{Op: OpError, Err: "expected identify"})
+		writeFrame(conn, enc, Frame{Op: OpError, Err: "expected identify"}, limits.WriteTimeout)
 		return
 	}
 	bot, err := s.p.BotByToken(hello.Token)
 	if err != nil {
-		json.NewEncoder(conn).Encode(Frame{Op: OpError, Err: "invalid token"})
+		writeFrame(conn, enc, Frame{Op: OpError, Err: "invalid token"}, limits.WriteTimeout)
 		return
 	}
 
-	sess := &session{conn: conn, bot: bot, enc: json.NewEncoder(conn)}
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		bot:     bot,
+		enc:     enc,
+		limits:  limits,
+		control: make(chan Frame, 32),
+		events:  make(chan Frame, limits.SendQueue),
+		done:    make(chan struct{}),
+	}
+	sess.lastRecv.Store(time.Now().UnixNano())
 	// Deliver only events in guilds this bot belongs to, and not the
 	// bot's own messages (Discord bots receive their own messages, but
 	// our honeypot bots never need the echo; suppressing it avoids
@@ -279,6 +560,10 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		return s.p.IsMember(e.GuildID, bot.ID)
 	})
+	// Upstream backpressure accounting: the platform bus drops events
+	// for subscribers whose buffer is full (a pump stalled by SlowBlock);
+	// surface those losses on the same counter family.
+	sess.sub.SetDropHook(func(int) { s.cSubDropped.Inc() })
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -292,16 +577,53 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	s.seenBots[bot.ID] = true
 	s.gSessions.Add(1)
-	cEventsOut, cRequests := s.cEventsOut, s.cRequests
+	nSessions := len(s.sessions)
 	s.mu.Unlock()
+	s.getJournal().Emit(journal.Event{
+		Kind:      journal.KindSessionOpened,
+		Component: "gateway",
+		Bot:       bot.Name,
+		Fields: map[string]any{
+			"bot_account_id": bot.ID.String(),
+			"remote":         conn.RemoteAddr().String(),
+			"sessions":       nSessions,
+		},
+	})
 	defer func() {
+		sess.closeWith("peer_closed")
 		s.mu.Lock()
 		delete(s.sessions, sess)
 		s.gSessions.Add(-1)
 		s.mu.Unlock()
 		s.p.Unsubscribe(sess.sub)
-		sess.close()
+		if d := sess.dropped.Load(); d > 0 {
+			s.getJournal().Emit(journal.Event{
+				Kind:      journal.KindEventsDropped,
+				Component: "gateway",
+				Bot:       bot.Name,
+				Fields: map[string]any{
+					"dropped": d,
+					"policy":  sess.limits.SlowConsumer.String(),
+				},
+			})
+		}
+		s.getJournal().Emit(journal.Event{
+			Kind:      journal.KindSessionClosed,
+			Component: "gateway",
+			Bot:       bot.Name,
+			Fields: map[string]any{
+				"reason":         sess.reason(),
+				"frames_sent":    sess.sent.Load(),
+				"events_dropped": sess.dropped.Load(),
+				"sub_dropped":    sess.sub.Dropped(),
+			},
+		})
 	}()
+
+	go sess.writeLoop()
+	if limits.HeartbeatTimeout > 0 {
+		go sess.reapLoop(limits.HeartbeatTimeout)
+	}
 
 	var guilds []string
 	for _, gid := range s.p.GuildsOf(bot.ID) {
@@ -311,9 +633,9 @@ func (s *Server) serve(conn net.Conn) {
 		return
 	}
 
-	// Pump events to the client.
-	done := make(chan struct{})
-	defer close(done)
+	// Pump events from the platform subscription into the session's
+	// bounded queue. The policy-governed enqueue means a stalled client
+	// can never wedge this goroutine for longer than the write timeout.
 	go func() {
 		for {
 			select {
@@ -324,7 +646,7 @@ func (s *Server) serve(conn net.Conn) {
 				if fp := s.getFaults(); fp != nil {
 					drop, disconnect := fp.EventFault(bot.Name)
 					if disconnect {
-						sess.close()
+						sess.closeWith("fault_disconnect")
 						return
 					}
 					if drop {
@@ -332,30 +654,39 @@ func (s *Server) serve(conn net.Conn) {
 					}
 				}
 				f := Frame{Op: OpDispatch, Type: string(e.Type), Event: encodeEvent(s.p, e)}
-				if err := sess.send(f); err != nil {
-					sess.close()
+				if err := sess.sendEvent(f); err != nil {
 					return
 				}
-				cEventsOut.Inc()
-			case <-done:
+			case <-sess.done:
 				return
 			}
 		}
 	}()
 
+	tenant := s.tenantBucket(bot.OwnerID)
 	for {
 		var f Frame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
+		sess.lastRecv.Store(time.Now().UnixNano())
 		switch f.Op {
 		case OpHeartbeat:
 			if err := sess.send(Frame{Op: OpHeartbeatAck, Seq: f.Seq}); err != nil {
 				return
 			}
 		case OpRequest:
-			cRequests.Inc()
-			if wait, limited := s.throttled(sess); limited {
+			s.cRequests.Inc()
+			wait, limited := s.throttled(sess)
+			if !limited {
+				var tWait time.Duration
+				if tWait, limited = tenant.take(limits.TenantRPS, float64(limits.TenantBurst)); limited {
+					s.cTenantThrot.Inc()
+					wait = tWait
+				}
+			}
+			if limited {
+				s.cThrottled.Inc()
 				resp := Frame{Op: OpResponse, ID: f.ID, Err: ErrRateLimited,
 					RetryAfterMS: int64(wait / time.Millisecond)}
 				if resp.RetryAfterMS < 1 {

@@ -84,6 +84,12 @@ type Frame struct {
 // ErrRateLimited is the error string carried by throttled responses.
 const ErrRateLimited = "gateway: rate limited"
 
+// ErrShedding is the error string carried by the OpError frame a
+// connection receives when admission control refuses it (session cap
+// reached or identify rate exceeded). RetryAfterMS on the same frame
+// hints when to try again.
+const ErrShedding = "gateway: shedding"
+
 // WireEvent is the JSON shape of a platform event.
 type WireEvent struct {
 	GuildID     string           `json:"guild_id,omitempty"`

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package loadgen
+
+// raiseFDLimit is a no-op where rlimits do not exist.
+func raiseFDLimit() {}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package loadgen
+
+import "syscall"
+
+// raiseFDLimit lifts the soft file-descriptor limit to the hard limit:
+// a thousand live sessions is two thousand sockets, which the common
+// 1024 default soft limit cannot hold.
+func raiseFDLimit() {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+}

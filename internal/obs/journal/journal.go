@@ -87,6 +87,15 @@ const (
 	// stolen or executed) — the scheduler-level milestone that lets a
 	// journal reader reconstruct shard balance after the fact.
 	KindShardDrained Kind = "shard_drained"
+
+	// Gateway traffic plane: session lifecycle and overload shedding.
+	// session_shed marks a connection refused by admission control
+	// (fields.reason: max_sessions | identify_rate); events_dropped
+	// aggregates one session's slow-consumer losses at close.
+	KindSessionOpened Kind = "session_opened"
+	KindSessionClosed Kind = "session_closed"
+	KindSessionShed   Kind = "session_shed"
+	KindEventsDropped Kind = "events_dropped"
 )
 
 // Event is one journal line. Zero-valued correlation fields are omitted

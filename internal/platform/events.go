@@ -44,6 +44,7 @@ type Subscription struct {
 
 	mu      sync.Mutex
 	dropped int
+	onDrop  func(total int)
 	closed  bool
 }
 
@@ -55,19 +56,37 @@ func (s *Subscription) Dropped() int {
 	return s.dropped
 }
 
-func (s *Subscription) deliver(e Event) {
+// SetDropHook installs a callback invoked (outside the subscription
+// lock) with the running drop total each time an event is discarded, so
+// consumers like the gateway can account for upstream backpressure
+// losses live instead of only at teardown.
+func (s *Subscription) SetDropHook(fn func(total int)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.onDrop = fn
+}
+
+func (s *Subscription) deliver(e Event) {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	if s.filter != nil && !s.filter(e) {
+		s.mu.Unlock()
 		return
 	}
+	var hook func(int)
+	var total int
 	select {
 	case s.C <- e:
 	default:
 		s.dropped++
+		hook, total = s.onDrop, s.dropped
+	}
+	s.mu.Unlock()
+	if hook != nil {
+		hook(total)
 	}
 }
 

@@ -73,6 +73,9 @@ func main() {
 		case "bench-gateway":
 			benchGatewayMode(os.Args[2:])
 			return
+		case "soak":
+			soakMode(os.Args[2:])
+			return
 		}
 	}
 

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/soak"
+	"repro/internal/soak/invariant"
+)
+
+// soakMode runs the invariant-checked chaos soak: the full pipeline
+// plus loadgen traffic against one live gateway under a phased fault
+// schedule, reconciled by the invariant checker afterwards. Exit 0
+// means every invariant holds; exit 1 names the first inconsistent
+// artifact; exit 2 is a usage error.
+func soakMode(args []string) {
+	fs := flag.NewFlagSet("botscan soak", flag.ExitOnError)
+	var (
+		schedFile = fs.String("schedule", "", "phased chaos schedule JSON (see internal/soak/schedules)")
+		smoke     = fs.Bool("smoke", false, "run the bundled ~30s smoke schedule (tier-1 CI)")
+		full      = fs.Bool("full", false, "run the bundled full schedule (the BENCH_SOAK.json workload)")
+		dir       = fs.String("dir", "", "artifact directory for journal/checkpoints/soak.json (default: a temp dir)")
+		out       = fs.String("out", "", "also write the soak outcome to this JSON file (e.g. BENCH_SOAK.json)")
+		check     = fs.String("check", "", "post-hoc mode: re-verify a prior soak's artifact directory and exit")
+
+		seed      = fs.Int64("seed", 42, "ecosystem and fault seed")
+		bots      = fs.Int("bots", 0, "listing population (default 600)")
+		sample    = fs.Int("sample", 0, "honeypot sample (default 80)")
+		shards    = fs.Int("shards", 0, "sharded executor width (default 4)")
+		settle    = fs.Duration("settle", 0, "honeypot trigger-watch window (default 400ms)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "settled bots between snapshots (default 5)")
+
+		sessions = fs.Int("sessions", 0, "loadgen bot sessions (default 32)")
+		guilds   = fs.Int("guilds", 0, "loadgen guilds (default 4)")
+		users    = fs.Int("users", 0, "chatting users per loadgen guild (default 8)")
+		tenants  = fs.Int("tenants", 0, "distinct loadgen bot owners (default 4)")
+		msgRate  = fs.Float64("msg-rate", 0, "user messages/sec per loadgen guild (default 30)")
+		quiet    = fs.Bool("q", false, "suppress progress logging")
+	)
+	fs.Parse(args)
+
+	if *check != "" {
+		rep, err := invariant.CheckDir(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Checks {
+			mark := "ok  "
+			if !c.OK {
+				mark = "FAIL"
+			}
+			fmt.Printf("%s  %-26s %s\n", mark, c.Name, c.Detail)
+		}
+		if !rep.OK {
+			fmt.Fprintf(os.Stderr, "botscan soak: %s\n", rep.First)
+			os.Exit(1)
+		}
+		fmt.Printf("all %d invariants hold\n", len(rep.Checks))
+		return
+	}
+
+	var sched *soak.Schedule
+	switch {
+	case *schedFile != "":
+		f, err := os.Open(*schedFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(2)
+		}
+		sched, err = soak.DecodeSchedule(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(2)
+		}
+	case *smoke:
+		sched = soak.Smoke()
+	case *full:
+		sched = soak.Full()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: botscan soak (-schedule <file> | -smoke | -full) [-dir out] [-out BENCH_SOAK.json]")
+		fmt.Fprintln(os.Stderr, "       botscan soak -check <dir>")
+		os.Exit(2)
+	}
+
+	adir := *dir
+	if adir == "" {
+		var err error
+		adir, err = os.MkdirTemp("", "soak-*")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	start := time.Now()
+	outcome, err := soak.Run(context.Background(), soak.Options{
+		Schedule:        sched,
+		Dir:             adir,
+		Seed:            *seed,
+		NumBots:         *bots,
+		Sample:          *sample,
+		Shards:          *shards,
+		Settle:          *settle,
+		CheckpointEvery: *ckptEvery,
+		Sessions:        *sessions,
+		Guilds:          *guilds,
+		UsersPerGuild:   *users,
+		Tenants:         *tenants,
+		MsgRate:         *msgRate,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+		os.Exit(1)
+	}
+
+	report.SoakVerdict(os.Stdout, outcome.ReportData())
+	fmt.Printf("artifacts: %s (%.1fs)\n", adir, time.Since(start).Seconds())
+
+	if *out != "" {
+		raw, err := json.MarshalIndent(outcome, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "botscan soak: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !outcome.OK() {
+		fmt.Fprintf(os.Stderr, "botscan soak: %s\n", outcome.Invariants.First)
+		os.Exit(1)
+	}
+}

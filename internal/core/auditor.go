@@ -420,6 +420,41 @@ func (a *Auditor) Journal() *journal.Journal { return a.journal }
 // disabled).
 func (a *Auditor) Breakers() *retry.BreakerSet { return a.breakers }
 
+// Gateway returns the live gateway server, so a harness can flip its
+// Limits or point external traffic (loadgen personas) at its address.
+func (a *Auditor) Gateway() *gateway.Server { return a.gw }
+
+// Platform returns the hosted platform, so a harness can graft extra
+// guilds and traffic onto the same world the pipeline audits.
+func (a *Auditor) Platform() *platform.Platform { return a.plat }
+
+// SetResume changes which snapshot the NEXT RunAllContext call resumes
+// from ("" fresh, ResumeLatest, or a run ID). It exists for kill/resume
+// harnesses that re-enter RunAllContext on one long-lived Auditor; do
+// not call it while a run is in flight.
+func (a *Auditor) SetResume(run string) { a.opts.Checkpoint.Resume = run }
+
+// SetJournal re-points every journal-emitting component — the auditor
+// itself, platform, gateway, canary service, fault injector, and
+// breaker set — at a new journal. A kill/resume harness uses it between
+// run segments after closing the crashed segment's journal and
+// reopening it with Resume; do not call it while a run is in flight.
+func (a *Auditor) SetJournal(j *journal.Journal) {
+	a.journal = j
+	a.opts.Journal = j
+	if a.plat != nil {
+		a.plat.SetJournal(j)
+	}
+	if a.gw != nil {
+		a.gw.SetJournal(j)
+	}
+	if a.canarySvc != nil {
+		a.canarySvc.SetJournal(j)
+	}
+	a.faults.SetJournal(j)
+	a.breakers.SetJournal(j)
+}
+
 // MetricsURL returns the Prometheus-style text exposition endpoint
 // mounted on the listing server.
 func (a *Auditor) MetricsURL() string { return a.listingSrv.BaseURL() + "/metrics" }

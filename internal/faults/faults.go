@@ -157,15 +157,14 @@ type Options struct {
 // Injector decides, injects, and records faults. All methods are safe
 // for concurrent use; a nil *Injector is a valid no-op.
 type Injector struct {
-	prof Profile
 	seed int64
-
-	jnl *journal.Journal
 
 	cTotal  *obs.Counter
 	cByKind map[Kind]*obs.Counter
 
 	mu       sync.Mutex
+	prof     Profile
+	jnl      *journal.Journal
 	attempts map[string]int
 	log      []Fault
 }
@@ -200,6 +199,45 @@ func (i *Injector) Profile() Profile {
 	if i == nil {
 		return Profile{Name: "none"}
 	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.prof
+}
+
+// SetProfile swaps the active profile at runtime — the soak conductor's
+// ramp knob. Attempt counters are NOT reset, so decisions stay a pure
+// function of (seed, endpoint key, attempt) within each profile window.
+// Safe for concurrent use; a nil injector ignores the call.
+func (i *Injector) SetProfile(prof Profile) {
+	if i == nil {
+		return
+	}
+	if prof.StallFor <= 0 {
+		prof.StallFor = 2 * time.Second
+	}
+	if prof.ExtraLatency <= 0 {
+		prof.ExtraLatency = 5 * time.Millisecond
+	}
+	i.mu.Lock()
+	i.prof = prof
+	i.mu.Unlock()
+}
+
+// SetJournal re-points fault-event emission at a new journal — needed
+// when a kill/resume harness reopens the journal between run segments.
+func (i *Injector) SetJournal(j *journal.Journal) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.jnl = j
+	i.mu.Unlock()
+}
+
+// profile snapshots the active profile under the lock.
+func (i *Injector) profile() Profile {
+	i.mu.Lock()
+	defer i.mu.Unlock()
 	return i.prof
 }
 
@@ -220,9 +258,10 @@ func exempt(path string) bool {
 // ratesFor resolves the effective rates for a path: the longest
 // matching PerEndpoint prefix, else the profile default.
 func (i *Injector) ratesFor(path string) Rates {
-	r := i.prof.Default
+	prof := i.profile()
+	r := prof.Default
 	best := -1
-	for prefix, pr := range i.prof.PerEndpoint {
+	for prefix, pr := range prof.PerEndpoint {
 		if strings.HasPrefix(path, prefix) && len(prefix) > best {
 			best = len(prefix)
 			r = pr
@@ -280,12 +319,13 @@ func (i *Injector) decide(key string, thresholds []struct {
 func (i *Injector) record(f Fault) {
 	i.mu.Lock()
 	i.log = append(i.log, f)
+	jnl := i.jnl
 	i.mu.Unlock()
 	i.cTotal.Inc()
 	if c, ok := i.cByKind[f.Kind]; ok {
 		c.Inc()
 	}
-	i.jnl.Emit(journal.Event{
+	jnl.Emit(journal.Event{
 		Kind:      journal.KindFaultInjected,
 		Component: "faults",
 		Fields: map[string]any{
@@ -315,15 +355,19 @@ func (i *Injector) httpDecide(method, uri, path string) (Kind, int) {
 // bot: drop it, or tear the session down. It satisfies the gateway's
 // FaultPolicy interface without the gateway importing this package.
 func (i *Injector) EventFault(bot string) (drop, disconnect bool) {
-	if i == nil || (i.prof.GatewayDropFrame <= 0 && i.prof.GatewayDisconnect <= 0) {
+	if i == nil {
+		return false, false
+	}
+	prof := i.profile()
+	if prof.GatewayDropFrame <= 0 && prof.GatewayDisconnect <= 0 {
 		return false, false
 	}
 	kind, _ := i.decide("GW "+bot, []struct {
 		k    Kind
 		rate float64
 	}{
-		{KindGatewayDropFrame, i.prof.GatewayDropFrame},
-		{KindGatewayDisconnect, i.prof.GatewayDisconnect},
+		{KindGatewayDropFrame, prof.GatewayDropFrame},
+		{KindGatewayDisconnect, prof.GatewayDisconnect},
 	})
 	switch kind {
 	case KindGatewayDropFrame:
@@ -356,14 +400,14 @@ func (i *Injector) Middleware(next http.Handler) http.Handler {
 			i.serveTruncated(w, r, next)
 		case KindStall:
 			select {
-			case <-time.After(i.prof.StallFor):
+			case <-time.After(i.profile().StallFor):
 			case <-r.Context().Done():
 				return
 			}
 			next.ServeHTTP(w, r)
 		case KindLatency:
 			select {
-			case <-time.After(i.prof.ExtraLatency):
+			case <-time.After(i.profile().ExtraLatency):
 			case <-r.Context().Done():
 				return
 			}
@@ -477,14 +521,14 @@ func (t roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 		return resp, nil
 	case KindStall:
 		select {
-		case <-time.After(t.inj.prof.StallFor):
+		case <-time.After(t.inj.profile().StallFor):
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
 		}
 		return t.next.RoundTrip(req)
 	case KindLatency:
 		select {
-		case <-time.After(t.inj.prof.ExtraLatency):
+		case <-time.After(t.inj.profile().ExtraLatency):
 		case <-req.Context().Done():
 			return nil, req.Context().Err()
 		}

@@ -73,6 +73,12 @@ type Limits struct {
 	// the per-session bucket set with SetRateLimit. 0 = unlimited.
 	TenantRPS   float64
 	TenantBurst int
+	// TenantIdentifyRPS / TenantIdentifyBurst throttle identify
+	// handshakes per tenant, so one owner's reconnect storm sheds with
+	// reason "tenant_rate" instead of consuming the listener-wide
+	// identify budget. 0 = unlimited.
+	TenantIdentifyRPS   float64
+	TenantIdentifyBurst int
 	// SendQueue bounds each session's outbound event queue (default 256).
 	SendQueue int
 	// SlowConsumer picks what happens when a session's event queue is
@@ -100,6 +106,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.TenantBurst <= 0 {
 		l.TenantBurst = 16
+	}
+	if l.TenantIdentifyBurst <= 0 {
+		l.TenantIdentifyBurst = 4
 	}
 	return l
 }

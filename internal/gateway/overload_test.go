@@ -407,3 +407,81 @@ func countDrops(inj *faults.Injector) int {
 	}
 	return n
 }
+
+// TestTenantIdentifyRateShedPerReasonCounters verifies the per-owner
+// identify throttle: with a one-token tenant bucket, a reconnect storm
+// from one owner's bots is shed with reason tenant_rate while another
+// owner admits untouched — and the per-reason shed counters partition
+// the total exactly, with the journaled shed events agreeing.
+func TestTenantIdentifyRateShedPerReasonCounters(t *testing.T) {
+	r := newRig(t, permissions.ViewChannel)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	jnl := journal.New(&buf, journal.Options{Obs: reg})
+	r.srv.SetObs(reg)
+	r.srv.SetJournal(jnl)
+	r.srv.SetLimits(gateway.Limits{
+		TenantIdentifyRPS:   0.1,
+		TenantIdentifyBurst: 1,
+		WriteTimeout:        time.Second,
+	})
+
+	// A second bot under the rig owner, and one under a different owner.
+	sibling, err := r.p.RegisterBot(r.owner.ID, "sibling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := r.p.CreateUser("other-owner")
+	otherBot, err := r.p.RegisterBot(other.ID, "otherbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First dial under the throttle spends the owner's single token...
+	first, err := botsdk.Dial(r.srv.Addr(), r.bot.Token, botsdk.Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("dial within tenant burst: %v", err)
+	}
+	defer first.Close()
+	// ...so the same owner's next bot is shed, with a retry hint.
+	_, err = botsdk.Dial(r.srv.Addr(), sibling.Token, botsdk.Options{RequestTimeout: time.Second})
+	var shed *botsdk.ShedError
+	if !errors.As(err, &shed) || shed.RetryAfter <= 0 {
+		t.Fatalf("same-owner dial err = %v, want ShedError with retry hint", err)
+	}
+	// A different owner has its own bucket and sails through.
+	otherSess, err := botsdk.Dial(r.srv.Addr(), otherBot.Token, botsdk.Options{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("other owner throttled by a sibling tenant's storm: %v", err)
+	}
+	otherSess.Close()
+
+	if got := reg.Counter("gateway_sessions_shed_tenant_rate_total").Value(); got != 1 {
+		t.Errorf("tenant_rate sheds = %d, want 1", got)
+	}
+	total := reg.Counter("gateway_sessions_shed_total").Value()
+	var byReason int64
+	for _, reason := range gateway.ShedReasons {
+		byReason += reg.Counter("gateway_sessions_shed_" + reason + "_total").Value()
+	}
+	if byReason != total {
+		t.Errorf("per-reason shed counters sum to %d, total says %d", byReason, total)
+	}
+
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := journal.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reasons := make(map[string]int64)
+	for _, e := range events {
+		if e.Kind == journal.KindSessionShed {
+			reasons[e.Fields["reason"].(string)]++
+		}
+	}
+	if reasons["tenant_rate"] != 1 || len(reasons) != 1 {
+		t.Errorf("journaled shed reasons = %v, want exactly one tenant_rate", reasons)
+	}
+}

@@ -35,6 +35,7 @@ type Server struct {
 	admitted    int // connections holding an admission slot (incl. handshakes)
 	identBucket bucket
 	tenants     map[platform.ID]*bucket
+	tenantIdent map[platform.ID]*bucket
 
 	// per-session rate limiting (zero = disabled)
 	rateRPS   float64
@@ -46,6 +47,7 @@ type Server struct {
 	cEventsOut   *obs.Counter
 	cRequests    *obs.Counter
 	cShed        *obs.Counter
+	cShedBy      map[string]*obs.Counter
 	cDropped     *obs.Counter
 	cSubDropped  *obs.Counter
 	cReaped      *obs.Counter
@@ -70,6 +72,10 @@ func (s *Server) SetObs(r *obs.Registry) {
 	s.cEventsOut = reg.Counter("gateway_events_out_total")
 	s.cRequests = reg.Counter("gateway_requests_total")
 	s.cShed = reg.Counter("gateway_sessions_shed_total")
+	s.cShedBy = make(map[string]*obs.Counter, len(ShedReasons))
+	for _, reason := range ShedReasons {
+		s.cShedBy[reason] = reg.Counter("gateway_sessions_shed_" + reason + "_total")
+	}
 	s.cDropped = reg.Counter("gateway_events_dropped_total")
 	s.cSubDropped = reg.Counter("gateway_sub_events_dropped_total")
 	s.cReaped = reg.Counter("gateway_sessions_reaped_total")
@@ -95,6 +101,13 @@ func (s *Server) getJournal() *journal.Journal {
 	defer s.mu.Unlock()
 	return s.journal
 }
+
+// ShedReasons enumerates every reason the gateway refuses a connection
+// with a shedding frame, in the order reports render them. Each has a
+// dedicated counter (gateway_sessions_shed_<reason>_total) alongside the
+// aggregate gateway_sessions_shed_total, so shed accounting can be
+// reconciled per cause.
+var ShedReasons = []string{"max_sessions", "identify_rate", "tenant_rate"}
 
 // FaultPolicy lets a chaos harness interfere with the event stream:
 // for each outbound event frame destined for a bot it may order the
@@ -176,13 +189,14 @@ func NewServer(p *platform.Platform, addr string) (*Server, error) {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
 	s := &Server{
-		p:        p,
-		ln:       ln,
-		sessions: make(map[*session]struct{}),
-		seenBots: make(map[platform.ID]bool),
-		tenants:  make(map[platform.ID]*bucket),
-		limits:   Limits{}.withDefaults(),
-		Logf:     func(string, ...any) {},
+		p:           p,
+		ln:          ln,
+		sessions:    make(map[*session]struct{}),
+		seenBots:    make(map[platform.ID]bool),
+		tenants:     make(map[platform.ID]*bucket),
+		tenantIdent: make(map[platform.ID]*bucket),
+		limits:      Limits{}.withDefaults(),
+		Logf:        func(string, ...any) {},
 	}
 	s.SetObs(nil)
 	s.wg.Add(1)
@@ -265,6 +279,9 @@ func (s *Server) releaseAdmit() {
 // can distinguish overload (back off and retry) from rejection.
 func (s *Server) shed(conn net.Conn, enc *json.Encoder, reason string, retryAfter, writeTimeout time.Duration) {
 	s.cShed.Inc()
+	if c, ok := s.cShedBy[reason]; ok {
+		c.Inc()
+	}
 	s.getJournal().Emit(journal.Event{
 		Kind:      journal.KindSessionShed,
 		Component: "gateway",
@@ -287,6 +304,20 @@ func (s *Server) tenantBucket(owner platform.ID) *bucket {
 	if !ok {
 		b = &bucket{}
 		s.tenants[owner] = b
+	}
+	return b
+}
+
+// tenantIdentBucket returns the per-owner identify throttle bucket,
+// distinct from the request-path tenant bucket so reconnect storms and
+// request floods are limited (and accounted) independently.
+func (s *Server) tenantIdentBucket(owner platform.ID) *bucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.tenantIdent[owner]
+	if !ok {
+		b = &bucket{}
+		s.tenantIdent[owner] = b
 	}
 	return b
 }
@@ -532,6 +563,16 @@ func (s *Server) serve(conn net.Conn) {
 	if err != nil {
 		writeFrame(conn, enc, Frame{Op: OpError, Err: "invalid token"}, limits.WriteTimeout)
 		return
+	}
+	if limits.TenantIdentifyRPS > 0 {
+		tb := s.tenantIdentBucket(bot.OwnerID)
+		if wait, limited := tb.take(limits.TenantIdentifyRPS, float64(limits.TenantIdentifyBurst)); limited {
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			s.shed(conn, enc, "tenant_rate", wait, limits.WriteTimeout)
+			return
+		}
 	}
 
 	sess := &session{

@@ -52,10 +52,25 @@ type Config struct {
 	SessionRPS   float64 // per-session request rate limit (0 = off)
 	SessionBurst int
 
+	// Target, when set, points the run at an externally hosted platform
+	// and gateway instead of self-hosting them — the soak conductor's
+	// mode, where loadgen traffic and the audit pipeline share one world.
+	// The host owns the gateway's Limits/Journal/Obs/FaultPolicy wiring
+	// and its lifecycle; Config.Limits then only shapes client-side
+	// heartbeat hints, and server counters are read from Obs (which
+	// should be the host's registry).
+	Target *Target
+
 	Seed    int64
 	Obs     *obs.Registry // nil = fresh registry
 	Journal *journal.Journal
 	Logf    func(format string, args ...any)
+}
+
+// Target names an externally hosted world to drive traffic into.
+type Target struct {
+	Platform *platform.Platform
+	Addr     string // gateway listen address to dial
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +131,11 @@ type Result struct {
 	Reconnects     int64 `json:"reconnects"`
 	ShedDials      int64 `json:"shed_dials"`
 
+	// Per-reason shed breakdown (sums to Shed).
+	ShedMaxSessions  int64 `json:"shed_max_sessions"`
+	ShedIdentifyRate int64 `json:"shed_identify_rate"`
+	ShedTenantRate   int64 `json:"shed_tenant_rate"`
+
 	// Server-side accounting, read from the gateway's registry.
 	EventsDropped   int64 `json:"events_dropped"`
 	SubDropped      int64 `json:"sub_events_dropped"`
@@ -136,31 +156,43 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		reg = obs.NewRegistry()
 	}
 
-	world, err := buildWorld(cfg)
+	var hostPlat *platform.Platform
+	if cfg.Target != nil {
+		hostPlat = cfg.Target.Platform
+	}
+	world, err := buildWorld(cfg, hostPlat)
 	if err != nil {
 		return nil, err
 	}
-	defer world.p.Close()
+	if world.owned {
+		defer world.p.Close()
+	}
 
-	srv, err := gateway.NewServer(world.p, "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	defer srv.Close()
-	srv.SetObs(reg)
-	srv.SetJournal(cfg.Journal)
-	srv.SetLimits(cfg.Limits)
-	if cfg.SessionRPS > 0 {
-		srv.SetRateLimit(cfg.SessionRPS, cfg.SessionBurst)
-	}
+	var addr string
 	var inj *faults.Injector
-	if cfg.FaultProfile != "" && cfg.FaultProfile != "none" {
-		prof, err := faults.Named(cfg.FaultProfile)
+	if cfg.Target != nil {
+		addr = cfg.Target.Addr
+	} else {
+		srv, err := gateway.NewServer(world.p, "127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
-		inj = faults.New(prof, cfg.FaultSeed, faults.Options{Obs: reg, Journal: cfg.Journal})
-		srv.SetFaultPolicy(inj)
+		defer srv.Close()
+		srv.SetObs(reg)
+		srv.SetJournal(cfg.Journal)
+		srv.SetLimits(cfg.Limits)
+		if cfg.SessionRPS > 0 {
+			srv.SetRateLimit(cfg.SessionRPS, cfg.SessionBurst)
+		}
+		if cfg.FaultProfile != "" && cfg.FaultProfile != "none" {
+			prof, err := faults.Named(cfg.FaultProfile)
+			if err != nil {
+				return nil, err
+			}
+			inj = faults.New(prof, cfg.FaultSeed, faults.Options{Obs: reg, Journal: cfg.Journal})
+			srv.SetFaultPolicy(inj)
+		}
+		addr = srv.Addr()
 	}
 
 	res := &Result{
@@ -212,7 +244,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			var rc *botsdk.Reconnector
 			err := retry.Do(ctx, pol, func(context.Context) error {
 				var err error
-				rc, err = botsdk.Reconnect(srv.Addr(), token, sdkOpts)
+				rc, err = botsdk.Reconnect(addr, token, sdkOpts)
 				if err == nil {
 					return nil
 				}
@@ -249,7 +281,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		wgStall.Add(1)
 		go func(token string) {
 			defer wgStall.Done()
-			stallClient(stallCtx, srv.Addr(), token)
+			stallClient(stallCtx, addr, token)
 		}(world.stalledBots[i].token)
 	}
 
@@ -321,10 +353,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res.SlowDisconnects = reg.Counter("gateway_slow_consumer_disconnects_total").Value()
 	res.Reaped = reg.Counter("gateway_sessions_reaped_total").Value()
 	res.Shed = reg.Counter("gateway_sessions_shed_total").Value()
+	res.ShedMaxSessions = reg.Counter("gateway_sessions_shed_max_sessions_total").Value()
+	res.ShedIdentifyRate = reg.Counter("gateway_sessions_shed_identify_rate_total").Value()
+	res.ShedTenantRate = reg.Counter("gateway_sessions_shed_tenant_rate_total").Value()
 	res.Throttled = reg.Counter("gateway_requests_throttled_total").Value()
 	res.TenantThrottled = reg.Counter("gateway_tenant_throttled_total").Value()
 	if inj != nil {
 		res.FaultsInjected = int64(inj.Count())
+	} else {
+		// Target mode: the host owns the injector; its counter lives on
+		// the shared registry.
+		res.FaultsInjected = reg.Counter("faults_injected_total").Value()
 	}
 	return res, nil
 }
@@ -332,6 +371,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // world is the synthetic ecosystem one run plays out in.
 type world struct {
 	p           *platform.Platform
+	owned       bool // Run created p and must close it
 	guilds      []*guildWorld
 	bots        []botRef // connected fleet, round-robin across guilds
 	stalledBots []botRef // extra bots reserved for stalled clients
@@ -351,15 +391,22 @@ type botRef struct {
 
 // buildWorld creates guilds, chatting users, and installed bots. Bot
 // ownership is spread over cfg.Tenants owner accounts so per-tenant
-// rate limits have tenants to bite on.
-func buildWorld(cfg Config) (*world, error) {
-	p := platform.New(platform.Options{})
+// rate limits have tenants to bite on. With a non-nil host platform the
+// world is grafted onto it (and the host keeps ownership); otherwise a
+// fresh platform is created and owned by the run.
+func buildWorld(cfg Config, host *platform.Platform) (*world, error) {
+	p := host
+	owned := false
+	if p == nil {
+		p = platform.New(platform.Options{})
+		owned = true
+	}
 	admin := p.CreateUser("lg-admin")
 	owners := make([]*platform.User, cfg.Tenants)
 	for i := range owners {
 		owners[i] = p.CreateUser(fmt.Sprintf("lg-tenant-%d", i))
 	}
-	w := &world{p: p}
+	w := &world{p: p, owned: owned}
 	for gi := 0; gi < cfg.Guilds; gi++ {
 		g, err := p.CreateGuild(admin.ID, fmt.Sprintf("lg-guild-%d", gi), false)
 		if err != nil {

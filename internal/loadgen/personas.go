@@ -127,6 +127,15 @@ func guildIndexOf(w *world, sess *botsdk.Session) int {
 	return -1
 }
 
+// Stall identifies over raw TCP and then never reads again until ctx is
+// cancelled — the deliberately wedged consumer whose dispatch queue must
+// fill without taking the rest of the gateway down with it. Exported so
+// chaos harnesses can inject phase-scoped stalled listeners against a
+// gateway they host themselves.
+func Stall(ctx context.Context, addr, token string) {
+	stallClient(ctx, addr, token)
+}
+
 // stallClient identifies over raw TCP and then never reads again — the
 // deliberately wedged consumer whose dispatch queue must fill without
 // taking the rest of the gateway down with it.

@@ -1,0 +1,71 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// AnchorSchema versions the external anchor side file.
+const AnchorSchema = 1
+
+// Anchor is the chain head exported to a `<journal>.anchor` side file
+// when a sealed ledgered journal closes. It is the minimal external
+// commitment: anyone holding the side file can detect a wholesale
+// rewrite of the journal — including a rewrite that internally
+// re-chains consistently, which in-file verification alone cannot see.
+type Anchor struct {
+	Schema  int        `json:"anchor_schema"`
+	Mode    LedgerMode `json:"mode"`
+	Seq     uint64     `json:"seq"`
+	Head    string     `json:"head"`
+	Records int        `json:"records"`
+}
+
+// AnchorPath maps a journal path to its anchor side file.
+func AnchorPath(journalPath string) string {
+	return journalPath + ".anchor"
+}
+
+// ReadAnchor reads and validates an anchor side file.
+func ReadAnchor(anchorPath string) (Anchor, error) {
+	data, err := os.ReadFile(anchorPath)
+	if err != nil {
+		return Anchor{}, err
+	}
+	var a Anchor
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Anchor{}, fmt.Errorf("journal: anchor %s: %w", anchorPath, err)
+	}
+	if a.Schema > AnchorSchema {
+		return Anchor{}, fmt.Errorf("journal: anchor %s: schema %d is newer than supported %d", anchorPath, a.Schema, AnchorSchema)
+	}
+	if a.Head == "" {
+		return Anchor{}, fmt.Errorf("journal: anchor %s: empty head", anchorPath)
+	}
+	return a, nil
+}
+
+// writeAnchor writes the anchor atomically (temp file + rename), so a
+// crash mid-write can never leave a torn anchor that falsely incriminates
+// an honest journal.
+func writeAnchor(journalPath string, st LedgerStats) error {
+	a := Anchor{
+		Schema:  AnchorSchema,
+		Mode:    st.Mode,
+		Seq:     st.Seq,
+		Head:    st.Head,
+		Records: st.Records,
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := AnchorPath(journalPath)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

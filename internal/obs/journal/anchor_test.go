@@ -1,0 +1,171 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sealedJournal opens a ledgered file journal, emits n events, and
+// closes it — which must write the external anchor side file.
+func sealedJournal(t *testing.T, dir string, n int) string {
+	t.Helper()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, err := Open(path, Options{
+		Obs:    obs.NewRegistry(),
+		Ledger: LedgerOptions{Mode: LedgerMerkle, Batch: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j.Emit(Event{Kind: KindPageFetched, BotID: i + 1})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCloseWritesAnchorThatVerifies(t *testing.T) {
+	path := sealedJournal(t, t.TempDir(), 9)
+	a, err := ReadAnchor(AnchorPath(path))
+	if err != nil {
+		t.Fatalf("anchor side file missing or invalid after sealed close: %v", err)
+	}
+	if a.Schema != AnchorSchema || a.Mode != LedgerMerkle || a.Head == "" || a.Seq == 0 {
+		t.Errorf("anchor contents incomplete: %+v", a)
+	}
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || !res.AnchorChecked || !res.AnchorOK {
+		t.Fatalf("sealed journal + its own anchor do not verify: %+v", res)
+	}
+	if res.Head != a.Head {
+		t.Errorf("replayed head %s disagrees with anchored head %s", res.Head, a.Head)
+	}
+}
+
+// TestAnchorDetectsWholesaleRewrite covers the attack in-file
+// verification cannot see: the journal is replaced outright with a
+// shorter, internally consistent ledgered journal. The chain verifies;
+// only the external anchor convicts it.
+func TestAnchorDetectsWholesaleRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := sealedJournal(t, dir, 9)
+	rewrite := sealedJournal(t, t.TempDir(), 3)
+	data, err := os.ReadFile(rewrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != "" {
+		t.Fatalf("rewritten journal should be internally consistent, got in-file error %q", res.Err)
+	}
+	if res.OK || !res.AnchorChecked || res.AnchorOK {
+		t.Fatalf("wholesale rewrite not convicted by the anchor: %+v", res)
+	}
+	if !strings.Contains(res.AnchorErr, "anchor mismatch") {
+		t.Errorf("AnchorErr %q does not classify the rewrite", res.AnchorErr)
+	}
+}
+
+func TestFreshOpenRemovesStaleAnchor(t *testing.T) {
+	dir := t.TempDir()
+	path := sealedJournal(t, dir, 5)
+	// A non-resume Open truncates the journal; a surviving anchor from
+	// the previous run would falsely incriminate the new one.
+	j, err := Open(path, Options{
+		Obs:    obs.NewRegistry(),
+		Ledger: LedgerOptions{Mode: LedgerMerkle, Batch: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(AnchorPath(path)); !os.IsNotExist(err) {
+		t.Errorf("stale anchor survived a truncating open: %v", err)
+	}
+	j.Emit(Event{Kind: KindPageFetched, BotID: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || !res.AnchorChecked || !res.AnchorOK {
+		t.Fatalf("re-opened journal does not verify against its new anchor: %+v", res)
+	}
+}
+
+func TestResumeReanchorsSideFile(t *testing.T) {
+	dir := t.TempDir()
+	path := sealedJournal(t, dir, 5)
+	first, err := ReadAnchor(AnchorPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, Options{
+		Obs:    obs.NewRegistry(),
+		Resume: true,
+		Ledger: LedgerOptions{Mode: LedgerMerkle, Batch: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Kind: KindPageFetched, BotID: 99})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadAnchor(AnchorPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Head == first.Head || second.Seq <= first.Seq {
+		t.Errorf("resume did not advance the anchor: first %+v, second %+v", first, second)
+	}
+	res, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || !res.AnchorOK || res.Segments != 2 {
+		t.Fatalf("resumed journal does not verify against the re-written anchor: %+v", res)
+	}
+}
+
+func TestReadAnchorRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := ReadAnchor(filepath.Join(dir, "absent.anchor")); err == nil {
+		t.Error("missing anchor read without error")
+	}
+	if _, err := ReadAnchor(write("garbage.anchor", "not json")); err == nil {
+		t.Error("non-JSON anchor read without error")
+	}
+	if _, err := ReadAnchor(write("empty-head.anchor", `{"anchor_schema":1,"head":""}`)); err == nil {
+		t.Error("anchor with empty head read without error")
+	}
+	future, _ := json.Marshal(Anchor{Schema: AnchorSchema + 1, Head: "aa"})
+	if _, err := ReadAnchor(write("future.anchor", string(future))); err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Errorf("future-schema anchor not rejected: %v", err)
+	}
+}

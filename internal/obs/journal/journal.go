@@ -90,7 +90,8 @@ const (
 
 	// Gateway traffic plane: session lifecycle and overload shedding.
 	// session_shed marks a connection refused by admission control
-	// (fields.reason: max_sessions | identify_rate); events_dropped
+	// (fields.reason: max_sessions | identify_rate | tenant_rate);
+	// events_dropped
 	// aggregates one session's slow-consumer losses at close.
 	KindSessionOpened Kind = "session_opened"
 	KindSessionClosed Kind = "session_closed"
@@ -156,6 +157,7 @@ type Journal struct {
 	closeOnce sync.Once
 	closeErr  error
 	closer    io.Closer // underlying file when opened via Open
+	path      string    // file path when opened via Open (anchor sink target)
 
 	ledger *ledgerState // nil when the ledger is off
 	// stats carries the ledger accounting: anchor fields are fixed
@@ -235,8 +237,12 @@ func Open(path string, opts Options) (*Journal, error) {
 		if err != nil {
 			return nil, fmt.Errorf("journal: open: %w", err)
 		}
+		// A fresh journal invalidates any anchor a previous run left for
+		// this path; a stale one would falsely flag the new file.
+		os.Remove(AnchorPath(path))
 		j := New(f, opts)
 		j.closer = f
+		j.path = path
 		return j, nil
 	}
 
@@ -273,6 +279,7 @@ func Open(path string, opts Options) (*Journal, error) {
 	resumed := st.priorRecords > 0 || st.seq > 0 || len(st.pending) > 0
 	j := newJournal(f, opts, st, resumed)
 	j.closer = f
+	j.path = path
 	return j, nil
 }
 
@@ -340,6 +347,14 @@ func (j *Journal) Close() error {
 		<-j.done
 		if j.closer != nil {
 			j.closeErr = j.closer.Close()
+		}
+		// External anchor sink: export the sealed chain head beside the
+		// file, so verification can detect a wholesale rewrite that the
+		// in-file chain alone cannot. Stats are final once done is closed.
+		if j.ledger != nil && j.path != "" {
+			if err := writeAnchor(j.path, j.Ledger()); err != nil && j.closeErr == nil {
+				j.closeErr = fmt.Errorf("journal: write anchor: %w", err)
+			}
 		}
 	})
 	<-j.done

@@ -33,6 +33,18 @@ type VerifyResult struct {
 	Err      string
 	FirstBad int // 1-based line number bounding the failure (0 = none)
 	BadEnd   int // last line of the failing range (0 = none)
+
+	// External anchor cross-check (VerifyFile only). AnchorChecked is
+	// true when a `<path>.anchor` side file exists; AnchorOK then says
+	// whether the recomputed head matches it, and AnchorErr classifies a
+	// mismatch distinctly from in-file tampering: a failing chain with a
+	// matching anchor is in-file damage, while a clean chain whose head
+	// disagrees with the anchor is a wholesale rewrite.
+	AnchorChecked bool
+	AnchorOK      bool
+	AnchorHead    string // head recorded in the side file
+	AnchorSeq     uint64 // seq recorded in the side file
+	AnchorErr     string
 }
 
 // fail stamps the result as a verification failure.
@@ -243,14 +255,45 @@ func Verify(r io.Reader) VerifyResult {
 	}
 }
 
-// VerifyFile opens and verifies a journal file on disk.
+// VerifyFile opens and verifies a journal file on disk. When an anchor
+// side file (`<path>.anchor`, written on sealed Close) exists, the
+// recomputed chain head is cross-checked against it: a mismatch fails
+// verification with a classification distinct from in-file tampering,
+// because only an external commitment can catch a journal rewritten
+// wholesale with an internally consistent chain. A journal without an
+// anchor file verifies exactly as before.
 func VerifyFile(path string) (VerifyResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return VerifyResult{}, err
 	}
-	defer f.Close()
-	return Verify(f), nil
+	res := Verify(f)
+	f.Close()
+
+	ap := AnchorPath(path)
+	if _, err := os.Stat(ap); err != nil {
+		return res, nil // no anchor: in-file verdict stands
+	}
+	res.AnchorChecked = true
+	a, err := ReadAnchor(ap)
+	if err != nil {
+		res.AnchorErr = fmt.Sprintf("anchor unreadable: %v", err)
+		res.OK = false
+		return res, nil
+	}
+	res.AnchorHead = a.Head
+	res.AnchorSeq = a.Seq
+	switch {
+	case res.Records == 0:
+		res.AnchorErr = "anchor present but journal carries no ledger records (ledger stripped by rewrite?)"
+		res.OK = false
+	case a.Head != res.Head || a.Seq != res.Seq:
+		res.AnchorErr = fmt.Sprintf("anchor mismatch: side file commits head %s seq %d, file replays to %s seq %d (journal rewritten after sealing, or anchor from another run)", abbrev(a.Head), a.Seq, abbrev(res.Head), res.Seq)
+		res.OK = false
+	default:
+		res.AnchorOK = true
+	}
+	return res, nil
 }
 
 // resumeScan replays an existing journal to extract the chain state a

@@ -37,15 +37,40 @@ func LedgerVerdict(w io.Writer, path string, res journal.VerifyResult) {
 	if res.Head != "" {
 		t.AddRow("chain head", res.Head)
 	}
+	if res.AnchorChecked {
+		if res.AnchorOK {
+			t.AddRow("external anchor", "matches")
+		} else {
+			t.AddRow("external anchor", "MISMATCH")
+		}
+		if res.AnchorHead != "" {
+			t.AddRow("anchored head", fmt.Sprintf("%s (seq %d)", res.AnchorHead, res.AnchorSeq))
+		}
+	}
 	t.Render(w)
 
 	if res.OK {
 		fmt.Fprintf(w, "Evidence intact: %d events across %d segment(s), chain head %s\n",
 			res.Events, res.Segments, res.Head)
-		fmt.Fprintln(w, "Note the chain head out-of-band; the ledger is tamper-evident, not tamper-proof.")
+		if res.AnchorChecked {
+			fmt.Fprintln(w, "External anchor side file confirms the sealed head.")
+		} else {
+			fmt.Fprintln(w, "Note the chain head out-of-band; the ledger is tamper-evident, not tamper-proof.")
+		}
+		return
+	}
+	if res.AnchorChecked && !res.AnchorOK && res.Err == "" {
+		// The file replays cleanly but disagrees with its external
+		// commitment — a wholesale rewrite, not in-file damage.
+		fmt.Fprintf(w, "Evidence NOT verifiable (external anchor): %s\n", res.AnchorErr)
 		return
 	}
 	fmt.Fprintf(w, "Evidence NOT verifiable: %s\n", res.Err)
+	if res.AnchorChecked && !res.AnchorOK {
+		fmt.Fprintf(w, "External anchor also disagrees: %s\n", res.AnchorErr)
+	} else if res.AnchorChecked && res.AnchorOK {
+		fmt.Fprintln(w, "External anchor matches the recomputed head: damage is in-file, not a rewrite.")
+	}
 	if res.FirstBad > 0 {
 		// Chain mode commits every event individually, so the blast
 		// radius is one event plus its record — FirstBad IS the line.

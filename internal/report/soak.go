@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/loadgen"
+)
+
+// SoakPhase is one schedule phase as it actually ran.
+type SoakPhase struct {
+	Name         string
+	StartMS      int
+	DurationMS   int
+	FaultProfile string
+	StallClients int
+	KillArmed    bool
+	KillFired    bool
+}
+
+// SoakInvariant is one cross-artifact invariant's verdict.
+type SoakInvariant struct {
+	Name     string
+	Artifact string
+	Detail   string
+	OK       bool
+}
+
+// SoakData is the renderer-facing view of a soak run (defined here
+// rather than in internal/soak to keep report import-cycle-free; the
+// soak package converts its Outcome into this shape).
+type SoakData struct {
+	Schedule   string
+	DurationMS float64
+	RunID      string
+
+	Segments   int
+	KillsArmed int
+	KillsFired int
+
+	Bots                int
+	Records             int
+	Quarantined         int
+	HoneypotTested      int
+	HoneypotQuarantined int
+
+	Loadgen    *loadgen.Result
+	Phases     []SoakPhase
+	Invariants []SoakInvariant
+
+	OK             bool
+	FirstViolation string
+}
+
+// SoakVerdict renders a soak run: what chaos the schedule applied,
+// what the pipeline and traffic plane survived, and whether every
+// artifact reconciles.
+func SoakVerdict(w io.Writer, d *SoakData) {
+	fmt.Fprintf(w, "SOAK VERDICT — schedule=%s run=%s %.1fs\n", d.Schedule, d.RunID, d.DurationMS/1000)
+	fmt.Fprintf(w, "  pipeline    %d bots → %d records, %d quarantined; honeypot %d tested + %d quarantined\n",
+		d.Bots, d.Records, d.Quarantined, d.HoneypotTested, d.HoneypotQuarantined)
+	fmt.Fprintf(w, "  chaos       %d kills armed, %d fired → %d ledger segment(s)\n",
+		d.KillsArmed, d.KillsFired, d.Segments)
+	fmt.Fprintf(w, "  phases:\n")
+	for _, p := range d.Phases {
+		line := fmt.Sprintf("    %-14s t+%-6s %-6s", p.Name,
+			fmt.Sprintf("%.1fs", float64(p.StartMS)/1000),
+			fmt.Sprintf("%.1fs", float64(p.DurationMS)/1000))
+		if p.FaultProfile != "" {
+			line += fmt.Sprintf("  profile=%s", p.FaultProfile)
+		}
+		if p.StallClients > 0 {
+			line += fmt.Sprintf("  stalls=%d", p.StallClients)
+		}
+		switch {
+		case p.KillFired:
+			line += "  kill=FIRED"
+		case p.KillArmed:
+			line += "  kill=armed (never fired)"
+		}
+		fmt.Fprintln(w, line)
+	}
+	if d.Loadgen != nil {
+		GatewayLoad(w, d.Loadgen)
+	}
+	fmt.Fprintf(w, "  invariants:\n")
+	for _, iv := range d.Invariants {
+		mark := "ok  "
+		if !iv.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "    %s  %-26s %s\n", mark, iv.Name, iv.Detail)
+	}
+	if d.OK {
+		fmt.Fprintf(w, "  VERDICT: all %d invariants hold — every artifact reconciles\n", len(d.Invariants))
+	} else {
+		fmt.Fprintf(w, "  VERDICT: VIOLATED — %s\n", d.FirstViolation)
+	}
+}

@@ -249,10 +249,28 @@ type BreakerSet struct {
 	gOpen   *obs.Gauge
 	cOpened *obs.Counter
 	cClosed *obs.Counter
-	jnl     *journal.Journal
 
-	mu sync.Mutex
-	m  map[string]*Breaker
+	mu  sync.Mutex
+	jnl *journal.Journal
+	m   map[string]*Breaker
+}
+
+// SetJournal re-points transition events at a new journal — used when a
+// kill/resume harness reopens the journal between run segments. Nil-safe.
+func (s *BreakerSet) SetJournal(j *journal.Journal) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.jnl = j
+	s.mu.Unlock()
+}
+
+// journal snapshots the current journal under the lock.
+func (s *BreakerSet) journal() *journal.Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jnl
 }
 
 // NewBreakerSet builds a set with the given config and wiring.
@@ -316,7 +334,7 @@ func (s *BreakerSet) noteTransition(key string, from, to BreakerState, rate floa
 			s.gOpen.Add(1)
 		}
 		s.cOpened.Inc()
-		s.jnl.Emit(journal.Event{
+		s.journal().Emit(journal.Event{
 			Kind:      journal.KindBreakerOpened,
 			Component: "retry",
 			Fields: map[string]any{
@@ -328,7 +346,7 @@ func (s *BreakerSet) noteTransition(key string, from, to BreakerState, rate floa
 	case BreakerClosed:
 		s.gOpen.Add(-1)
 		s.cClosed.Inc()
-		s.jnl.Emit(journal.Event{
+		s.journal().Emit(journal.Event{
 			Kind:      journal.KindBreakerClosed,
 			Component: "retry",
 			Fields:    map[string]any{"endpoint": key},

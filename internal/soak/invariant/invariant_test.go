@@ -1,0 +1,229 @@
+package invariant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+)
+
+// healthyInputs is a minimal consistent run: 3 bots listed, 2 records
+// + 1 quarantined, 2 honeypot verdicts, no kills, no loadgen.
+func healthyInputs() Inputs {
+	return Inputs{
+		Schema:               InputsSchema,
+		RunID:                "run-test",
+		JournalFile:          "journal.jsonl",
+		CheckpointDir:        "checkpoints",
+		ExpectedSegments:     1,
+		Listed:               []int{1, 2, 3},
+		RecordBots:           []int{1, 2},
+		CollectQuarantined:   []int{3},
+		HoneypotSampleTarget: 2,
+		VerdictBots:          []int{1, 2},
+		Counters:             map[string]int64{},
+	}
+}
+
+func TestCheckTerminalState(t *testing.T) {
+	t.Run("green", func(t *testing.T) {
+		if c := checkTerminalState(healthyInputs()); !c.OK {
+			t.Fatalf("healthy inputs violated terminal-state: %s", c.Detail)
+		}
+	})
+	t.Run("lost bot", func(t *testing.T) {
+		in := healthyInputs()
+		in.Listed = append(in.Listed, 4) // no record, no quarantine
+		c := checkTerminalState(in)
+		if c.OK {
+			t.Fatal("bot with no terminal state passed")
+		}
+		if !strings.Contains(c.Detail, "first lost bot 4") {
+			t.Errorf("detail %q does not name the lost bot", c.Detail)
+		}
+	})
+	t.Run("lost bot excused by stage error", func(t *testing.T) {
+		in := healthyInputs()
+		in.Listed = append(in.Listed, 4)
+		in.CollectStageError = "context canceled"
+		if c := checkTerminalState(in); !c.OK {
+			t.Fatalf("stage error should excuse lost bots: %s", c.Detail)
+		}
+	})
+	t.Run("honeypot shortfall", func(t *testing.T) {
+		in := healthyInputs()
+		in.VerdictBots = in.VerdictBots[:1] // 1 settled of 2 sampled
+		c := checkTerminalState(in)
+		if c.OK {
+			t.Fatal("honeypot shortfall passed")
+		}
+		if !strings.Contains(c.Detail, "sampled 2") {
+			t.Errorf("detail %q does not state the sample target", c.Detail)
+		}
+	})
+}
+
+func TestCheckJournalCounters(t *testing.T) {
+	events := []journal.Event{
+		{Kind: journal.KindFaultInjected},
+		{Kind: journal.KindFaultInjected},
+		{Kind: journal.KindSessionOpened},
+		{Kind: journal.KindStageStarted},
+	}
+	base := func() Inputs {
+		in := healthyInputs()
+		in.Counters = map[string]int64{
+			"journal_events_total":      4,
+			"faults_injected_total":     2,
+			"gateway_connections_total": 1,
+		}
+		return in
+	}
+	t.Run("green", func(t *testing.T) {
+		if c := checkJournalCounters(events, base()); !c.OK {
+			t.Fatalf("consistent counters violated agreement: %s", c.Detail)
+		}
+	})
+	t.Run("write errors", func(t *testing.T) {
+		in := base()
+		in.Counters["journal_write_errors_total"] = 1
+		if c := checkJournalCounters(events, in); c.OK {
+			t.Fatal("write errors passed the counter agreement")
+		}
+	})
+	t.Run("file vs enqueue mismatch", func(t *testing.T) {
+		in := base()
+		in.Counters["journal_events_total"] = 7
+		c := checkJournalCounters(events, in)
+		if c.OK {
+			t.Fatal("journal shorter than its own enqueue counter passed")
+		}
+		if !strings.Contains(c.Detail, "holds 4 events but journal_events_total counted 7") {
+			t.Errorf("detail %q does not quantify the mismatch", c.Detail)
+		}
+	})
+	t.Run("journal ahead of counter", func(t *testing.T) {
+		in := base()
+		in.Counters["faults_injected_total"] = 1 // journal has 2
+		if c := checkJournalCounters(events, in); c.OK {
+			t.Fatal("journal holding more events than the counter passed")
+		}
+	})
+	t.Run("unaccounted deficit", func(t *testing.T) {
+		in := base()
+		in.Counters["faults_injected_total"] = 5 // journal has 2, no drops counted
+		if c := checkJournalCounters(events, in); c.OK {
+			t.Fatal("deficit beyond counted drops passed")
+		}
+	})
+	t.Run("deficit covered by drops", func(t *testing.T) {
+		in := base()
+		in.Counters["faults_injected_total"] = 5
+		in.Counters["journal_events_dropped_total"] = 3
+		if c := checkJournalCounters(events, in); !c.OK {
+			t.Fatalf("deficit within counted drops should pass: %s", c.Detail)
+		}
+	})
+}
+
+func TestCheckDelivery(t *testing.T) {
+	shedEvent := func(reason string) journal.Event {
+		return journal.Event{Kind: journal.KindSessionShed, Fields: map[string]any{"reason": reason}}
+	}
+	base := func() Inputs {
+		in := healthyInputs()
+		in.Loadgen = &loadgen.Result{Delivered: 90, ExpectedFanout: 100, ShedDials: 3}
+		in.Counters = map[string]int64{
+			"gateway_sessions_shed_total":               3,
+			"gateway_sessions_shed_max_sessions_total":  2,
+			"gateway_sessions_shed_identify_rate_total": 1,
+		}
+		return in
+	}
+	events := []journal.Event{shedEvent("max_sessions"), shedEvent("max_sessions"), shedEvent("identify_rate")}
+	t.Run("green", func(t *testing.T) {
+		if c := checkDelivery(events, true, base()); !c.OK {
+			t.Fatalf("consistent delivery accounting violated: %s", c.Detail)
+		}
+	})
+	t.Run("no loadgen is vacuous", func(t *testing.T) {
+		in := base()
+		in.Loadgen = nil
+		if c := checkDelivery(events, true, in); !c.OK {
+			t.Fatalf("soak without loadgen should pass vacuously: %s", c.Detail)
+		}
+	})
+	t.Run("over-delivery", func(t *testing.T) {
+		in := base()
+		in.Loadgen.Delivered = in.Loadgen.ExpectedFanout + 1
+		if c := checkDelivery(events, true, in); c.OK {
+			t.Fatal("delivery above the possible fanout passed")
+		}
+	})
+	t.Run("client sheds exceed server count", func(t *testing.T) {
+		in := base()
+		in.Loadgen.ShedDials = 9
+		if c := checkDelivery(events, true, in); c.OK {
+			t.Fatal("more shed dials than server-side sheds passed")
+		}
+	})
+	t.Run("per-reason sum mismatch", func(t *testing.T) {
+		in := base()
+		in.Counters["gateway_sessions_shed_max_sessions_total"] = 1
+		c := checkDelivery(events, true, in)
+		if c.OK {
+			t.Fatal("per-reason counters not summing to the total passed")
+		}
+		if !strings.Contains(c.Detail, "per-reason") {
+			t.Errorf("detail %q does not mention per-reason counters", c.Detail)
+		}
+	})
+	t.Run("journal reason count disagrees", func(t *testing.T) {
+		in := base()
+		// Journal has 2 max_sessions sheds; claim the counter saw 1 while
+		// keeping total/per-reason sums internally consistent.
+		in.Counters["gateway_sessions_shed_max_sessions_total"] = 1
+		in.Counters["gateway_sessions_shed_identify_rate_total"] = 2
+		in.Loadgen.ShedDials = 0
+		if c := checkDelivery(events, true, in); c.OK {
+			t.Fatal("journal shed-reason counts disagreeing with counters passed")
+		}
+	})
+}
+
+func TestProbe(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("gateway_sessions_shed_total").Add(2)
+	reg.Counter("gateway_sessions_shed_max_sessions_total").Add(1)
+	reg.Counter("gateway_sessions_shed_tenant_rate_total").Add(1)
+	if err := Probe(reg); err != nil {
+		t.Fatalf("consistent registry failed the probe: %v", err)
+	}
+	reg.Counter("gateway_sessions_shed_total").Add(1) // now 3 vs per-reason 2
+	if err := Probe(reg); err == nil {
+		t.Fatal("inconsistent shed counters passed the probe")
+	}
+	reg2 := obs.NewRegistry()
+	reg2.Gauge("gateway_sessions").Set(-1)
+	if err := Probe(reg2); err == nil {
+		t.Fatal("negative session gauge passed the probe")
+	}
+}
+
+func TestCheckDirSchemaGuard(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CheckDir(dir); err == nil {
+		t.Fatal("CheckDir of a dir without soak.json succeeded")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "soak.json"),
+		[]byte(`{"soak_schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckDir(dir); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("future schema not rejected: %v", err)
+	}
+}

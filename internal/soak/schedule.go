@@ -1,0 +1,268 @@
+// Package soak is the capstone chaos harness: it runs the full
+// four-stage audit pipeline against its live gateway while loadgen
+// personas drive background traffic, under a declarative phased chaos
+// schedule — ramping fault profiles, flipping gateway limits, stalling
+// listeners, and firing SIGKILL-style aborts at checkpoint boundaries —
+// and then proves, via internal/soak/invariant, that the run's
+// artifacts (results, journal, ledger, checkpoints, counters, loadgen
+// accounting) reconcile exactly. Robust is not "didn't crash"; robust
+// is "every bot is accounted for and every ledger agrees".
+package soak
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gateway"
+)
+
+// Schedule is a declarative chaos plan: sequential wall-clock phases,
+// each setting the conditions (fault profile, gateway limits, stalled
+// listeners, kill orders) that hold until a later phase changes them.
+type Schedule struct {
+	Name   string  `json:"name"`
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is one timed window of chaos conditions. Omitted knobs carry
+// the previous phase's conditions forward; only explicit fields change
+// the world.
+type Phase struct {
+	Name string `json:"name"`
+	// AtMS optionally pins the phase start (ms from soak start). It must
+	// not overlap the previous phase; a gap simply extends the previous
+	// phase's conditions. Omitted = immediately after the previous phase.
+	AtMS *int `json:"at_ms,omitempty"`
+	// DurationMS is the phase length; must be positive.
+	DurationMS int `json:"duration_ms"`
+	// FaultProfile ramps the injector to a named profile
+	// (none/mild/moderate/storm). Empty keeps the current profile.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// Limits overlays the base gateway limits; set fields persist until
+	// a later phase overrides them (nil = no change).
+	Limits *PhaseLimits `json:"limits,omitempty"`
+	// StallClients connects that many identify-then-never-read clients
+	// for the duration of the phase.
+	StallClients int `json:"stall_clients,omitempty"`
+	// Kill arms a SIGKILL-style abort: after the pipeline writes
+	// AfterCheckpoints more checkpoints, its run context is cancelled,
+	// the journal sealed, and the run resumed from the latest snapshot.
+	Kill *KillSpec `json:"kill,omitempty"`
+
+	// startMS is the resolved phase start, filled by validation.
+	startMS int
+}
+
+// StartMS reports the resolved phase start (valid after DecodeSchedule).
+func (p *Phase) StartMS() int { return p.startMS }
+
+// EndMS reports the resolved phase end (valid after DecodeSchedule).
+func (p *Phase) EndMS() int { return p.startMS + p.DurationMS }
+
+// KillSpec orders a mid-phase crash.
+type KillSpec struct {
+	// AfterCheckpoints counts checkpoint writes before the abort fires;
+	// must be >= 1.
+	AfterCheckpoints int `json:"after_checkpoints"`
+}
+
+// PhaseLimits is a partial overlay over gateway.Limits: nil fields keep
+// the in-force value, set fields replace it.
+type PhaseLimits struct {
+	MaxSessions         *int     `json:"max_sessions,omitempty"`
+	IdentifyRPS         *float64 `json:"identify_rps,omitempty"`
+	IdentifyBurst       *int     `json:"identify_burst,omitempty"`
+	TenantRPS           *float64 `json:"tenant_rps,omitempty"`
+	TenantBurst         *int     `json:"tenant_burst,omitempty"`
+	TenantIdentifyRPS   *float64 `json:"tenant_identify_rps,omitempty"`
+	TenantIdentifyBurst *int     `json:"tenant_identify_burst,omitempty"`
+	SendQueue           *int     `json:"send_queue,omitempty"`
+	SlowConsumer        *string  `json:"slow_consumer,omitempty"`
+	WriteTimeoutMS      *int     `json:"write_timeout_ms,omitempty"`
+	HeartbeatTimeoutMS  *int     `json:"heartbeat_timeout_ms,omitempty"`
+}
+
+// Apply overlays the set fields onto base and returns the result.
+func (pl *PhaseLimits) Apply(base gateway.Limits) gateway.Limits {
+	if pl == nil {
+		return base
+	}
+	if pl.MaxSessions != nil {
+		base.MaxSessions = *pl.MaxSessions
+	}
+	if pl.IdentifyRPS != nil {
+		base.IdentifyRPS = *pl.IdentifyRPS
+	}
+	if pl.IdentifyBurst != nil {
+		base.IdentifyBurst = *pl.IdentifyBurst
+	}
+	if pl.TenantRPS != nil {
+		base.TenantRPS = *pl.TenantRPS
+	}
+	if pl.TenantBurst != nil {
+		base.TenantBurst = *pl.TenantBurst
+	}
+	if pl.TenantIdentifyRPS != nil {
+		base.TenantIdentifyRPS = *pl.TenantIdentifyRPS
+	}
+	if pl.TenantIdentifyBurst != nil {
+		base.TenantIdentifyBurst = *pl.TenantIdentifyBurst
+	}
+	if pl.SendQueue != nil {
+		base.SendQueue = *pl.SendQueue
+	}
+	if pl.SlowConsumer != nil {
+		pol, _ := gateway.ParseSlowConsumerPolicy(*pl.SlowConsumer)
+		base.SlowConsumer = pol
+	}
+	if pl.WriteTimeoutMS != nil {
+		base.WriteTimeout = time.Duration(*pl.WriteTimeoutMS) * time.Millisecond
+	}
+	if pl.HeartbeatTimeoutMS != nil {
+		base.HeartbeatTimeout = time.Duration(*pl.HeartbeatTimeoutMS) * time.Millisecond
+	}
+	return base
+}
+
+// DecodeSchedule strictly decodes and validates a schedule: unknown
+// JSON fields, empty or duplicate phase names, non-positive durations,
+// unknown fault profiles, overlapping phases, bad slow-consumer
+// policies, and non-positive kill counts are all rejected with errors
+// naming the offending phase — matching the journal/checkpoint
+// precedent that config corruption fails loudly, not lazily.
+func DecodeSchedule(r io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("soak: schedule: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseSchedule decodes a schedule from bytes.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	return DecodeSchedule(bytes.NewReader(data))
+}
+
+func (s *Schedule) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("soak: schedule: missing name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("soak: schedule %q: no phases", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Phases))
+	cursor := 0
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Name == "" {
+			return fmt.Errorf("soak: schedule %q: phase %d: missing name", s.Name, i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("soak: schedule %q: duplicate phase name %q", s.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.DurationMS <= 0 {
+			return fmt.Errorf("soak: schedule %q: phase %q: duration_ms must be positive (got %d)", s.Name, p.Name, p.DurationMS)
+		}
+		p.startMS = cursor
+		if p.AtMS != nil {
+			if *p.AtMS < cursor {
+				return fmt.Errorf("soak: schedule %q: phase %q: at_ms %d overlaps previous phase (ends at %d)", s.Name, p.Name, *p.AtMS, cursor)
+			}
+			p.startMS = *p.AtMS
+		}
+		cursor = p.startMS + p.DurationMS
+		if p.FaultProfile != "" {
+			if _, err := faults.Named(p.FaultProfile); err != nil {
+				return fmt.Errorf("soak: schedule %q: phase %q: %w", s.Name, p.Name, err)
+			}
+		}
+		if p.StallClients < 0 {
+			return fmt.Errorf("soak: schedule %q: phase %q: stall_clients must be >= 0 (got %d)", s.Name, p.Name, p.StallClients)
+		}
+		if p.Kill != nil && p.Kill.AfterCheckpoints < 1 {
+			return fmt.Errorf("soak: schedule %q: phase %q: kill.after_checkpoints must be >= 1 (got %d)", s.Name, p.Name, p.Kill.AfterCheckpoints)
+		}
+		if l := p.Limits; l != nil {
+			if l.SlowConsumer != nil {
+				if _, err := gateway.ParseSlowConsumerPolicy(*l.SlowConsumer); err != nil {
+					return fmt.Errorf("soak: schedule %q: phase %q: %w", s.Name, p.Name, err)
+				}
+			}
+			if l.SendQueue != nil && *l.SendQueue <= 0 {
+				return fmt.Errorf("soak: schedule %q: phase %q: limits.send_queue must be positive (got %d)", s.Name, p.Name, *l.SendQueue)
+			}
+			if l.WriteTimeoutMS != nil && *l.WriteTimeoutMS <= 0 {
+				return fmt.Errorf("soak: schedule %q: phase %q: limits.write_timeout_ms must be positive (got %d)", s.Name, p.Name, *l.WriteTimeoutMS)
+			}
+			for what, v := range map[string]*float64{
+				"identify_rps":        l.IdentifyRPS,
+				"tenant_rps":          l.TenantRPS,
+				"tenant_identify_rps": l.TenantIdentifyRPS,
+			} {
+				if v != nil && *v < 0 {
+					return fmt.Errorf("soak: schedule %q: phase %q: limits.%s must be >= 0 (got %g)", s.Name, p.Name, what, *v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TotalMS is the schedule's wall-clock length: the end of its last
+// phase.
+func (s *Schedule) TotalMS() int {
+	if len(s.Phases) == 0 {
+		return 0
+	}
+	last := &s.Phases[len(s.Phases)-1]
+	return last.EndMS()
+}
+
+// Kills counts the phases that order a crash.
+func (s *Schedule) Kills() int {
+	n := 0
+	for i := range s.Phases {
+		if s.Phases[i].Kill != nil {
+			n++
+		}
+	}
+	return n
+}
+
+//go:embed schedules/smoke.json
+var smokeJSON []byte
+
+//go:embed schedules/full.json
+var fullJSON []byte
+
+// Smoke returns the bundled ~30-second CI schedule: baseline →
+// squeeze (moderate faults + tight limits + stalled listeners) →
+// kill-and-resume → calm recovery.
+func Smoke() *Schedule {
+	s, err := ParseSchedule(smokeJSON)
+	if err != nil {
+		panic("soak: embedded smoke schedule invalid: " + err.Error())
+	}
+	return s
+}
+
+// Full returns the bundled full schedule behind BENCH_SOAK.json: the
+// smoke arc stretched out, with a storm phase and a second kill.
+func Full() *Schedule {
+	s, err := ParseSchedule(fullJSON)
+	if err != nil {
+		panic("soak: embedded full schedule invalid: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func TestBundledSchedulesValid(t *testing.T) {
+	for _, s := range []*Schedule{Smoke(), Full()} {
+		if s.TotalMS() <= 0 {
+			t.Errorf("schedule %q has non-positive total duration", s.Name)
+		}
+		if s.Kills() == 0 {
+			t.Errorf("schedule %q orders no kills; the soak's crash/resume path would go unexercised", s.Name)
+		}
+	}
+	if Smoke().TotalMS() > 45_000 {
+		t.Errorf("smoke schedule is %dms long; it rides in tier-1 CI and should stay near 30s", Smoke().TotalMS())
+	}
+}
+
+func TestDecodeScheduleResolvesPhaseClock(t *testing.T) {
+	s, err := ParseSchedule([]byte(`{
+		"name": "clock",
+		"phases": [
+			{"name": "a", "duration_ms": 1000},
+			{"name": "b", "duration_ms": 2000},
+			{"name": "c", "at_ms": 5000, "duration_ms": 500}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStarts := []int{0, 1000, 5000}
+	for i, want := range wantStarts {
+		if got := s.Phases[i].StartMS(); got != want {
+			t.Errorf("phase %d start = %d, want %d", i, got, want)
+		}
+	}
+	if got := s.TotalMS(); got != 5500 {
+		t.Errorf("TotalMS = %d, want 5500 (gap before c extends b's conditions)", got)
+	}
+}
+
+func TestDecodeScheduleRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"missing schedule name", `{"phases":[{"name":"a","duration_ms":1}]}`, "missing name"},
+		{"no phases", `{"name":"x","phases":[]}`, "no phases"},
+		{"missing phase name", `{"name":"x","phases":[{"duration_ms":1}]}`, "missing name"},
+		{"duplicate phase name", `{"name":"x","phases":[{"name":"a","duration_ms":1},{"name":"a","duration_ms":1}]}`, "duplicate phase name"},
+		{"zero duration", `{"name":"x","phases":[{"name":"a","duration_ms":0}]}`, "duration_ms must be positive"},
+		{"negative duration", `{"name":"x","phases":[{"name":"a","duration_ms":-5}]}`, "duration_ms must be positive"},
+		{"overlapping at_ms", `{"name":"x","phases":[{"name":"a","duration_ms":2000},{"name":"b","at_ms":1500,"duration_ms":1}]}`, "overlaps previous phase"},
+		{"unknown fault profile", `{"name":"x","phases":[{"name":"a","duration_ms":1,"fault_profile":"tsunami"}]}`, "tsunami"},
+		{"negative stall clients", `{"name":"x","phases":[{"name":"a","duration_ms":1,"stall_clients":-1}]}`, "stall_clients"},
+		{"zero kill count", `{"name":"x","phases":[{"name":"a","duration_ms":1,"kill":{"after_checkpoints":0}}]}`, "after_checkpoints"},
+		{"bad slow consumer policy", `{"name":"x","phases":[{"name":"a","duration_ms":1,"limits":{"slow_consumer":"explode"}}]}`, "explode"},
+		{"zero send queue", `{"name":"x","phases":[{"name":"a","duration_ms":1,"limits":{"send_queue":0}}]}`, "send_queue"},
+		{"negative identify rps", `{"name":"x","phases":[{"name":"a","duration_ms":1,"limits":{"identify_rps":-1}}]}`, "identify_rps"},
+		{"unknown top-level field", `{"name":"x","surprise":1,"phases":[{"name":"a","duration_ms":1}]}`, "surprise"},
+		{"unknown phase field", `{"name":"x","phases":[{"name":"a","duration_ms":1,"chaos_level":11}]}`, "chaos_level"},
+		{"unknown limits field", `{"name":"x","phases":[{"name":"a","duration_ms":1,"limits":{"warp_factor":9}}]}`, "warp_factor"},
+		{"not json", `phases: [a]`, "schedule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSchedule([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("decoded invalid schedule without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPhaseLimitsApplyOverlaysOnlySetFields(t *testing.T) {
+	base := gateway.Limits{
+		MaxSessions: 100, IdentifyRPS: 50, IdentifyBurst: 10,
+		SendQueue: 128, WriteTimeout: time.Second,
+	}
+	ms, rps := 7, 2.5
+	policy := "drop-oldest"
+	got := (&PhaseLimits{MaxSessions: &ms, TenantIdentifyRPS: &rps, SlowConsumer: &policy}).Apply(base)
+	if got.MaxSessions != 7 || got.TenantIdentifyRPS != 2.5 {
+		t.Errorf("set fields not applied: %+v", got)
+	}
+	if got.SlowConsumer != gateway.SlowDropOldest {
+		t.Errorf("slow consumer = %v, want drop-oldest", got.SlowConsumer)
+	}
+	if got.IdentifyRPS != 50 || got.SendQueue != 128 || got.WriteTimeout != time.Second {
+		t.Errorf("unset fields overwritten: %+v", got)
+	}
+	if nilApplied := (*PhaseLimits)(nil).Apply(base); nilApplied != base {
+		t.Errorf("nil overlay changed limits: %+v", nilApplied)
+	}
+}
+
+// FuzzScheduleDecode asserts the decoder never panics and that any
+// schedule it accepts is internally consistent: monotone non-overlapping
+// phases, positive durations, and resolvable fault profiles.
+func FuzzScheduleDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"s","phases":[{"name":"a","duration_ms":100}]}`))
+	f.Add([]byte(`{"name":"s","phases":[{"name":"a","duration_ms":100,"kill":{"after_checkpoints":2}}]}`))
+	f.Add([]byte(`{"name":"s","phases":[{"name":"a","at_ms":50,"duration_ms":100,"fault_profile":"storm","limits":{"max_sessions":5}}]}`))
+	f.Add(smokeJSON)
+	f.Add(fullJSON)
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			return
+		}
+		if s.Name == "" || len(s.Phases) == 0 {
+			t.Fatalf("accepted schedule without name or phases: %+v", s)
+		}
+		cursor := 0
+		for i := range s.Phases {
+			p := &s.Phases[i]
+			if p.DurationMS <= 0 {
+				t.Fatalf("accepted non-positive duration in phase %q", p.Name)
+			}
+			if p.StartMS() < cursor {
+				t.Fatalf("accepted overlapping phase %q (start %d < cursor %d)", p.Name, p.StartMS(), cursor)
+			}
+			cursor = p.EndMS()
+			if p.Kill != nil && p.Kill.AfterCheckpoints < 1 {
+				t.Fatalf("accepted kill with %d checkpoints", p.Kill.AfterCheckpoints)
+			}
+		}
+		if s.TotalMS() != cursor {
+			t.Fatalf("TotalMS = %d, want %d", s.TotalMS(), cursor)
+		}
+	})
+}

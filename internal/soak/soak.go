@@ -1,0 +1,603 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/obs/journal"
+	"repro/internal/permissions"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/soak/invariant"
+)
+
+// Options shapes one soak run. The zero value plus a Schedule and a
+// Dir is a valid smoke-scale configuration.
+type Options struct {
+	// Schedule is the phased chaos plan (required).
+	Schedule *Schedule
+	// Dir receives every artifact: journal.jsonl (+ .anchor),
+	// checkpoints/, soak.json (required).
+	Dir string
+
+	// Pipeline shape.
+	Seed            int64         // ecosystem seed (default 42)
+	NumBots         int           // listing population (default 600)
+	Sample          int           // honeypot sample (default 80)
+	Shards          int           // sharded executor width (default 4)
+	Settle          time.Duration // per-experiment watch window (default 400ms)
+	CheckpointEvery int           // settled bots between snapshots (default 5)
+
+	// Background traffic shape.
+	Sessions      int     // loadgen bot sessions (default 32)
+	Guilds        int     // loadgen guilds (default 4)
+	UsersPerGuild int     // chatting users per guild (default 8)
+	Tenants       int     // distinct loadgen bot owners (default 4)
+	MsgRate       float64 // user messages/sec per guild (default 30)
+
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.NumBots <= 0 {
+		o.NumBots = 600
+	}
+	if o.Sample <= 0 {
+		o.Sample = 80
+	}
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Settle <= 0 {
+		o.Settle = 400 * time.Millisecond
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 5
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 32
+	}
+	if o.Guilds <= 0 {
+		o.Guilds = 4
+	}
+	if o.UsersPerGuild <= 0 {
+		o.UsersPerGuild = 8
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.MsgRate <= 0 {
+		o.MsgRate = 30
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// PhaseOutcome records what one schedule phase actually did.
+type PhaseOutcome struct {
+	Name         string `json:"name"`
+	StartMS      int    `json:"start_ms"`
+	DurationMS   int    `json:"duration_ms"`
+	FaultProfile string `json:"fault_profile,omitempty"`
+	StallClients int    `json:"stall_clients,omitempty"`
+	KillArmed    bool   `json:"kill_armed,omitempty"`
+	KillFired    bool   `json:"kill_fired,omitempty"`
+}
+
+// Outcome is one soak run's verdict, JSON-shaped for BENCH_SOAK.json.
+type Outcome struct {
+	Schedule   string  `json:"schedule"`
+	DurationMS float64 `json:"duration_ms"`
+	RunID      string  `json:"run_id"`
+
+	Segments   int `json:"ledger_segments"`
+	KillsArmed int `json:"kills_armed"`
+	KillsFired int `json:"kills_fired"`
+
+	Bots                int `json:"bots"`
+	Records             int `json:"records"`
+	Quarantined         int `json:"quarantined"`
+	HoneypotTested      int `json:"honeypot_tested"`
+	HoneypotQuarantined int `json:"honeypot_quarantined"`
+
+	Phases  []PhaseOutcome  `json:"phases"`
+	Loadgen *loadgen.Result `json:"loadgen,omitempty"`
+
+	Invariants invariant.Report `json:"invariants"`
+}
+
+// OK reports whether every invariant reconciled.
+func (o *Outcome) OK() bool { return o.Invariants.OK }
+
+// ReportData converts the outcome into the report package's
+// renderer-facing shape for report.SoakVerdict.
+func (o *Outcome) ReportData() *report.SoakData {
+	d := &report.SoakData{
+		Schedule:            o.Schedule,
+		DurationMS:          o.DurationMS,
+		RunID:               o.RunID,
+		Segments:            o.Segments,
+		KillsArmed:          o.KillsArmed,
+		KillsFired:          o.KillsFired,
+		Bots:                o.Bots,
+		Records:             o.Records,
+		Quarantined:         o.Quarantined,
+		HoneypotTested:      o.HoneypotTested,
+		HoneypotQuarantined: o.HoneypotQuarantined,
+		Loadgen:             o.Loadgen,
+		OK:                  o.Invariants.OK,
+		FirstViolation:      o.Invariants.First,
+	}
+	for _, p := range o.Phases {
+		d.Phases = append(d.Phases, report.SoakPhase{
+			Name: p.Name, StartMS: p.StartMS, DurationMS: p.DurationMS,
+			FaultProfile: p.FaultProfile, StallClients: p.StallClients,
+			KillArmed: p.KillArmed, KillFired: p.KillFired,
+		})
+	}
+	for _, c := range o.Invariants.Checks {
+		d.Invariants = append(d.Invariants, report.SoakInvariant{
+			Name: c.Name, Artifact: c.Artifact, Detail: c.Detail, OK: c.OK,
+		})
+	}
+	return d
+}
+
+var ledgerOpts = journal.LedgerOptions{Mode: journal.LedgerMerkle, Batch: 16}
+
+// conductor owns the soak's shared machinery: the long-lived auditor
+// (its services survive kills; only the pipeline run "crashes"), the
+// crash trigger, and the stall-client world.
+type conductor struct {
+	opts  Options
+	a     *core.Auditor
+	reg   *obs.Registry
+	st    *checkpoint.Store
+	jpath string
+
+	// abort is the currently armed kill; the checkpoint store's
+	// AfterSave hook ticks it on every snapshot, and firing cancels the
+	// pipeline's current segment context via segCancel.
+	abort     atomic.Pointer[faults.AbortInjector]
+	segCancel atomic.Value // context.CancelFunc
+
+	stallTokens []string
+	chatUser    platform.ID
+	chatChannel platform.ID
+	stallWG     sync.WaitGroup
+}
+
+func (c *conductor) fire() {
+	if f, ok := c.segCancel.Load().(context.CancelFunc); ok && f != nil {
+		f()
+	}
+}
+
+type pipeOut struct {
+	res      *core.Results
+	err      error
+	jnl      *journal.Journal // the live (last-opened) journal segment
+	segments int
+	kills    int
+	// resumes captures, per kill, the settled sets of the snapshot the
+	// next segment resumed from — the invariant checker's ground truth
+	// for the zero-re-execution check.
+	resumes []invariant.SegmentBaseline
+}
+
+// baseline extracts a snapshot's settled sets.
+func baseline(snap *checkpoint.Snapshot) invariant.SegmentBaseline {
+	var bl invariant.SegmentBaseline
+	for _, r := range snap.Records {
+		bl.SettledCollect = append(bl.SettledCollect, r.ID)
+	}
+	for _, q := range snap.CollectQuarantine {
+		bl.SettledCollect = append(bl.SettledCollect, q.BotID)
+	}
+	for _, v := range snap.Verdicts {
+		bl.SettledHoneypot = append(bl.SettledHoneypot, v.Subject.ListingID)
+	}
+	for _, q := range snap.HoneypotQuarantine {
+		bl.SettledHoneypot = append(bl.SettledHoneypot, q.BotID)
+	}
+	return bl
+}
+
+// runPipeline drives RunAllContext through kill/resume segments until
+// the run converges: an armed abort cancels the segment at a
+// checkpoint boundary, the journal is sealed and reopened in resume
+// mode (re-anchoring the hash chain on the sealed head), and the same
+// auditor resumes from the latest snapshot — services stay up
+// throughout, exactly like a supervisor restarting a crashed worker.
+func (c *conductor) runPipeline(ctx context.Context, jnl *journal.Journal) pipeOut {
+	segments, kills := 1, 0
+	var resumes []invariant.SegmentBaseline
+	for {
+		segCtx, cancel := context.WithCancel(ctx)
+		c.segCancel.Store(context.CancelFunc(cancel))
+		res, err := c.a.RunAllContext(segCtx)
+		cancel()
+		ab := c.abort.Swap(nil)
+		killed := err != nil && errors.Is(err, context.Canceled) &&
+			ab != nil && ab.Fired() && ctx.Err() == nil
+		if !killed {
+			return pipeOut{res: res, err: err, jnl: jnl, segments: segments, kills: kills, resumes: resumes}
+		}
+		kills++
+		snap, serr := c.st.Latest()
+		if serr != nil {
+			return pipeOut{err: fmt.Errorf("soak: read resume baseline after kill: %w", serr), jnl: jnl, segments: segments, kills: kills}
+		}
+		resumes = append(resumes, baseline(snap))
+		c.opts.Logf("soak: kill %d fired mid-run; sealing journal and resuming from latest checkpoint", kills)
+		if cerr := jnl.Close(); cerr != nil {
+			return pipeOut{err: fmt.Errorf("soak: seal journal after kill: %w", cerr), jnl: jnl, segments: segments, kills: kills}
+		}
+		nj, jerr := journal.Open(c.jpath, journal.Options{Obs: c.reg, Resume: true, Ledger: ledgerOpts})
+		if jerr != nil {
+			return pipeOut{err: fmt.Errorf("soak: reopen journal after kill: %w", jerr), segments: segments, kills: kills}
+		}
+		jnl = nj
+		c.a.SetJournal(nj)
+		c.a.SetResume(core.ResumeLatest)
+		segments++
+	}
+}
+
+// setupStallWorld registers the conductor's own guild of stall-fodder
+// bots plus a chatter stream, so phase-scoped stalled listeners have
+// traffic filling their send queues (exercising the slow-consumer
+// policy) without polluting loadgen's delivery expectation.
+func (c *conductor) setupStallWorld(ctx context.Context, maxStall int) error {
+	p := c.a.Platform()
+	owner := p.CreateUser("soak-chaos-owner")
+	g, err := p.CreateGuild(owner.ID, "soak-chaos", false)
+	if err != nil {
+		return fmt.Errorf("soak: create chaos guild: %w", err)
+	}
+	var general platform.ID
+	for _, ch := range g.Channels {
+		general = ch.ID
+	}
+	perms := permissions.ViewChannel | permissions.SendMessages | permissions.ReadMessageHistory
+	for i := 0; i < maxStall; i++ {
+		bot, err := p.RegisterBot(owner.ID, fmt.Sprintf("soak-stall-%d", i))
+		if err != nil {
+			return fmt.Errorf("soak: register stall bot: %w", err)
+		}
+		if _, err := p.InstallBot(owner.ID, g.ID, bot.ID, perms); err != nil {
+			return fmt.Errorf("soak: install stall bot: %w", err)
+		}
+		c.stallTokens = append(c.stallTokens, bot.Token)
+	}
+	c.chatUser, c.chatChannel = owner.ID, general
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		n := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				n++
+				p.SendMessage(c.chatUser, c.chatChannel, fmt.Sprintf("soak chatter %d", n))
+			}
+		}
+	}()
+	return nil
+}
+
+// Run executes one soak: the full pipeline and the load generator
+// share one live gateway while the schedule's phases ramp chaos, then
+// the invariant checker reconciles every artifact. The returned
+// Outcome carries the verdict; err is reserved for the soak itself
+// failing to execute (an invariant violation is a non-OK Outcome, not
+// an error).
+func Run(ctx context.Context, o Options) (*Outcome, error) {
+	o = o.withDefaults()
+	if o.Schedule == nil {
+		return nil, errors.New("soak: Options.Schedule is required")
+	}
+	if o.Dir == "" {
+		return nil, errors.New("soak: Options.Dir is required")
+	}
+	sched := o.Schedule
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+
+	reg := obs.NewRegistry()
+	jpath := filepath.Join(o.Dir, "journal.jsonl")
+	st, err := checkpoint.NewStore(filepath.Join(o.Dir, "checkpoints"))
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	jnl, err := journal.Open(jpath, journal.Options{Obs: reg, Ledger: ledgerOpts})
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+
+	a, err := core.NewAuditor(core.Options{
+		Seed:    o.Seed,
+		NumBots: o.NumBots,
+		Honeypot: core.HoneypotOptions{
+			Sample: o.Sample,
+			Settle: o.Settle,
+		},
+		Exec:       core.ExecOptions{Shards: o.Shards},
+		Faults:     core.FaultOptions{Profile: "none", Seed: o.Seed},
+		Checkpoint: core.CheckpointOptions{Store: st, Every: o.CheckpointEvery},
+		Obs:        reg,
+		Journal:    jnl,
+	})
+	if err != nil {
+		jnl.Close()
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	defer a.Close()
+
+	c := &conductor{opts: o, a: a, reg: reg, st: st, jpath: jpath}
+	st.AfterSave = func(*checkpoint.Snapshot) { c.abort.Load().Tick() }
+	defer func() { st.AfterSave = nil }()
+
+	maxStall := 0
+	for i := range sched.Phases {
+		if s := sched.Phases[i].StallClients; s > maxStall {
+			maxStall = s
+		}
+	}
+	soakCtx, stopSoak := context.WithCancel(ctx)
+	defer stopSoak()
+	if maxStall > 0 {
+		if err := c.setupStallWorld(soakCtx, maxStall); err != nil {
+			jnl.Close()
+			return nil, err
+		}
+	}
+
+	total := time.Duration(sched.TotalMS()) * time.Millisecond
+	start := time.Now()
+
+	// Background traffic: loadgen personas drive the same gateway the
+	// pipeline audits through, for the schedule's full wall clock.
+	lgCh := make(chan *loadgen.Result, 1)
+	lgErrCh := make(chan error, 1)
+	go func() {
+		res, err := loadgen.Run(soakCtx, loadgen.Config{
+			Guilds:        o.Guilds,
+			UsersPerGuild: o.UsersPerGuild,
+			Sessions:      o.Sessions,
+			Tenants:       o.Tenants,
+			Duration:      total,
+			MsgRate:       o.MsgRate,
+			Target:        &loadgen.Target{Platform: a.Platform(), Addr: a.Gateway().Addr()},
+			Seed:          o.Seed + 1,
+			Obs:           reg,
+			Logf:          o.Logf,
+		})
+		if err != nil {
+			lgErrCh <- err
+			return
+		}
+		lgCh <- res
+	}()
+
+	// The pipeline, crashing and resuming as the schedule orders.
+	pipeCh := make(chan pipeOut, 1)
+	go func() { pipeCh <- c.runPipeline(soakCtx, jnl) }()
+
+	// The phase runner: wall-clock application of each phase's
+	// conditions, with a cheap counter-consistency probe at every
+	// boundary.
+	phases := make([]PhaseOutcome, 0, len(sched.Phases))
+	armed := make(map[int]*faults.AbortInjector)
+	var probeErrs []string
+	limits := a.Gateway().Limits()
+	killsArmed := 0
+	for i := range sched.Phases {
+		p := &sched.Phases[i]
+		if err := sleepUntil(ctx, start.Add(time.Duration(p.StartMS())*time.Millisecond)); err != nil {
+			return nil, err
+		}
+		o.Logf("soak: phase %q (t+%dms for %dms): profile=%q stalls=%d kill=%v",
+			p.Name, p.StartMS(), p.DurationMS, p.FaultProfile, p.StallClients, p.Kill != nil)
+		po := PhaseOutcome{
+			Name: p.Name, StartMS: p.StartMS(), DurationMS: p.DurationMS,
+			FaultProfile: p.FaultProfile, StallClients: p.StallClients,
+		}
+		if p.FaultProfile != "" {
+			prof, perr := faults.Named(p.FaultProfile)
+			if perr != nil {
+				return nil, perr // unreachable: validated at decode
+			}
+			a.Faults().SetProfile(prof)
+		}
+		if p.Limits != nil {
+			limits = p.Limits.Apply(limits)
+			a.Gateway().SetLimits(limits)
+		}
+		var stallStop context.CancelFunc
+		if p.StallClients > 0 {
+			sctx, scancel := context.WithCancel(soakCtx)
+			stallStop = scancel
+			addr := a.Gateway().Addr()
+			for s := 0; s < p.StallClients && s < len(c.stallTokens); s++ {
+				tok := c.stallTokens[s]
+				c.stallWG.Add(1)
+				go func() {
+					defer c.stallWG.Done()
+					loadgen.Stall(sctx, addr, tok)
+				}()
+			}
+		}
+		if p.Kill != nil {
+			killsArmed++
+			po.KillArmed = true
+			ab := faults.NewAbort(p.Kill.AfterCheckpoints, c.fire)
+			armed[i] = ab
+			c.abort.Store(ab)
+		}
+		err := sleepUntil(ctx, start.Add(time.Duration(p.EndMS())*time.Millisecond))
+		if stallStop != nil {
+			stallStop()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if perr := invariant.Probe(reg); perr != nil {
+			probeErrs = append(probeErrs, fmt.Sprintf("after phase %q: %v", p.Name, perr))
+		}
+		phases = append(phases, po)
+	}
+
+	// Schedule exhausted: calm the substrate and let the pipeline
+	// converge (bounded — a wedged pipeline is a soak failure, not a
+	// hang).
+	if prof, perr := faults.Named("none"); perr == nil {
+		a.Faults().SetProfile(prof)
+	}
+	var pipe pipeOut
+	select {
+	case pipe = <-pipeCh:
+	case err := <-lgErrCh:
+		return nil, fmt.Errorf("soak: loadgen: %w", err)
+	case <-time.After(total + 3*time.Minute):
+		return nil, fmt.Errorf("soak: pipeline did not converge within %s past schedule end", 3*time.Minute)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if pipe.err != nil {
+		return nil, fmt.Errorf("soak: pipeline: %w", pipe.err)
+	}
+	var lg *loadgen.Result
+	select {
+	case lg = <-lgCh:
+	case err := <-lgErrCh:
+		return nil, fmt.Errorf("soak: loadgen: %w", err)
+	case <-time.After(2 * time.Minute):
+		return nil, errors.New("soak: loadgen did not finish after schedule end")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	stopSoak()
+	c.stallWG.Wait()
+	st.AfterSave = nil
+
+	// Quiesce every emitter, then seal: the anchor side file commits
+	// the final segment's head.
+	a.Close()
+	if err := pipe.jnl.Close(); err != nil {
+		return nil, fmt.Errorf("soak: seal journal: %w", err)
+	}
+
+	for i := range phases {
+		if ab := armed[i]; ab != nil {
+			phases[i].KillFired = ab.Fired()
+		}
+	}
+
+	out := &Outcome{
+		Schedule:   sched.Name,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		RunID:      pipe.res.RunID,
+		Segments:   pipe.segments,
+		KillsArmed: killsArmed,
+		KillsFired: pipe.kills,
+		Bots:       o.NumBots,
+		Records:    len(pipe.res.Records),
+		Phases:     phases,
+		Loadgen:    lg,
+	}
+
+	in := invariant.Inputs{
+		ScheduleName:     sched.Name,
+		RunID:            pipe.res.RunID,
+		JournalFile:      "journal.jsonl",
+		CheckpointDir:    "checkpoints",
+		ExpectedSegments: pipe.kills + 1,
+		Resumes:          pipe.resumes,
+		Counters:         reg.Snapshot().Counters,
+		Loadgen:          lg,
+	}
+	for _, b := range a.Ecosystem().Bots {
+		in.Listed = append(in.Listed, b.ID)
+	}
+	for _, r := range pipe.res.Records {
+		in.RecordBots = append(in.RecordBots, r.ID)
+	}
+	for _, q := range pipe.res.Quarantined {
+		switch q.Stage {
+		case "collect":
+			in.CollectQuarantined = append(in.CollectQuarantined, q.BotID)
+		case "honeypot":
+			in.HoneypotQuarantined = append(in.HoneypotQuarantined, q.BotID)
+			out.HoneypotQuarantined++
+		}
+	}
+	out.Quarantined = len(pipe.res.Quarantined)
+	if serr := pipe.res.StageErrors["collect"]; serr != nil {
+		in.CollectStageError = serr.Error()
+	}
+	if serr := pipe.res.StageErrors["honeypot"]; serr != nil {
+		in.HoneypotStageError = serr.Error()
+	}
+	in.HoneypotSampleTarget = o.Sample
+	if o.NumBots < o.Sample {
+		in.HoneypotSampleTarget = o.NumBots
+	}
+	if hp := pipe.res.Honeypot; hp != nil {
+		out.HoneypotTested = hp.Tested
+		for _, v := range hp.Verdicts {
+			in.VerdictBots = append(in.VerdictBots, v.Subject.ListingID)
+		}
+	}
+
+	if err := invariant.WriteInputs(o.Dir, in); err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	out.Invariants = invariant.Evaluate(o.Dir, in)
+	// Mid-run probe failures are violations too, even if the post-hoc
+	// artifacts reconcile.
+	for _, pe := range probeErrs {
+		out.Invariants.Checks = append(out.Invariants.Checks, invariant.Check{
+			Name: "mid-run-probe", Artifact: "live counters", Detail: pe,
+		})
+		if out.Invariants.First == "" {
+			out.Invariants.First = "invariant mid-run-probe violated: artifact live counters: " + pe
+		}
+		out.Invariants.OK = false
+	}
+	return out, nil
+}
+
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,173 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/soak/invariant"
+)
+
+// testSchedule is a compressed smoke arc: warm up, squeeze with a
+// kill, cool down. Kept short so the full soak (pipeline + loadgen +
+// kill/resume + invariant sweep) fits a -race test.
+const testSchedule = `{
+	"name": "test",
+	"phases": [
+		{"name": "warm", "duration_ms": 1500, "fault_profile": "none"},
+		{"name": "crunch", "duration_ms": 3000, "fault_profile": "mild", "stall_clients": 1,
+		 "limits": {"identify_rps": 40, "identify_burst": 8, "tenant_identify_rps": 4,
+		            "tenant_identify_burst": 2, "slow_consumer": "drop-oldest", "send_queue": 32},
+		 "kill": {"after_checkpoints": 1}},
+		{"name": "cool", "duration_ms": 2500, "fault_profile": "none"}
+	]
+}`
+
+// TestSoakKillResumeGreen is the package's acceptance test: a soak
+// whose schedule fires a SIGKILL-style abort mid-run must exit green —
+// kill fired, ledger split into two anchored segments, every invariant
+// reconciling — and the artifact directory must re-verify post-hoc,
+// while deliberate corruption of any artifact is caught with the
+// violated invariant named.
+func TestSoakKillResumeGreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	sched, err := ParseSchedule([]byte(testSchedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	out, err := Run(ctx, Options{
+		Schedule:        sched,
+		Dir:             dir,
+		NumBots:         200,
+		Sample:          40,
+		Settle:          250 * time.Millisecond,
+		CheckpointEvery: 3,
+		Sessions:        10,
+		Guilds:          2,
+		UsersPerGuild:   4,
+		Tenants:         2,
+		MsgRate:         15,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("soak invariants violated: %s", out.Invariants.First)
+	}
+	if out.KillsFired != 1 {
+		t.Fatalf("kills fired = %d, want 1 (schedule arms one mid-pipeline kill)", out.KillsFired)
+	}
+	if out.Segments != 2 {
+		t.Errorf("ledger segments = %d, want 2 (one per crash boundary)", out.Segments)
+	}
+	for _, name := range []string{"terminal-state", "journal-readable", "ledger", "journal-counter-agreement", "resume-convergence", "delivery-accounting"} {
+		found := false
+		for _, c := range out.Invariants.Checks {
+			if c.Name == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("invariant %q missing from the report", name)
+		}
+	}
+
+	// The artifact directory re-verifies standalone.
+	rep, err := invariant.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("post-hoc re-check failed: %s", rep.First)
+	}
+
+	// A flipped journal line is caught and named.
+	flipped := copyDir(t, dir)
+	corruptJournalLine(t, filepath.Join(flipped, "journal.jsonl"))
+	rep, err = invariant.CheckDir(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("flipped journal line passed the invariant sweep")
+	}
+	if !strings.Contains(rep.First, "journal") {
+		t.Errorf("violation %q does not name the journal artifact", rep.First)
+	}
+
+	// A dropped checkpoint is caught by resume-convergence.
+	dropped := copyDir(t, dir)
+	ents, err := os.ReadDir(filepath.Join(dropped, "checkpoints"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if err := os.Remove(filepath.Join(dropped, "checkpoints", e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = invariant.CheckDir(dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatal("dropped checkpoint passed the invariant sweep")
+	}
+	if !strings.Contains(rep.First, "resume-convergence") {
+		t.Errorf("violation %q does not name resume-convergence", rep.First)
+	}
+}
+
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+func corruptJournalLine(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	i := len(lines) / 2
+	if len(lines[i]) == 0 {
+		t.Fatal("picked an empty journal line to corrupt")
+	}
+	lines[i] = bytes.Replace(lines[i], []byte(`"`), []byte(`'`), 1)
+	if err := os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
